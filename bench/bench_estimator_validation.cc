@@ -1,0 +1,98 @@
+// Estimator validation (Eq. 1-3 of §III-C): for each workload and mode
+// pair, compare the decision maker's predicted t_u / t_d (fed with
+// *profiled* t^m, s^i, s^o from a first run) against the simulator's
+// measured times, and check the *ordering* — the property speculative
+// execution relies on — is predicted correctly.
+
+#include "bench/bench_util.h"
+#include "mrapid/decision_maker.h"
+#include "mrapid/framework.h"
+#include "workloads/pi.h"
+#include "workloads/terasort.h"
+#include "workloads/wordcount.h"
+
+using namespace mrapid;
+
+namespace {
+
+struct Case {
+  std::string label;
+  std::unique_ptr<wl::Workload> workload;
+  int n_m;
+};
+
+void run_case(Table& table, const std::string& label, wl::Workload& workload, int n_m,
+              int& correct, int& total) {
+  harness::WorldConfig config;
+  config.cluster = cluster::a3_paper_cluster();
+
+  const auto dplus = bench::must_run(config, harness::RunMode::kDPlus, workload);
+  const auto uplus = bench::must_run(config, harness::RunMode::kUPlus, workload);
+  const double t_d_measured = dplus.profile.elapsed_seconds();
+  const double t_u_measured = uplus.profile.elapsed_seconds();
+
+  // Feed the estimator exactly what the profiler would capture.
+  double t_m = 0, s_i = 0, s_o = 0;
+  for (const auto& map : dplus.profile.maps) {
+    t_m += (map.compute_done - map.read_done).as_seconds();
+    s_i += static_cast<double>(map.input_bytes);
+    s_o += static_cast<double>(map.output_bytes);
+  }
+  const double n = static_cast<double>(dplus.profile.maps.size());
+  t_m /= n;
+  s_i /= n;
+  s_o /= n;
+
+  harness::World probe(config, harness::RunMode::kDPlus);
+  core::HistoryStore empty;
+  core::DecisionMaker dm(empty,
+                         core::estimator_defaults_for(probe.cluster(), config.yarn));
+  core::DecisionContext context{n_m, 13, 4};  // A3 cluster geometry (16 - 3 pool AMs)
+  const core::Decision decision = dm.decide(t_m, s_i, s_o, context);
+
+  const bool measured_u_wins = t_u_measured <= t_d_measured;
+  const bool predicted_u_wins = decision.winner == mr::ExecutionMode::kUPlus;
+  const bool ordering_ok = measured_u_wins == predicted_u_wins;
+  ++total;
+  if (ordering_ok) ++correct;
+
+  table.add_row({label, Table::num(decision.t_u), Table::num(t_u_measured),
+                 Table::num(decision.t_d), Table::num(t_d_measured),
+                 predicted_u_wins ? "U+" : "D+", measured_u_wins ? "U+" : "D+",
+                 ordering_ok ? "ok" : "WRONG"});
+}
+
+}  // namespace
+
+int main() {
+  Table table({"case", "t_u est", "t_u meas", "t_d est", "t_d meas", "pred winner",
+               "real winner", "ordering"});
+  table.with_title("Estimator validation — Eq. 2/3 predictions vs simulated runs");
+
+  int correct = 0, total = 0;
+
+  for (int files : {2, 4, 8, 16}) {
+    wl::WordCountParams params;
+    params.num_files = static_cast<std::size_t>(files);
+    params.bytes_per_file = 10_MB;
+    wl::WordCount wc(params);
+    run_case(table, "wordcount " + std::to_string(files) + "x10MB", wc, files, correct,
+             total);
+  }
+  for (int rows_k : {100, 800}) {
+    wl::TeraSortParams params;
+    params.rows = rows_k * 1000LL;
+    wl::TeraSort ts(params);
+    run_case(table, "terasort " + std::to_string(rows_k) + "k", ts, 4, correct, total);
+  }
+  for (int samples_m : {100, 1600}) {
+    wl::PiParams params;
+    params.total_samples = samples_m * 1000000LL;
+    wl::Pi pi(params);
+    run_case(table, "pi " + std::to_string(samples_m) + "m", pi, 4, correct, total);
+  }
+
+  table.print(std::cout);
+  std::printf("\nmode-ordering predicted correctly: %d/%d\n", correct, total);
+  return 0;
+}

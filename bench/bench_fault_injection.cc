@@ -1,0 +1,53 @@
+// Extension experiment (beyond the paper): how do the four execution
+// modes degrade under task-attempt failures? Distributed modes pay a
+// full container round-trip (ask -> heartbeat -> launch) per retry;
+// Uber-family modes retry inside the warm JVM — so U+ should degrade
+// the most gently, which is an interesting un-measured corollary of
+// the paper's design.
+
+#include "bench/bench_util.h"
+#include "workloads/wordcount.h"
+
+using namespace mrapid;
+
+int main() {
+  SeriesReport report("Fault injection — WordCount 8 x 10 MB, A3 cluster (elapsed s)",
+                      "P(map attempt fails)");
+  report.set_baseline("Hadoop");
+
+  Table attempts_table({"failure prob", "mode", "failed attempts", "elapsed (s)"});
+  attempts_table.with_title("Retry accounting");
+
+  for (double prob : {0.0, 0.1, 0.2, 0.4}) {
+    wl::WordCountParams params;
+    params.num_files = 8;
+    params.bytes_per_file = 10_MB;
+    wl::WordCount wc(params);
+
+    harness::WorldConfig config;
+    config.cluster = cluster::a3_paper_cluster();
+    config.mr.faults.map_failure_prob = prob;
+    config.mr.faults.max_attempts = 8;  // keep the sweep failure-free
+    for (harness::RunMode mode : bench::kFigureModes) {
+      const auto result = bench::must_run(config, mode, wc);
+      report.add_point(harness::run_mode_name(mode), prob,
+                       result.profile.elapsed_seconds());
+      attempts_table.add_row({Table::num(prob, 1), harness::run_mode_name(mode),
+                              std::to_string(result.profile.failed_attempts),
+                              Table::num(result.profile.elapsed_seconds())});
+    }
+  }
+  report.print(std::cout);
+  std::printf("\n");
+  attempts_table.print(std::cout);
+
+  auto degradation = [&](const char* series) {
+    return (report.value(series, 0.4) - report.value(series, 0.0)) /
+           report.value(series, 0.0);
+  };
+  std::printf("\ndegradation 0 -> 0.4 failure rate: Hadoop %+.0f%%, Uber %+.0f%%, "
+              "D+ %+.0f%%, U+ %+.0f%%\n",
+              100 * degradation("Hadoop"), 100 * degradation("Uber"),
+              100 * degradation("D+"), 100 * degradation("U+"));
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 12: WordCount (4 x 10 MB) on the A2 cluster (1 NN + 9 DN),
+// varying the containers allocated per core from 1 to 2.
+//
+// Paper landmark: MRapid barely fluctuates (U+ uses one container; D+
+// picks relatively idle nodes), but the original Hadoop gets much
+// worse at 2 containers/core because greedy packing overloads nodes.
+
+#include "bench/bench_util.h"
+#include "workloads/wordcount.h"
+
+using namespace mrapid;
+
+int main() {
+  SeriesReport report("Fig. 12 — WordCount 4 x 10 MB, A2 cluster (elapsed s)",
+                      "containers/core");
+  report.set_baseline("Hadoop");
+
+  wl::WordCountParams params;
+  params.num_files = 4;
+  params.bytes_per_file = 10_MB;
+  wl::WordCount wc(params);
+
+  for (int cpc : {1, 2}) {
+    harness::WorldConfig config;
+    config.cluster = cluster::a2_paper_cluster();
+    config.yarn.containers_per_core = cpc;
+    // A2 nodes have 3.5 GB: containers are sized down (a common A2
+    // tuning) so the vcore knob — not memory — is what binds.
+    config.yarn.task_container = {1, 512};
+    config.yarn.am_container = {1, 768};
+    config.yarn.nm_memory_reserve_mb = 512;
+    for (harness::RunMode mode : bench::kFigureModes) {
+      report.add_point(harness::run_mode_name(mode), cpc,
+                       bench::elapsed_for(config, mode, wc));
+    }
+  }
+  report.print(std::cout);
+
+  auto swing = [&](const char* series) {
+    const double a = report.value(series, 1);
+    const double b = report.value(series, 2);
+    return 100.0 * std::abs(b - a) / a;
+  };
+  std::printf("\nlandmarks: Hadoop swing 1->2 cpc: %.1f%%  (paper: large)\n",
+              swing("Hadoop"));
+  std::printf("           D+ swing     1->2 cpc: %.1f%%  (paper: small)\n", swing("D+"));
+  std::printf("           U+ swing     1->2 cpc: %.1f%%  (paper: smallest)\n", swing("U+"));
+  return 0;
+}

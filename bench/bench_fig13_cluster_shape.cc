@@ -1,0 +1,50 @@
+// Figure 13: equal-cost cluster shapes — 5 x A3 ($1.80/hr) vs
+// 10 x A2 ($1.80/hr) — WordCount with 10 MB files, 1..16 files.
+//
+// Paper landmarks:
+//  * U+ always prefers the A3 cluster (fewer, beefier nodes: the one
+//    container can steal more local resources);
+//  * D+ prefers A3 for few files but A2 once the file count grows
+//    (more spindles/NICs reduce I/O contention).
+
+#include "bench/bench_util.h"
+#include "workloads/wordcount.h"
+
+using namespace mrapid;
+
+int main() {
+  SeriesReport report("Fig. 13 — WordCount 10 MB files, equal-cost clusters (elapsed s)",
+                      "files");
+
+  for (int files : {1, 4, 8, 16}) {
+    wl::WordCountParams params;
+    params.num_files = static_cast<std::size_t>(files);
+    params.bytes_per_file = 10_MB;
+    wl::WordCount wc(params);
+
+    for (bool a3 : {true, false}) {
+      harness::WorldConfig config;
+      config.cluster = a3 ? cluster::fig13_a3_cluster() : cluster::fig13_a2_cluster();
+      const std::string suffix = a3 ? "/A3x5" : "/A2x10";
+      for (harness::RunMode mode :
+           {harness::RunMode::kDPlus, harness::RunMode::kUPlus}) {
+        report.add_point(std::string(harness::run_mode_name(mode)) + suffix, files,
+                         bench::elapsed_for(config, mode, wc));
+      }
+    }
+  }
+  report.print(std::cout);
+
+  bool uplus_prefers_a3 = true;
+  for (double x : report.xs()) {
+    if (report.value("U+/A3x5", x) > report.value("U+/A2x10", x)) uplus_prefers_a3 = false;
+  }
+  const bool dplus_flips =
+      report.value("D+/A3x5", 1) <= report.value("D+/A2x10", 1) &&
+      report.value("D+/A2x10", 16) <= report.value("D+/A3x5", 16);
+  std::printf("\nlandmarks: U+ always prefers A3: %s (paper: yes)\n",
+              uplus_prefers_a3 ? "yes" : "no");
+  std::printf("           D+ prefers A3 when few files, A2 at 16: %s (paper: yes)\n",
+              dplus_flips ? "yes" : "no");
+  return 0;
+}

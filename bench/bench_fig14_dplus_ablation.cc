@@ -1,0 +1,88 @@
+// Figure 14: contribution of each D+ optimization technique, measured
+// on the paper's setup — the 5-node (1 NN + 4 DN) A3 cluster, WordCount
+// over eight 10 MB files.
+//
+// Method (as in the paper's "contribution comparison"): take the full
+// D+ time and the original-Hadoop time; disable one technique at a
+// time; a technique's contribution is how much of the total
+// improvement disappears without it, normalised over all techniques.
+//
+// Paper shares: new scheduler (round-robin spread) 50%, submission
+// framework (AM pool) 31%, locality awareness 13%, reduced
+// communication 6%.
+
+#include <map>
+
+#include "bench/bench_util.h"
+#include "workloads/wordcount.h"
+
+using namespace mrapid;
+
+namespace {
+
+double run_dplus(harness::WorldConfig config, wl::WordCount& wc) {
+  return bench::elapsed_for(config, harness::RunMode::kDPlus, wc);
+}
+
+}  // namespace
+
+int main() {
+  wl::WordCountParams params;
+  params.num_files = 8;
+  params.bytes_per_file = 10_MB;
+  wl::WordCount wc(params);
+
+  harness::WorldConfig base;
+  base.cluster = cluster::a3_paper_cluster();  // 5 nodes total
+
+  const double t_hadoop = bench::elapsed_for(base, harness::RunMode::kHadoop, wc);
+  const double t_full = run_dplus(base, wc);
+
+  std::map<std::string, double> without;
+  {
+    harness::WorldConfig config = base;
+    config.dplus.balanced_spread = false;
+    without["scheduler (spread)"] = run_dplus(config, wc);
+  }
+  {
+    harness::WorldConfig config = base;
+    config.framework.use_pool = false;
+    without["submission framework (AM pool)"] = run_dplus(config, wc);
+  }
+  {
+    harness::WorldConfig config = base;
+    config.dplus.locality_aware = false;
+    without["locality awareness"] = run_dplus(config, wc);
+  }
+  {
+    harness::WorldConfig config = base;
+    config.dplus.immediate_response = false;  // wait for NM heartbeats
+    config.framework.push_completion = false;  // client polls
+    without["reducing communication"] = run_dplus(config, wc);
+  }
+
+  double total_contribution = 0;
+  for (const auto& [name, t] : without) {
+    total_contribution += std::max(0.0, t - t_full);
+  }
+
+  Table table({"technique", "time without it (s)", "contribution (s)", "share",
+               "paper share"});
+  table.with_title("Fig. 14 — D+ optimization contributions (WordCount 8 x 10 MB, 5 nodes)");
+  const std::map<std::string, const char*> paper = {
+      {"scheduler (spread)", "50%"},
+      {"submission framework (AM pool)", "31%"},
+      {"locality awareness", "13%"},
+      {"reducing communication", "6%"},
+  };
+  for (const auto& [name, t] : without) {
+    const double contribution = std::max(0.0, t - t_full);
+    table.add_row({name, Table::num(t), Table::num(contribution),
+                   Table::pct(total_contribution > 0 ? contribution / total_contribution : 0),
+                   paper.at(name)});
+  }
+  std::printf("Hadoop baseline: %.2fs | full D+: %.2fs | improvement: %.1f%%\n\n",
+              t_hadoop, t_full, 100.0 * (t_hadoop - t_full) / t_hadoop);
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 15: contribution of each U+ optimization technique, same
+// setup as Fig. 14 (5-node A3 cluster, WordCount over eight 10 MB
+// files).
+//
+// Paper shares: running tasks in parallel 64%, submission framework
+// 23%, storing intermediate data in memory 9%, reducing communication
+// 4%.
+
+#include <map>
+
+#include "bench/bench_util.h"
+#include "workloads/wordcount.h"
+
+using namespace mrapid;
+
+namespace {
+
+double run_uplus(const harness::WorldConfig& config, wl::WordCount& wc,
+                 bool parallel, bool cache) {
+  harness::World world(config, harness::RunMode::kUPlus);
+  auto result = world.run(wc, [&](mr::JobSpec& spec) {
+    spec.uber_options_locked = true;
+    spec.uber.parallel = parallel;
+    spec.uber.cache_in_memory = cache;
+  });
+  if (!result || !result->succeeded) {
+    std::fprintf(stderr, "FATAL: U+ ablation run failed\n");
+    std::abort();
+  }
+  return result->profile.elapsed_seconds();
+}
+
+}  // namespace
+
+int main() {
+  wl::WordCountParams params;
+  params.num_files = 8;
+  params.bytes_per_file = 10_MB;
+  wl::WordCount wc(params);
+
+  harness::WorldConfig base;
+  base.cluster = cluster::a3_paper_cluster();
+
+  const double t_uber = bench::elapsed_for(base, harness::RunMode::kUber, wc);
+  const double t_full = run_uplus(base, wc, /*parallel=*/true, /*cache=*/true);
+
+  std::map<std::string, double> without;
+  without["running tasks in parallel"] = run_uplus(base, wc, false, true);
+  without["storing intermediate data in memory"] = run_uplus(base, wc, true, false);
+  {
+    harness::WorldConfig config = base;
+    config.framework.use_pool = false;
+    without["submission framework (AM pool)"] = run_uplus(config, wc, true, true);
+  }
+  {
+    harness::WorldConfig config = base;
+    config.framework.push_completion = false;
+    without["reducing communication"] = run_uplus(config, wc, true, true);
+  }
+
+  double total_contribution = 0;
+  for (const auto& [name, t] : without) total_contribution += std::max(0.0, t - t_full);
+
+  Table table({"technique", "time without it (s)", "contribution (s)", "share",
+               "paper share"});
+  table.with_title("Fig. 15 — U+ optimization contributions (WordCount 8 x 10 MB, 5 nodes)");
+  const std::map<std::string, const char*> paper = {
+      {"running tasks in parallel", "64%"},
+      {"submission framework (AM pool)", "23%"},
+      {"storing intermediate data in memory", "9%"},
+      {"reducing communication", "4%"},
+  };
+  for (const auto& [name, t] : without) {
+    const double contribution = std::max(0.0, t - t_full);
+    table.add_row({name, Table::num(t), Table::num(contribution),
+                   Table::pct(total_contribution > 0 ? contribution / total_contribution : 0),
+                   paper.at(name)});
+  }
+  std::printf("Uber baseline: %.2fs | full U+: %.2fs | improvement: %.1f%%\n\n", t_uber,
+              t_full, 100.0 * (t_uber - t_full) / t_uber);
+  table.print(std::cout);
+  return 0;
+}

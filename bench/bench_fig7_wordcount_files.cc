@@ -1,0 +1,47 @@
+// Figure 7: WordCount on the A3 cluster (1 NameNode + 4 A3 DataNodes),
+// file size fixed at 10 MB, number of files varied 1..16. Series:
+// original Hadoop (distributed), original Uber, MRapid D+, MRapid U+.
+//
+// Paper landmarks this bench should reproduce in shape:
+//  * D+ beats Hadoop at every point (36% quoted at 8 files);
+//  * U+ beats Uber at every point (59% quoted at 4 files);
+//  * D+ and U+ cross around 8 files — beyond that U+ degrades (it
+//    exhausts the in-memory cache and has only one node), though it
+//    stays ahead of original Uber.
+
+#include "bench/bench_util.h"
+#include "workloads/wordcount.h"
+
+using namespace mrapid;
+
+int main() {
+  SeriesReport report("Fig. 7 — WordCount, 10 MB files, A3 cluster (elapsed s)",
+                      "files");
+  report.set_baseline("Hadoop");
+
+  for (int files : {1, 2, 4, 8, 16}) {
+    wl::WordCountParams params;
+    params.num_files = static_cast<std::size_t>(files);
+    params.bytes_per_file = 10_MB;
+    wl::WordCount wc(params);
+
+    harness::WorldConfig config;
+    config.cluster = cluster::a3_paper_cluster();
+    for (harness::RunMode mode : bench::kFigureModes) {
+      report.add_point(harness::run_mode_name(mode), files,
+                       bench::elapsed_for(config, mode, wc));
+    }
+  }
+  report.print(std::cout);
+
+  // Landmark checks, echoed so regressions are visible in bench logs.
+  const double d8 = report.value("D+", 8), h8 = report.value("Hadoop", 8);
+  const double u4 = report.value("U+", 4), ub4 = report.value("Uber", 4);
+  std::printf("\nlandmarks: D+ vs Hadoop @8 files: %.1f%% (paper: 36.4%%)\n",
+              100.0 * (h8 - d8) / h8);
+  std::printf("           U+ vs Uber   @4 files: %.1f%% (paper: 59.3%%)\n",
+              100.0 * (ub4 - u4) / ub4);
+  std::printf("           U+ slower than D+ @16 files: %s (paper: yes)\n",
+              report.value("U+", 16) > report.value("D+", 16) ? "yes" : "no");
+  return 0;
+}

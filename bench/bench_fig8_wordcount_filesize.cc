@@ -1,0 +1,46 @@
+// Figure 8: WordCount on the A3 cluster, 4 files, file size varied
+// 5..40 MB.
+//
+// Paper landmarks:
+//  * D+ beats Hadoop by ~43% at 40 MB and gains more on larger files;
+//  * at 40 MB, D+ is also ~11% faster than U+ (the crossover: larger
+//    inputs favour the whole cluster over one container).
+
+#include "bench/bench_util.h"
+#include "workloads/wordcount.h"
+
+using namespace mrapid;
+
+int main() {
+  SeriesReport report("Fig. 8 — WordCount, 4 files, A3 cluster (elapsed s)",
+                      "file MB");
+  report.set_baseline("Hadoop");
+
+  for (int mb : {5, 10, 20, 40}) {
+    wl::WordCountParams params;
+    params.num_files = 4;
+    params.bytes_per_file = megabytes(mb);
+    wl::WordCount wc(params);
+
+    harness::WorldConfig config;
+    config.cluster = cluster::a3_paper_cluster();
+    for (harness::RunMode mode : bench::kFigureModes) {
+      report.add_point(harness::run_mode_name(mode), mb,
+                       bench::elapsed_for(config, mode, wc));
+    }
+  }
+  report.print(std::cout);
+
+  const double d40 = report.value("D+", 40);
+  const double h40 = report.value("Hadoop", 40);
+  const double u40 = report.value("U+", 40);
+  const double d5 = report.value("D+", 5);
+  const double h5 = report.value("Hadoop", 5);
+  std::printf("\nlandmarks: D+ vs Hadoop @40MB: %.1f%% (paper: 43.4%%)\n",
+              100.0 * (h40 - d40) / h40);
+  std::printf("           D+ vs U+     @40MB: %.1f%% (paper: 11.3%%, D+ ahead)\n",
+              100.0 * (u40 - d40) / u40);
+  std::printf("           D+ gain grows with size: %s (paper: yes)\n",
+              (h40 - d40) / h40 > (h5 - d5) / h5 ? "yes" : "no");
+  return 0;
+}

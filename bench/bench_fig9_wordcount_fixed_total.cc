@@ -1,0 +1,43 @@
+// Figure 9: WordCount on the A3 cluster, total input fixed at 60 MB,
+// split over 2, 3 or 4 files.
+//
+// Paper landmarks:
+//  * best D+ point is 4 files (better map parallelism), ~79% over
+//    Hadoop;
+//  * U+ best at 4 files too, up to ~89% over original Uber.
+
+#include "bench/bench_util.h"
+#include "workloads/wordcount.h"
+
+using namespace mrapid;
+
+int main() {
+  SeriesReport report("Fig. 9 — WordCount, 60 MB total, A3 cluster (elapsed s)",
+                      "files");
+  report.set_baseline("Hadoop");
+
+  for (int files : {2, 3, 4}) {
+    wl::WordCountParams params;
+    params.num_files = static_cast<std::size_t>(files);
+    params.bytes_per_file = 60_MB / files;
+    wl::WordCount wc(params);
+
+    harness::WorldConfig config;
+    config.cluster = cluster::a3_paper_cluster();
+    for (harness::RunMode mode : bench::kFigureModes) {
+      report.add_point(harness::run_mode_name(mode), files,
+                       bench::elapsed_for(config, mode, wc));
+    }
+  }
+  report.print(std::cout);
+
+  const double h4 = report.value("Hadoop", 4), d4 = report.value("D+", 4);
+  const double ub4 = report.value("Uber", 4), u4 = report.value("U+", 4);
+  std::printf("\nlandmarks: D+ vs Hadoop @4 files: %.1f%% (paper: 79.4%%)\n",
+              100.0 * (h4 - d4) / h4);
+  std::printf("           U+ vs Uber   @4 files: %.1f%% (paper: 88.9%%)\n",
+              100.0 * (ub4 - u4) / ub4);
+  std::printf("           D+ best at 4 files: %s (paper: yes)\n",
+              d4 <= report.value("D+", 2) && d4 <= report.value("D+", 3) ? "yes" : "no");
+  return 0;
+}

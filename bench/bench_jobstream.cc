@@ -1,0 +1,91 @@
+// Throughput experiment (extension): replay a realistic short-job
+// stream — the paper's Hive/Pig motivation — against stock Hadoop and
+// against the full MRapid framework, with jobs arriving concurrently
+// and contending for the same cluster. Reports per-job latency
+// statistics and stream makespan.
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "workloads/jobstream.h"
+
+using namespace mrapid;
+
+namespace {
+
+struct StreamOutcome {
+  Summary latency;
+  Percentiles latency_pct;
+};
+
+StreamOutcome replay(harness::RunMode mode, const std::vector<wl::StreamedJob>& jobs) {
+  harness::WorldConfig config;
+  config.cluster = cluster::a3_paper_cluster();
+  harness::World world(config, mode);
+  world.boot();
+  auto& sim = world.simulation();
+  const sim::SimTime start = sim.now();
+
+  StreamOutcome outcome;
+  int completed = 0;
+  for (const auto& job : jobs) {
+    sim.schedule_at(start + sim::SimDuration::seconds(job.submit_offset_seconds),
+                    [&world, &outcome, &completed, &job, mode] {
+                      mr::JobSpec spec = job.workload->make_spec(world.hdfs());
+                      spec.name = job.label;
+                      auto on_complete = [&outcome, &completed](const mr::JobResult& result) {
+                        if (!result.succeeded) std::abort();
+                        ++completed;
+                        outcome.latency.add(result.profile.elapsed_seconds());
+                        outcome.latency_pct.add(result.profile.elapsed_seconds());
+                      };
+                      if (mode == harness::RunMode::kMRapidAuto) {
+                        world.framework().submit(spec, on_complete);
+                      } else {
+                        world.client().submit(spec, harness::to_execution_mode(mode),
+                                              on_complete);
+                      }
+                    },
+                    "stream:submit");
+  }
+  sim.run_until(start + sim::SimDuration::seconds(7200));
+  if (completed != static_cast<int>(jobs.size())) {
+    std::fprintf(stderr, "FATAL: stream wedged (%d/%zu done) under %s\n", completed,
+                 jobs.size(), harness::run_mode_name(mode));
+    std::abort();
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  wl::JobStreamParams params;
+  params.jobs = 12;
+  params.mean_interarrival_seconds = 6.0;
+  const auto jobs = make_job_stream(params);
+
+  Table mix({"#", "job", "arrives at (s)"});
+  mix.with_title("Generated short-job stream (seed 2017)");
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    mix.add_row({std::to_string(i), jobs[i].label,
+                 Table::num(jobs[i].submit_offset_seconds, 1)});
+  }
+  mix.print(std::cout);
+
+  Table table({"system", "mean latency (s)", "p50 (s)", "p90 (s)", "max (s)"});
+  table.with_title("Stream replay: 12 concurrent short jobs, A3 cluster");
+  double hadoop_mean = 0, mrapid_mean = 0;
+  for (harness::RunMode mode :
+       {harness::RunMode::kHadoop, harness::RunMode::kMRapidAuto}) {
+    const auto outcome = replay(mode, jobs);
+    table.add_row({mode == harness::RunMode::kHadoop ? "stock Hadoop" : "MRapid (auto)",
+                   Table::num(outcome.latency.mean()), Table::num(outcome.latency_pct.median()),
+                   Table::num(outcome.latency_pct.quantile(0.9)),
+                   Table::num(outcome.latency.max())});
+    (mode == harness::RunMode::kHadoop ? hadoop_mean : mrapid_mean) = outcome.latency.mean();
+  }
+  table.print(std::cout);
+  std::printf("\nmean short-job latency improvement: %.1f%%\n",
+              100.0 * (hadoop_mean - mrapid_mean) / hadoop_mean);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark) for the simulator's hot paths:
+// event queue throughput, fluid bandwidth re-planning, the network
+// waterfill, Zipf text generation, and the WordCount tokenizer. These
+// guard the *wall-clock* cost of running the figure benches.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/azure.h"
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "harness/world.h"
+#include "sim/bandwidth.h"
+#include "sim/simulation.h"
+#include "workloads/textgen.h"
+#include "workloads/wordcount.h"
+
+namespace {
+
+using namespace mrapid;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (int i = 0; i < n; ++i) {
+      queue.push(sim::SimTime::from_micros((i * 7919) % 100000), [] {});
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000);
+
+void BM_SimulationEventChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int remaining = n;
+    std::function<void()> chain = [&] {
+      if (--remaining > 0) sim.schedule_after(sim::SimDuration::micros(1), chain);
+    };
+    sim.schedule_now(chain);
+    sim.run();
+    benchmark::DoNotOptimize(sim.processed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulationEventChain)->Arg(10000);
+
+void BM_BandwidthConcurrentTransfers(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::BandwidthResource disk(sim, "disk", Rate::mb_per_sec(100));
+    for (int i = 0; i < n; ++i) disk.start((i + 1) * 1_MB, [](sim::SimDuration) {});
+    sim.run();
+    benchmark::DoNotOptimize(disk.bytes_served());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BandwidthConcurrentTransfers)->Arg(16)->Arg(128);
+
+void BM_NetworkWaterfill(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    cluster::Cluster cluster(sim, cluster::a2_paper_cluster());
+    auto& network = cluster.network();
+    RngStream rng(7);
+    for (int i = 0; i < flows; ++i) {
+      const auto src = static_cast<cluster::NodeId>(rng.next_int(1, 9));
+      auto dst = static_cast<cluster::NodeId>(rng.next_int(1, 9));
+      if (dst == src) dst = (dst % 9) + 1;
+      network.start_flow(src, dst, 10_MB, [](sim::SimDuration) {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(network.bytes_delivered());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_NetworkWaterfill)->Arg(8)->Arg(64);
+
+void BM_ZipfTextGeneration(benchmark::State& state) {
+  const Bytes bytes = state.range(0) * 1_KB;
+  wl::TextGenerator gen(42);
+  std::uint64_t tag = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate(bytes, tag++));
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_ZipfTextGeneration)->Arg(64)->Arg(1024);
+
+void BM_Tokenizer(benchmark::State& state) {
+  wl::TextGenerator gen(42);
+  const std::string text = gen.generate(state.range(0) * 1_KB, 0);
+  for (auto _ : state) {
+    wl::WordCounts counts;
+    wl::tokenize_into(text, counts);
+    benchmark::DoNotOptimize(counts.size());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_Tokenizer)->Arg(64)->Arg(1024);
+
+void BM_FullShortJobSimulation(benchmark::State& state) {
+  // Wall-clock cost of one complete simulated short job (the unit of
+  // work every figure bench repeats).
+  wl::WordCountParams params;
+  params.num_files = 4;
+  params.bytes_per_file = 1_MB;
+  wl::WordCount wc(params);
+  for (auto _ : state) {
+    harness::WorldConfig config;
+    auto result = harness::run_workload(config, harness::RunMode::kDPlus, wc);
+    if (!result) state.SkipWithError("run failed");
+    benchmark::DoNotOptimize(result->profile.elapsed_seconds());
+  }
+}
+BENCHMARK(BM_FullShortJobSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Related-work comparison (paper §V): "the performance of Spark on
+// Yarn is still slow for short jobs because of the high overhead to
+// launch containers for AMs and executors." SparkLite reproduces that
+// cost structure; this bench pits it against stock Hadoop and the
+// MRapid modes across the Fig. 7 sweep.
+
+#include "bench/bench_util.h"
+#include "workloads/wordcount.h"
+
+using namespace mrapid;
+
+int main() {
+  SeriesReport report("Spark-on-YARN vs MRapid — WordCount 10 MB files, A3 cluster (s)",
+                      "files");
+  report.set_baseline("Hadoop");
+
+  for (int files : {1, 2, 4, 8, 16}) {
+    wl::WordCountParams params;
+    params.num_files = static_cast<std::size_t>(files);
+    params.bytes_per_file = 10_MB;
+    wl::WordCount wc(params);
+
+    harness::WorldConfig config;
+    config.cluster = cluster::a3_paper_cluster();
+    for (harness::RunMode mode :
+         {harness::RunMode::kHadoop, harness::RunMode::kSpark, harness::RunMode::kDPlus,
+          harness::RunMode::kUPlus}) {
+      report.add_point(harness::run_mode_name(mode), files,
+                       bench::elapsed_for(config, mode, wc));
+    }
+  }
+  report.print(std::cout);
+
+  bool mrapid_beats_spark_everywhere = true;
+  for (double x : report.xs()) {
+    const double best_mrapid = std::min(report.value("D+", x), report.value("U+", x));
+    if (best_mrapid > report.value("Spark", x)) mrapid_beats_spark_everywhere = false;
+  }
+  std::printf("\nlandmarks: best MRapid mode beats Spark at every size: %s (paper: yes)\n",
+              mrapid_beats_spark_everywhere ? "yes" : "no");
+  std::printf("           Spark's fixed setup (driver + executors): ~%.1fs of its %.1fs\n",
+              report.value("Spark", 1) - 1.0, report.value("Spark", 1));
+  return 0;
+}

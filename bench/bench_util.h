@@ -1,0 +1,41 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction benches. Each bench
+// binary regenerates one table/figure of the paper: same x-axis, same
+// series, and prints the improvement-vs-baseline columns the paper's
+// text quotes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+
+#include "common/table.h"
+#include "harness/world.h"
+
+namespace mrapid::bench {
+
+// Runs `workload` in `mode` on a fresh world; aborts the bench if the
+// run fails (a bench with missing points is worse than a loud error).
+inline mr::JobResult must_run(const harness::WorldConfig& config, harness::RunMode mode,
+                              wl::Workload& workload) {
+  auto result = harness::run_workload(config, mode, workload);
+  if (!result.has_value() || !result->succeeded) {
+    std::fprintf(stderr, "FATAL: %s run of %s did not complete\n",
+                 harness::run_mode_name(mode), workload.name().c_str());
+    std::abort();
+  }
+  return *result;
+}
+
+inline double elapsed_for(const harness::WorldConfig& config, harness::RunMode mode,
+                          wl::Workload& workload) {
+  return must_run(config, mode, workload).profile.elapsed_seconds();
+}
+
+// The four series every per-figure comparison plots.
+inline const harness::RunMode kFigureModes[] = {
+    harness::RunMode::kHadoop, harness::RunMode::kUber, harness::RunMode::kDPlus,
+    harness::RunMode::kUPlus};
+
+}  // namespace mrapid::bench

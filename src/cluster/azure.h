@@ -1,0 +1,70 @@
+#pragma once
+
+// Calibration presets matching the paper's Table II (Microsoft Azure
+// instance types) plus Hadoop-2.2-era runtime constants. Absolute
+// numbers are documented estimates — the reproduction targets the
+// *shape* of the paper's results, which depends on the ratios between
+// heartbeat latency, container launch cost, disk rates and NIC rates
+// rather than on exact Azure figures.
+
+#include "cluster/cluster.h"
+#include "common/units.h"
+
+namespace mrapid::cluster {
+
+// Table II: A1 = 1 core / 1.75 GB, A2 = 2 cores / 3.5 GB,
+// A3 = 4 cores / 7 GB. Disk and NIC rates are typical for the A-series
+// (single spindle-class virtual disk, 1 Gbit virtual NIC).
+inline NodeSpec azure_a1() {
+  NodeSpec spec;
+  spec.cores = 1;
+  spec.memory = megabytes(1792);
+  spec.disk_read = Rate::mb_per_sec(100);
+  spec.disk_write = Rate::mb_per_sec(80);
+  spec.nic = Rate::gbit_per_sec(1);
+  return spec;
+}
+
+inline NodeSpec azure_a2() {
+  NodeSpec spec = azure_a1();
+  spec.cores = 2;
+  spec.memory = megabytes(3584);
+  return spec;
+}
+
+inline NodeSpec azure_a3() {
+  NodeSpec spec = azure_a1();
+  spec.cores = 4;
+  spec.memory = megabytes(7168);
+  return spec;
+}
+
+struct AzurePricing {
+  // Table II $/hr.
+  static constexpr double a1 = 0.09;
+  static constexpr double a2 = 0.18;
+  static constexpr double a3 = 0.36;
+};
+
+// The paper's A3 cluster: 1 NameNode + 4 DataNodes of A3 instances.
+// We split the 4 workers over two racks so rack locality is exercised.
+inline ClusterConfig a3_paper_cluster() {
+  ClusterConfig config;
+  config.racks = {{azure_a3(), azure_a3(), azure_a3()}, {azure_a3(), azure_a3()}};
+  return config;
+}
+
+// The paper's A2 cluster: 1 NameNode + 9 DataNodes of A2 instances.
+inline ClusterConfig a2_paper_cluster() {
+  ClusterConfig config;
+  config.racks = {{azure_a2(), azure_a2(), azure_a2(), azure_a2(), azure_a2()},
+                  {azure_a2(), azure_a2(), azure_a2(), azure_a2(), azure_a2()}};
+  return config;
+}
+
+// Equal-cost comparison of Figure 13: 5 x A3 ($1.80/hr) vs 10 x A2
+// ($1.80/hr), both counted including the NameNode as the paper does.
+inline ClusterConfig fig13_a3_cluster() { return a3_paper_cluster(); }
+inline ClusterConfig fig13_a2_cluster() { return a2_paper_cluster(); }
+
+}  // namespace mrapid::cluster

@@ -1,0 +1,59 @@
+#include "cluster/cluster.h"
+
+#include <cassert>
+#include <string>
+
+namespace mrapid::cluster {
+
+ClusterConfig ClusterConfig::uniform(std::size_t total_nodes, std::size_t rack_count,
+                                     const NodeSpec& spec, NetworkConfig network) {
+  assert(total_nodes >= 1 && rack_count >= 1);
+  ClusterConfig config;
+  config.network = network;
+  config.racks.resize(rack_count);
+  for (std::size_t n = 0; n < total_nodes; ++n) {
+    config.racks[n % rack_count].push_back(spec);
+  }
+  return config;
+}
+
+std::size_t ClusterConfig::total_nodes() const {
+  std::size_t total = 0;
+  for (const auto& rack : racks) total += rack.size();
+  return total;
+}
+
+namespace {
+
+std::vector<std::vector<NodeId>> assign_ids(const ClusterConfig& config) {
+  std::vector<std::vector<NodeId>> racks;
+  NodeId next = 0;
+  for (const auto& rack : config.racks) {
+    std::vector<NodeId> ids;
+    ids.reserve(rack.size());
+    for (std::size_t i = 0; i < rack.size(); ++i) ids.push_back(next++);
+    racks.push_back(std::move(ids));
+  }
+  return racks;
+}
+
+}  // namespace
+
+Cluster::Cluster(sim::Simulation& sim, const ClusterConfig& config)
+    : sim_(sim), topology_(assign_ids(config)) {
+  std::vector<Rate> nic_rates;
+  NodeId id = 0;
+  for (RackId r = 0; r < static_cast<RackId>(config.racks.size()); ++r) {
+    for (const NodeSpec& spec : config.racks[static_cast<std::size_t>(r)]) {
+      nodes_.push_back(
+          std::make_unique<Node>(sim, id, r, "node" + std::to_string(id), spec));
+      nic_rates.push_back(spec.nic);
+      ++id;
+    }
+  }
+  network_ = std::make_unique<Network>(sim, topology_, std::move(nic_rates), config.network);
+  for (NodeId n = 1; n < static_cast<NodeId>(nodes_.size()); ++n) workers_.push_back(n);
+  assert(!nodes_.empty());
+}
+
+}  // namespace mrapid::cluster

@@ -1,0 +1,61 @@
+#pragma once
+
+// Owns the simulated machines, the rack topology, and the network.
+//
+// Convention used throughout the repo: node 0 is the master (it runs
+// the NameNode and the ResourceManager and hosts no task containers,
+// matching the paper's "1 NameNode + N DataNodes" clusters); nodes
+// 1..N are workers (DataNode + NodeManager).
+
+#include <memory>
+#include <vector>
+
+#include "cluster/network.h"
+#include "cluster/node.h"
+#include "cluster/topology.h"
+#include "sim/simulation.h"
+
+namespace mrapid::cluster {
+
+struct ClusterConfig {
+  // One entry per rack; each entry lists the machines in that rack in
+  // node-id order (ids are assigned densely across racks in order).
+  std::vector<std::vector<NodeSpec>> racks;
+  NetworkConfig network;
+
+  // Uniform helper: `total_nodes` identical machines spread over
+  // `rack_count` racks round-robin.
+  static ClusterConfig uniform(std::size_t total_nodes, std::size_t rack_count,
+                               const NodeSpec& spec, NetworkConfig network = {});
+
+  std::size_t total_nodes() const;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulation& sim, const ClusterConfig& config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  std::size_t size() const { return nodes_.size(); }
+  Node& node(NodeId id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+  const Node& node(NodeId id) const { return *nodes_.at(static_cast<std::size_t>(id)); }
+
+  NodeId master() const { return 0; }
+  // All nodes except the master.
+  const std::vector<NodeId>& workers() const { return workers_; }
+
+  const Topology& topology() const { return topology_; }
+  Network& network() { return *network_; }
+  sim::Simulation& simulation() { return sim_; }
+
+ private:
+  sim::Simulation& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  Topology topology_;
+  std::unique_ptr<Network> network_;
+  std::vector<NodeId> workers_;
+};
+
+}  // namespace mrapid::cluster

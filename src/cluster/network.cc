@@ -1,0 +1,169 @@
+#include "cluster/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace mrapid::cluster {
+
+namespace {
+constexpr double kEpsilonBytes = 1e-6;
+}
+
+Network::Network(sim::Simulation& sim, const Topology& topology, std::vector<Rate> node_nic_rates,
+                 NetworkConfig config)
+    : sim_(sim),
+      topology_(topology),
+      config_(config),
+      node_count_(topology.node_count()),
+      rack_count_(topology.rack_count()) {
+  assert(node_nic_rates.size() == node_count_);
+  link_capacity_bps_.assign(3 * node_count_ + 2 * rack_count_, 0.0);
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    link_capacity_bps_[up_link(static_cast<NodeId>(n))] = node_nic_rates[n].bytes_per_sec;
+    link_capacity_bps_[down_link(static_cast<NodeId>(n))] = node_nic_rates[n].bytes_per_sec;
+    link_capacity_bps_[loopback_link(static_cast<NodeId>(n))] = config_.loopback.bytes_per_sec;
+  }
+  for (std::size_t r = 0; r < rack_count_; ++r) {
+    link_capacity_bps_[rack_up_link(static_cast<RackId>(r))] = config_.rack_uplink.bytes_per_sec;
+    link_capacity_bps_[rack_down_link(static_cast<RackId>(r))] = config_.rack_uplink.bytes_per_sec;
+  }
+}
+
+std::vector<Network::LinkIndex> Network::path_for(NodeId src, NodeId dst) const {
+  if (src == dst) return {loopback_link(src)};
+  const RackId src_rack = topology_.rack_of(src);
+  const RackId dst_rack = topology_.rack_of(dst);
+  if (src_rack == dst_rack) return {up_link(src), down_link(dst)};
+  return {up_link(src), rack_up_link(src_rack), rack_down_link(dst_rack), down_link(dst)};
+}
+
+Network::FlowId Network::start_flow(NodeId src, NodeId dst, Bytes bytes,
+                                    CompletionCallback on_complete) {
+  assert(bytes >= 0);
+  const FlowId id = next_id_++;
+  if (bytes == 0) {
+    sim_.schedule_now([cb = std::move(on_complete)] { cb(sim::SimDuration::zero()); },
+                      "net:zero-flow");
+    return id;
+  }
+  advance_progress();
+  Flow flow;
+  flow.id = id;
+  flow.src = src;
+  flow.dst = dst;
+  flow.remaining_bytes = static_cast<double>(bytes);
+  flow.total_bytes = bytes;
+  flow.started = sim_.now();
+  flow.on_complete = std::move(on_complete);
+  flow.path = path_for(src, dst);
+  flows_.push_back(std::move(flow));
+  assign_rates();
+  replan();
+  return id;
+}
+
+bool Network::cancel(FlowId id) {
+  advance_progress();
+  auto it =
+      std::find_if(flows_.begin(), flows_.end(), [id](const Flow& f) { return f.id == id; });
+  if (it == flows_.end()) return false;
+  flows_.erase(it);
+  assign_rates();
+  replan();
+  return true;
+}
+
+Rate Network::flow_rate(FlowId id) const {
+  for (const auto& f : flows_) {
+    if (f.id == id) return Rate{f.rate_bps};
+  }
+  return Rate{0.0};
+}
+
+void Network::advance_progress() {
+  const sim::SimTime now = sim_.now();
+  if (now > last_update_) {
+    const double elapsed = (now - last_update_).as_seconds();
+    for (auto& f : flows_) {
+      f.remaining_bytes = std::max(0.0, f.remaining_bytes - f.rate_bps * elapsed);
+    }
+  }
+  last_update_ = now;
+}
+
+void Network::assign_rates() {
+  // Progressive filling: repeatedly find the most constrained link,
+  // freeze its unassigned flows at the link's fair share, subtract,
+  // and continue with the remaining flows and residual capacities.
+  const std::size_t links = link_capacity_bps_.size();
+  std::vector<double> residual = link_capacity_bps_;
+  std::vector<int> unassigned_on_link(links, 0);
+  std::vector<bool> assigned(flows_.size(), false);
+  for (const auto& f : flows_) {
+    for (LinkIndex l : f.path) ++unassigned_on_link[l];
+  }
+  std::size_t remaining = flows_.size();
+  while (remaining > 0) {
+    double best_share = std::numeric_limits<double>::infinity();
+    LinkIndex bottleneck = links;
+    for (LinkIndex l = 0; l < links; ++l) {
+      if (unassigned_on_link[l] == 0) continue;
+      const double share = residual[l] / unassigned_on_link[l];
+      if (share < best_share) {
+        best_share = share;
+        bottleneck = l;
+      }
+    }
+    assert(bottleneck != links);
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+      if (assigned[i]) continue;
+      Flow& f = flows_[i];
+      if (std::find(f.path.begin(), f.path.end(), bottleneck) == f.path.end()) continue;
+      f.rate_bps = best_share;
+      assigned[i] = true;
+      --remaining;
+      for (LinkIndex l : f.path) {
+        residual[l] = std::max(0.0, residual[l] - best_share);
+        --unassigned_on_link[l];
+      }
+    }
+  }
+}
+
+void Network::replan() {
+  if (completion_event_.valid()) {
+    sim_.cancel(completion_event_);
+    completion_event_ = sim::EventId{};
+  }
+  if (flows_.empty()) return;
+  double eta = std::numeric_limits<double>::infinity();
+  for (const auto& f : flows_) {
+    if (f.rate_bps > 0) eta = std::min(eta, f.remaining_bytes / f.rate_bps);
+  }
+  assert(eta != std::numeric_limits<double>::infinity());
+  completion_event_ = sim_.schedule_after(sim::SimDuration::seconds_ceil(std::max(0.0, eta)),
+                                          [this] { on_completion_event(); }, "net:finish");
+}
+
+void Network::on_completion_event() {
+  completion_event_ = sim::EventId{};
+  advance_progress();
+  std::vector<Flow> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->remaining_bytes <= kEpsilonBytes) {
+      done.push_back(std::move(*it));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  assign_rates();
+  replan();
+  for (auto& f : done) {
+    bytes_delivered_ += f.total_bytes;
+    if (f.on_complete) f.on_complete(sim_.now() - f.started);
+  }
+}
+
+}  // namespace mrapid::cluster

@@ -1,0 +1,95 @@
+#pragma once
+
+// Flow-level network with max-min fair bandwidth sharing.
+//
+// Topology: every node has a full-duplex NIC (an up-link and a
+// down-link), every rack has a full-duplex uplink to a non-blocking
+// core switch. A flow's path is the set of directed links it crosses;
+// rates are assigned by progressive filling (the classic max-min
+// waterfill), and — as in sim::BandwidthResource — every membership
+// change advances fluid progress and re-plans the single "next
+// completion" event.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace mrapid::cluster {
+
+struct NetworkConfig {
+  // Per-node NIC rate is taken from each NodeSpec; these are the
+  // shared fabric parameters.
+  Rate rack_uplink = Rate::gbit_per_sec(10);
+  Rate loopback = Rate::gbit_per_sec(20);  // same-node "transfer"
+};
+
+class Network {
+ public:
+  using FlowId = std::uint64_t;
+  using CompletionCallback = std::function<void(sim::SimDuration)>;
+
+  Network(sim::Simulation& sim, const Topology& topology, std::vector<Rate> node_nic_rates,
+          NetworkConfig config);
+
+  // Starts a src -> dst flow of `bytes`. Zero-byte flows complete at
+  // the current instant.
+  FlowId start_flow(NodeId src, NodeId dst, Bytes bytes, CompletionCallback on_complete);
+  bool cancel(FlowId id);
+
+  std::size_t active_flows() const { return flows_.size(); }
+  // Rate currently assigned to a flow (0 if unknown/finished).
+  Rate flow_rate(FlowId id) const;
+  Bytes bytes_delivered() const { return bytes_delivered_; }
+
+ private:
+  using LinkIndex = std::size_t;
+
+  struct Flow {
+    FlowId id;
+    NodeId src;
+    NodeId dst;
+    double remaining_bytes;
+    Bytes total_bytes;
+    double rate_bps = 0.0;  // bytes per second, assigned by waterfill
+    sim::SimTime started;
+    CompletionCallback on_complete;
+    std::vector<LinkIndex> path;
+  };
+
+  std::vector<LinkIndex> path_for(NodeId src, NodeId dst) const;
+  void advance_progress();
+  void assign_rates();  // progressive filling
+  void replan();
+  void on_completion_event();
+
+  sim::Simulation& sim_;
+  const Topology& topology_;
+  NetworkConfig config_;
+
+  // Link layout: [node up x N][node down x N][rack up x R][rack down x R][loopback x N]
+  std::vector<double> link_capacity_bps_;
+  LinkIndex up_link(NodeId n) const { return static_cast<LinkIndex>(n); }
+  LinkIndex down_link(NodeId n) const { return node_count_ + static_cast<LinkIndex>(n); }
+  LinkIndex rack_up_link(RackId r) const { return 2 * node_count_ + static_cast<LinkIndex>(r); }
+  LinkIndex rack_down_link(RackId r) const {
+    return 2 * node_count_ + rack_count_ + static_cast<LinkIndex>(r);
+  }
+  LinkIndex loopback_link(NodeId n) const {
+    return 2 * node_count_ + 2 * rack_count_ + static_cast<LinkIndex>(n);
+  }
+
+  std::size_t node_count_;
+  std::size_t rack_count_;
+  std::vector<Flow> flows_;
+  sim::SimTime last_update_ = sim::SimTime::zero();
+  sim::EventId completion_event_{};
+  FlowId next_id_ = 1;
+  Bytes bytes_delivered_ = 0;
+};
+
+}  // namespace mrapid::cluster

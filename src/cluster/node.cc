@@ -1,0 +1,21 @@
+#include "cluster/node.h"
+
+namespace mrapid::cluster {
+
+Node::Node(sim::Simulation& sim, NodeId id, RackId rack, std::string name, const NodeSpec& spec)
+    : id_(id),
+      rack_(rack),
+      name_(std::move(name)),
+      spec_(spec),
+      cores_(sim, name_ + ":cores", spec.cores),
+      memory_mb_(sim, name_ + ":mem", spec.memory / (1024 * 1024)),
+      disk_read_(sim, name_ + ":disk-rd", spec.disk_read),
+      disk_write_(sim, name_ + ":disk-wr", spec.disk_write),
+      cpu_(sim, name_ + ":cpu",
+           Rate{static_cast<double>(spec.cores) * 1e6},
+           // A single-threaded task can use at most one core. The
+           // contention coefficient is per *task* (workloads degrade
+           // differently under co-scheduling), passed at start().
+           Rate{1e6}) {}
+
+}  // namespace mrapid::cluster

@@ -1,0 +1,69 @@
+#pragma once
+
+// A simulated machine: CPU cores, memory, and a disk with separate
+// read/write bandwidth. The NIC is owned by the Network (flows span
+// multiple links), not by the node.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/units.h"
+#include "sim/bandwidth.h"
+#include "sim/resource_pool.h"
+
+namespace mrapid::cluster {
+
+using NodeId = std::int32_t;
+using RackId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+// Hardware description of one machine (see azure.h for the paper's
+// Table II presets).
+struct NodeSpec {
+  int cores = 1;
+  Bytes memory = 1_GB;
+  Rate disk_read = Rate::mb_per_sec(100);
+  Rate disk_write = Rate::mb_per_sec(80);
+  Rate nic = Rate::gbit_per_sec(1);
+};
+
+class Node {
+ public:
+  Node(sim::Simulation& sim, NodeId id, RackId rack, std::string name, const NodeSpec& spec);
+
+  NodeId id() const { return id_; }
+  RackId rack() const { return rack_; }
+  const std::string& name() const { return name_; }
+  const NodeSpec& spec() const { return spec_; }
+
+  sim::ResourcePool& cores() { return cores_; }
+  sim::ResourcePool& memory_mb() { return memory_mb_; }
+  sim::BandwidthResource& disk_read() { return disk_read_; }
+  sim::BandwidthResource& disk_write() { return disk_write_; }
+
+  // CPU time modelled as a fluid resource: capacity is `cores`
+  // core-microseconds per microsecond, a task's compute phase is a
+  // "transfer" of its core-microseconds of work. Concurrent compute
+  // phases beyond the core count stretch fairly — this is what makes
+  // container over-subscription (Fig. 12) cost real time.
+  sim::BandwidthResource& cpu() { return cpu_; }
+  static Bytes cpu_work(sim::SimDuration core_time) { return core_time.as_micros(); }
+
+  const sim::ResourcePool& cores() const { return cores_; }
+  const sim::ResourcePool& memory_mb() const { return memory_mb_; }
+
+ private:
+  NodeId id_;
+  RackId rack_;
+  std::string name_;
+  NodeSpec spec_;
+  sim::ResourcePool cores_;
+  sim::ResourcePool memory_mb_;
+  sim::BandwidthResource disk_read_;
+  sim::BandwidthResource disk_write_;
+  sim::BandwidthResource cpu_;
+};
+
+}  // namespace mrapid::cluster

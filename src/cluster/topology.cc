@@ -1,0 +1,49 @@
+#include "cluster/topology.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mrapid::cluster {
+
+const char* locality_name(Locality l) {
+  switch (l) {
+    case Locality::kNodeLocal: return "NODE_LOCAL";
+    case Locality::kRackLocal: return "RACK_LOCAL";
+    case Locality::kAny: return "ANY";
+  }
+  return "?";
+}
+
+Topology::Topology(std::vector<std::vector<NodeId>> racks) : racks_(std::move(racks)) {
+  NodeId max_node = -1;
+  for (const auto& rack : racks_) {
+    for (NodeId n : rack) max_node = std::max(max_node, n);
+  }
+  rack_of_.assign(static_cast<std::size_t>(max_node + 1), -1);
+  for (RackId r = 0; r < static_cast<RackId>(racks_.size()); ++r) {
+    for (NodeId n : racks_[static_cast<std::size_t>(r)]) {
+      assert(rack_of_.at(static_cast<std::size_t>(n)) == -1 && "node assigned to two racks");
+      rack_of_[static_cast<std::size_t>(n)] = r;
+    }
+  }
+  for (RackId r : rack_of_) {
+    assert(r != -1 && "node ids must be dense");
+    (void)r;
+  }
+}
+
+RackId Topology::rack_of(NodeId node) const { return rack_of_.at(static_cast<std::size_t>(node)); }
+
+int Topology::distance(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  return rack_of(a) == rack_of(b) ? 2 : 4;
+}
+
+Locality Topology::locality(NodeId task_node, NodeId data_node) const {
+  const int d = distance(task_node, data_node);
+  if (d == 0) return Locality::kNodeLocal;
+  if (d == 2) return Locality::kRackLocal;
+  return Locality::kAny;
+}
+
+}  // namespace mrapid::cluster

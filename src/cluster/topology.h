@@ -1,0 +1,36 @@
+#pragma once
+
+// Rack topology: which node lives in which rack, and HDFS-style
+// network distances (0 same node, 2 same rack, 4 cross rack).
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/node.h"
+
+namespace mrapid::cluster {
+
+enum class Locality : std::uint8_t { kNodeLocal = 0, kRackLocal = 1, kAny = 2 };
+
+const char* locality_name(Locality l);
+
+class Topology {
+ public:
+  // racks[i] holds the node ids assigned to rack i.
+  explicit Topology(std::vector<std::vector<NodeId>> racks);
+
+  RackId rack_of(NodeId node) const;
+  std::size_t rack_count() const { return racks_.size(); }
+  std::size_t node_count() const { return rack_of_.size(); }
+  const std::vector<NodeId>& nodes_in_rack(RackId rack) const { return racks_.at(rack); }
+
+  // HDFS NetworkTopology distances.
+  int distance(NodeId a, NodeId b) const;
+  Locality locality(NodeId task_node, NodeId data_node) const;
+
+ private:
+  std::vector<std::vector<NodeId>> racks_;
+  std::vector<RackId> rack_of_;
+};
+
+}  // namespace mrapid::cluster

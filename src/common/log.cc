@@ -1,0 +1,49 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace mrapid {
+
+namespace {
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DBG";
+    case LogLevel::kInfo: return "INF";
+    case LogLevel::kWarn: return "WRN";
+    case LogLevel::kError: return "ERR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "???";
+}
+
+std::mutex g_log_mutex;
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_time_source(std::function<double()> now_seconds) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  now_seconds_ = std::move(now_seconds);
+}
+
+void Logger::log(LogLevel level, const char* subsystem, const char* fmt, ...) {
+  char message[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(message, sizeof(message), fmt, args);
+  va_end(args);
+
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  if (now_seconds_) {
+    std::fprintf(stderr, "[%10.3fs] %s %-10s %s\n", now_seconds_(), level_tag(level), subsystem,
+                 message);
+  } else {
+    std::fprintf(stderr, "[   wall   ] %s %-10s %s\n", level_tag(level), subsystem, message);
+  }
+}
+
+}  // namespace mrapid

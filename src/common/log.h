@@ -1,0 +1,52 @@
+#pragma once
+
+// Minimal leveled logger.
+//
+// The simulator is the primary client: it installs a time source so
+// every line is stamped with the *simulated* clock, which makes traces
+// directly comparable with the paper's timelines. Logging defaults to
+// Warn so tests and benches stay quiet; examples turn on Info/Debug.
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+namespace mrapid {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // Installed by Simulation so log lines carry simulated seconds.
+  // Pass nullptr to clear.
+  void set_time_source(std::function<double()> now_seconds);
+
+  void log(LogLevel level, const char* subsystem, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5)));
+
+  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::function<double()> now_seconds_;
+};
+
+#define MRAPID_LOG(level, subsystem, ...)                               \
+  do {                                                                  \
+    if (::mrapid::Logger::instance().enabled(level)) {                  \
+      ::mrapid::Logger::instance().log(level, subsystem, __VA_ARGS__);  \
+    }                                                                   \
+  } while (0)
+
+#define LOG_DEBUG(subsystem, ...) MRAPID_LOG(::mrapid::LogLevel::kDebug, subsystem, __VA_ARGS__)
+#define LOG_INFO(subsystem, ...) MRAPID_LOG(::mrapid::LogLevel::kInfo, subsystem, __VA_ARGS__)
+#define LOG_WARN(subsystem, ...) MRAPID_LOG(::mrapid::LogLevel::kWarn, subsystem, __VA_ARGS__)
+#define LOG_ERROR(subsystem, ...) MRAPID_LOG(::mrapid::LogLevel::kError, subsystem, __VA_ARGS__)
+
+}  // namespace mrapid

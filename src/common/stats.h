@@ -1,0 +1,75 @@
+#pragma once
+
+// Small statistics helpers used by the profiler, the harness, and the
+// bench reporters: streaming summary (Welford) and a fixed-boundary
+// histogram.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrapid {
+
+// Streaming mean/variance/min/max via Welford's algorithm; O(1) space.
+class Summary {
+ public:
+  void add(double x);
+  void merge(const Summary& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Exact-percentile reservoir: keeps every sample. Fine for the sample
+// counts this project produces (thousands, not billions).
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  std::size_t count() const { return samples_.size(); }
+
+  // q in [0, 1]; linear interpolation between closest ranks.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Histogram over [lo, hi) with uniform bins; out-of-range samples land
+// in saturating edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  std::string to_ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mrapid

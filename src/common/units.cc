@@ -1,0 +1,40 @@
+#include "common/units.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace mrapid {
+
+namespace {
+
+std::string format_scaled(double value, const char* unit) {
+  char buf[64];
+  if (value >= 100.0 || value == std::floor(value)) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, unit);
+  } else if (value >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(Bytes b) {
+  constexpr std::array<const char*, 5> kUnits = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(b);
+  std::size_t unit = 0;
+  while (std::fabs(v) >= 1024.0 && unit + 1 < kUnits.size()) {
+    v /= 1024.0;
+    ++unit;
+  }
+  return format_scaled(v, kUnits[unit]);
+}
+
+std::string format_rate(Rate r) {
+  return format_scaled(r.bytes_per_sec / (1024.0 * 1024.0), "MB/s");
+}
+
+}  // namespace mrapid

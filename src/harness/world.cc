@@ -1,0 +1,133 @@
+#include "harness/world.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace mrapid::harness {
+
+const char* run_mode_name(RunMode mode) {
+  switch (mode) {
+    case RunMode::kHadoop: return "Hadoop";
+    case RunMode::kUber: return "Uber";
+    case RunMode::kDPlus: return "D+";
+    case RunMode::kUPlus: return "U+";
+    case RunMode::kMRapidAuto: return "MRapid";
+    case RunMode::kSpark: return "Spark";
+  }
+  return "?";
+}
+
+bool is_mrapid_mode(RunMode mode) {
+  return mode == RunMode::kDPlus || mode == RunMode::kUPlus || mode == RunMode::kMRapidAuto;
+}
+
+mr::ExecutionMode to_execution_mode(RunMode mode) {
+  switch (mode) {
+    case RunMode::kHadoop: return mr::ExecutionMode::kHadoopDistributed;
+    case RunMode::kUber: return mr::ExecutionMode::kHadoopUber;
+    case RunMode::kDPlus: return mr::ExecutionMode::kDPlus;
+    case RunMode::kUPlus: return mr::ExecutionMode::kUPlus;
+    case RunMode::kSpark: return mr::ExecutionMode::kSparkLite;
+    case RunMode::kMRapidAuto: break;
+  }
+  assert(false && "kMRapidAuto has no single execution mode");
+  return mr::ExecutionMode::kHadoopDistributed;
+}
+
+World::World(const WorldConfig& config, RunMode mode) : config_(config), mode_(mode) {
+  sim_ = std::make_unique<sim::Simulation>(config.seed);
+  cluster_ = std::make_unique<cluster::Cluster>(*sim_, config.cluster);
+  hdfs_ = std::make_unique<hdfs::Hdfs>(*cluster_, config.hdfs);
+
+  // MRapid modes run the D+ scheduler in the RM; baselines run the
+  // stock CapacityScheduler.
+  std::unique_ptr<yarn::Scheduler> scheduler;
+  if (is_mrapid_mode(mode)) {
+    scheduler = std::make_unique<core::DPlusScheduler>(config.dplus);
+  } else {
+    scheduler = std::make_unique<yarn::HadoopCapacityScheduler>();
+  }
+  rm_ = std::make_unique<yarn::ResourceManager>(*cluster_, std::move(scheduler), config.yarn);
+  client_ = std::make_unique<mr::JobClient>(*cluster_, *hdfs_, *rm_, config.mr);
+
+  core::FrameworkOptions framework_options = config.framework;
+  if (framework_options.estimator.t_l == core::EstimatorDefaults{}.t_l &&
+      framework_options.estimator.b_i == core::EstimatorDefaults{}.b_i) {
+    framework_options.estimator = core::estimator_defaults_for(*cluster_, config.yarn);
+  }
+  framework_ = std::make_unique<core::MRapidFramework>(*cluster_, *hdfs_, *rm_, *client_,
+                                                       framework_options);
+}
+
+void World::boot() {
+  assert(!booted_);
+  booted_ = true;
+  rm_->start();
+  if (is_mrapid_mode(mode_)) {
+    bool pool_ready = false;
+    framework_->start([this, &pool_ready] {
+      pool_ready = true;
+      sim_->stop();
+    });
+    if (!framework_->options().use_pool) {
+      sim_->run_until(sim_->now() + sim::SimDuration::millis(1));
+      return;
+    }
+    sim_->run_until(sim_->now() + sim::SimDuration::seconds(120));
+    assert(pool_ready && "AM pool failed to warm up");
+  }
+}
+
+std::optional<mr::JobResult> World::run(wl::Workload& workload) {
+  return run(workload, [](mr::JobSpec&) {});
+}
+
+std::optional<mr::JobResult> World::run(wl::Workload& workload,
+                                        const std::function<void(mr::JobSpec&)>& adjust_spec) {
+  if (!booted_) boot();
+  mr::JobSpec spec = workload.make_spec(*hdfs_);
+  adjust_spec(spec);
+
+  std::optional<mr::JobResult> outcome;
+  auto on_complete = [this, &outcome](const mr::JobResult& result) {
+    outcome = result;
+    sim_->stop();
+  };
+
+  switch (mode_) {
+    case RunMode::kHadoop:
+    case RunMode::kUber:
+      client_->submit(spec, to_execution_mode(mode_), on_complete);
+      break;
+    case RunMode::kDPlus:
+    case RunMode::kUPlus:
+      framework_->submit_in_mode(spec, to_execution_mode(mode_), on_complete);
+      break;
+    case RunMode::kMRapidAuto:
+      framework_->submit(spec, on_complete);
+      break;
+    case RunMode::kSpark: {
+      auto app = std::make_shared<spark::SparkApp>(*cluster_, *hdfs_, *rm_, config_.mr,
+                                                   config_.spark, spec, on_complete);
+      spark_apps_.push_back(app);
+      app->submit();
+      break;
+    }
+  }
+
+  sim_->run_until(sim_->now() + config_.deadline);
+  if (!outcome.has_value()) {
+    LOG_WARN("harness", "run of %s (%s) hit the %.0fs deadline", spec.name.c_str(),
+             run_mode_name(mode_), config_.deadline.as_seconds());
+  }
+  return outcome;
+}
+
+std::optional<mr::JobResult> run_workload(const WorldConfig& config, RunMode mode,
+                                          wl::Workload& workload) {
+  World world(config, mode);
+  return world.run(workload);
+}
+
+}  // namespace mrapid::harness

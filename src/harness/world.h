@@ -1,0 +1,102 @@
+#pragma once
+
+// The experiment harness: wires a complete simulated world — cluster,
+// HDFS, YARN RM (with the mode-appropriate scheduler), job client and
+// the MRapid framework — and runs one workload to completion.
+//
+// Every run gets a *fresh* world so runs never contaminate each other;
+// the workload object is reused across runs so its generated payloads
+// are built once.
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "cluster/azure.h"
+#include "cluster/cluster.h"
+#include "hdfs/hdfs.h"
+#include "mapreduce/job_client.h"
+#include "mrapid/dplus_scheduler.h"
+#include "mrapid/framework.h"
+#include "spark/spark.h"
+#include "workloads/workload.h"
+#include "yarn/capacity_scheduler.h"
+#include "yarn/resource_manager.h"
+
+namespace mrapid::harness {
+
+// How a run is driven end to end.
+enum class RunMode {
+  kHadoop,      // baseline distributed: CapacityScheduler, standard submission
+  kUber,        // baseline Uber mode, standard submission
+  kDPlus,       // MRapid D+ : D+ scheduler + framework submission
+  kUPlus,       // MRapid U+ : framework submission, parallel in-memory uber
+  kMRapidAuto,  // MRapid with history pre-decision / speculative execution
+  kSpark,       // SparkLite-on-YARN comparison engine
+};
+
+const char* run_mode_name(RunMode mode);
+bool is_mrapid_mode(RunMode mode);
+mr::ExecutionMode to_execution_mode(RunMode mode);  // not valid for kMRapidAuto
+
+struct WorldConfig {
+  cluster::ClusterConfig cluster = cluster::a3_paper_cluster();
+  hdfs::HdfsConfig hdfs;
+  yarn::YarnConfig yarn;
+  mr::MRConfig mr;
+  core::DPlusOptions dplus;
+  core::FrameworkOptions framework;
+  spark::SparkConfig spark;
+  std::uint64_t seed = 0x5EED;
+  // Upper bound on one run's simulated time (guards against wedged
+  // runs in tests/benches).
+  sim::SimDuration deadline = sim::SimDuration::seconds(3600);
+};
+
+// A fully wired world. Exposed (rather than hidden inside a function)
+// so tests can poke at the pieces mid-run.
+class World {
+ public:
+  World(const WorldConfig& config, RunMode mode);
+
+  sim::Simulation& simulation() { return *sim_; }
+  cluster::Cluster& cluster() { return *cluster_; }
+  hdfs::Hdfs& hdfs() { return *hdfs_; }
+  yarn::ResourceManager& rm() { return *rm_; }
+  mr::JobClient& client() { return *client_; }
+  core::MRapidFramework& framework() { return *framework_; }
+  RunMode mode() const { return mode_; }
+  const WorldConfig& config() const { return config_; }
+
+  // Brings up NMs (and, for MRapid modes, warms the AM pool), leaving
+  // the simulation at the instant the system is ready for jobs.
+  void boot();
+
+  // Stages the workload, submits it in this world's mode, runs the
+  // simulation until the client observes completion. Returns nullopt
+  // if the run hit the deadline.
+  std::optional<mr::JobResult> run(wl::Workload& workload);
+
+  // As `run`, but lets the caller tweak the staged spec (reducer
+  // count, uber options, ...) before submission.
+  std::optional<mr::JobResult> run(wl::Workload& workload,
+                                   const std::function<void(mr::JobSpec&)>& adjust_spec);
+
+ private:
+  WorldConfig config_;
+  RunMode mode_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<hdfs::Hdfs> hdfs_;
+  std::unique_ptr<yarn::ResourceManager> rm_;
+  std::unique_ptr<mr::JobClient> client_;
+  std::unique_ptr<core::MRapidFramework> framework_;
+  std::vector<std::shared_ptr<spark::SparkApp>> spark_apps_;  // keep alive
+  bool booted_ = false;
+};
+
+// One-shot convenience used by most benches: fresh world, boot, run.
+std::optional<mr::JobResult> run_workload(const WorldConfig& config, RunMode mode,
+                                          wl::Workload& workload);
+
+}  // namespace mrapid::harness

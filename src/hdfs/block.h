@@ -1,0 +1,31 @@
+#pragma once
+
+// HDFS metadata records: blocks and files.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "common/units.h"
+
+namespace mrapid::hdfs {
+
+using BlockId = std::int64_t;
+
+struct BlockInfo {
+  BlockId id = 0;
+  std::string file;       // owning file path
+  std::size_t index = 0;  // position within the file
+  Bytes size = 0;
+  std::vector<cluster::NodeId> replicas;  // placement order: first is the "primary"
+};
+
+struct FileInfo {
+  std::string path;
+  Bytes size = 0;
+  Bytes block_size = 0;
+  std::vector<BlockId> blocks;
+};
+
+}  // namespace mrapid::hdfs

@@ -1,0 +1,67 @@
+#include "hdfs/namenode.h"
+
+#include <cassert>
+
+namespace mrapid::hdfs {
+
+NameNode::NameNode(BlockPlacementPolicy policy) : policy_(std::move(policy)) {}
+
+const FileInfo* NameNode::create_file(const std::string& path, Bytes size, Bytes block_size,
+                                      cluster::NodeId writer, int replication) {
+  assert(size >= 0 && block_size > 0 && replication >= 1);
+  if (files_.count(path)) return nullptr;
+
+  FileInfo file;
+  file.path = path;
+  file.size = size;
+  file.block_size = block_size;
+
+  Bytes remaining = size;
+  std::size_t index = 0;
+  // Even an empty file gets one (empty) block so split logic stays
+  // uniform.
+  do {
+    BlockInfo block;
+    block.id = next_block_id_++;
+    block.file = path;
+    block.index = index++;
+    block.size = std::min(remaining, block_size);
+    block.replicas = policy_.choose(writer, replication);
+    remaining -= block.size;
+    file.blocks.push_back(block.id);
+    blocks_.emplace(block.id, std::move(block));
+  } while (remaining > 0);
+
+  auto [it, inserted] = files_.emplace(path, std::move(file));
+  assert(inserted);
+  return &it->second;
+}
+
+const FileInfo* NameNode::lookup(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+const BlockInfo* NameNode::block(BlockId id) const {
+  auto it = blocks_.find(id);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+std::vector<const BlockInfo*> NameNode::blocks_of(const std::string& path) const {
+  std::vector<const BlockInfo*> result;
+  const FileInfo* file = lookup(path);
+  if (!file) return result;
+  result.reserve(file->blocks.size());
+  for (BlockId id : file->blocks) result.push_back(block(id));
+  return result;
+}
+
+bool NameNode::remove(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  for (BlockId id : it->second.blocks) blocks_.erase(id);
+  files_.erase(it);
+  return true;
+}
+
+}  // namespace mrapid::hdfs

@@ -1,0 +1,42 @@
+#pragma once
+
+// NameNode metadata service: files -> blocks -> replica locations.
+// Purely a metadata map; data-path timing lives in Hdfs (hdfs.h).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hdfs/block.h"
+#include "hdfs/placement.h"
+
+namespace mrapid::hdfs {
+
+class NameNode {
+ public:
+  explicit NameNode(BlockPlacementPolicy policy);
+
+  // Registers a file of `size` bytes split into `block_size` chunks,
+  // placing each block's replicas via the placement policy. Returns
+  // the created file record. Fails (returns nullptr) on duplicates.
+  const FileInfo* create_file(const std::string& path, Bytes size, Bytes block_size,
+                              cluster::NodeId writer, int replication);
+
+  bool exists(const std::string& path) const { return files_.count(path) > 0; }
+  const FileInfo* lookup(const std::string& path) const;
+  const BlockInfo* block(BlockId id) const;
+  std::vector<const BlockInfo*> blocks_of(const std::string& path) const;
+  bool remove(const std::string& path);
+
+  std::size_t file_count() const { return files_.size(); }
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  BlockPlacementPolicy policy_;
+  std::map<std::string, FileInfo> files_;
+  std::map<BlockId, BlockInfo> blocks_;
+  BlockId next_block_id_ = 1;
+};
+
+}  // namespace mrapid::hdfs

@@ -1,0 +1,70 @@
+#include "hdfs/placement.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mrapid::hdfs {
+
+using cluster::NodeId;
+using cluster::RackId;
+
+BlockPlacementPolicy::BlockPlacementPolicy(const cluster::Topology& topology,
+                                           std::vector<NodeId> datanodes, RngStream rng)
+    : topology_(topology), datanodes_(std::move(datanodes)), rng_(rng) {
+  assert(!datanodes_.empty());
+}
+
+bool BlockPlacementPolicy::is_datanode(NodeId n) const {
+  return std::find(datanodes_.begin(), datanodes_.end(), n) != datanodes_.end();
+}
+
+NodeId BlockPlacementPolicy::pick(const std::vector<NodeId>& chosen,
+                                  const std::function<bool(RackId)>& rack_ok) {
+  std::vector<NodeId> candidates;
+  for (NodeId n : datanodes_) {
+    if (std::find(chosen.begin(), chosen.end(), n) != chosen.end()) continue;
+    if (rack_ok && !rack_ok(topology_.rack_of(n))) continue;
+    candidates.push_back(n);
+  }
+  if (candidates.empty()) return cluster::kInvalidNode;
+  return candidates[static_cast<std::size_t>(
+      rng_.next_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+}
+
+std::vector<NodeId> BlockPlacementPolicy::choose(NodeId writer, int replication) {
+  std::vector<NodeId> chosen;
+  const int want = std::min<int>(replication, static_cast<int>(datanodes_.size()));
+  if (want <= 0) return chosen;
+
+  // Replica 1: writer-local when the writer is a DataNode.
+  NodeId first = (writer != cluster::kInvalidNode && is_datanode(writer))
+                     ? writer
+                     : pick(chosen, nullptr);
+  chosen.push_back(first);
+  if (static_cast<int>(chosen.size()) == want) return chosen;
+
+  // Replica 2: different rack, if one exists.
+  const RackId first_rack = topology_.rack_of(first);
+  NodeId second = pick(chosen, [&](RackId r) { return r != first_rack; });
+  if (second == cluster::kInvalidNode) second = pick(chosen, nullptr);
+  if (second == cluster::kInvalidNode) return chosen;
+  chosen.push_back(second);
+  if (static_cast<int>(chosen.size()) == want) return chosen;
+
+  // Replica 3: same rack as replica 2, different node.
+  const RackId second_rack = topology_.rack_of(second);
+  NodeId third = pick(chosen, [&](RackId r) { return r == second_rack; });
+  if (third == cluster::kInvalidNode) third = pick(chosen, nullptr);
+  if (third == cluster::kInvalidNode) return chosen;
+  chosen.push_back(third);
+
+  // Any further replicas: uniform over the remainder.
+  while (static_cast<int>(chosen.size()) < want) {
+    NodeId extra = pick(chosen, nullptr);
+    if (extra == cluster::kInvalidNode) break;
+    chosen.push_back(extra);
+  }
+  return chosen;
+}
+
+}  // namespace mrapid::hdfs

@@ -1,0 +1,39 @@
+#pragma once
+
+// The HDFS default block placement policy (BlockPlacementPolicyDefault):
+//   replica 1 -> the writer's node if it is a DataNode, else a random one;
+//   replica 2 -> a random node in a *different* rack;
+//   replica 3 -> a different node in the *same remote* rack as replica 2;
+//   further replicas -> random nodes not yet holding the block.
+// Single-rack clusters degrade gracefully (all replicas distinct nodes).
+
+#include <functional>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/rng.h"
+
+namespace mrapid::hdfs {
+
+class BlockPlacementPolicy {
+ public:
+  BlockPlacementPolicy(const cluster::Topology& topology,
+                       std::vector<cluster::NodeId> datanodes, RngStream rng);
+
+  // Chooses min(replication, #datanodes) distinct nodes. `writer` may
+  // be kInvalidNode (external client) or a non-DataNode (the master).
+  std::vector<cluster::NodeId> choose(cluster::NodeId writer, int replication);
+
+ private:
+  bool is_datanode(cluster::NodeId n) const;
+  // Uniformly random datanode not in `chosen` and matching `rack_ok`;
+  // kInvalidNode if none qualifies.
+  cluster::NodeId pick(const std::vector<cluster::NodeId>& chosen,
+                       const std::function<bool(cluster::RackId)>& rack_ok);
+
+  const cluster::Topology& topology_;
+  std::vector<cluster::NodeId> datanodes_;
+  RngStream rng_;
+};
+
+}  // namespace mrapid::hdfs

@@ -1,0 +1,53 @@
+#include "mapreduce/am_base.h"
+
+#include "common/log.h"
+
+namespace mrapid::mr {
+
+AmBase::AmBase(cluster::Cluster& cluster, hdfs::Hdfs& hdfs, yarn::ResourceManager& rm,
+               const MRConfig& config, JobSpec spec, ExecutionMode mode,
+               CompletionCallback on_complete)
+    : cluster_(cluster),
+      hdfs_(hdfs),
+      rm_(rm),
+      sim_(cluster.simulation()),
+      config_(config),
+      spec_(std::move(spec)),
+      mode_(mode),
+      on_complete_(std::move(on_complete)),
+      killed_(std::make_shared<bool>(false)) {
+  profile_.job_name = spec_.name;
+  profile_.mode = mode;
+}
+
+void AmBase::kill() {
+  if (finished_ || *killed_) return;
+  *killed_ = true;
+  LOG_INFO("am", "job %s (%s) killed", spec_.name.c_str(), mode_name(mode_));
+  if (app_id_ == yarn::kInvalidApp) return;
+  if (managed_by_pool_) {
+    rm_.scheduler().cancel_asks(app_id_);  // the reserved app lives on
+  } else {
+    rm_.finish_application(app_id_);
+  }
+}
+
+void AmBase::complete(bool success, std::vector<std::shared_ptr<const void>> reduce_results) {
+  if (finished_ || *killed_) return;
+  finished_ = true;
+  profile_.finish_time = sim_.now();
+  if (app_id_ != yarn::kInvalidApp && !managed_by_pool_) rm_.finish_application(app_id_);
+  LOG_INFO("am", "job %s (%s) finished in %.2fs", spec_.name.c_str(), mode_name(mode_),
+           profile_.elapsed_seconds());
+  if (on_complete_) {
+    JobResult result;
+    result.succeeded = success;
+    result.killed = false;
+    result.profile = profile_;
+    result.reduce_results = std::move(reduce_results);
+    if (!result.reduce_results.empty()) result.reduce_result = result.reduce_results.front();
+    on_complete_(result);
+  }
+}
+
+}  // namespace mrapid::mr

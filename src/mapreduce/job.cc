@@ -1,0 +1,31 @@
+#include "mapreduce/job.h"
+
+#include <algorithm>
+
+namespace mrapid::mr {
+
+const char* mode_name(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kHadoopDistributed: return "Hadoop";
+    case ExecutionMode::kHadoopUber: return "Uber";
+    case ExecutionMode::kDPlus: return "D+";
+    case ExecutionMode::kUPlus: return "U+";
+    case ExecutionMode::kSparkLite: return "Spark";
+  }
+  return "?";
+}
+
+std::vector<MapOutcome> JobLogic::partition_map_output(const MapOutcome& outcome,
+                                                       int reducers) const {
+  std::vector<MapOutcome> shards(static_cast<std::size_t>(reducers));
+  if (reducers > 0) shards[0] = outcome;
+  return shards;
+}
+
+int JobProfile::max_containers_on_one_node() const {
+  int peak = 0;
+  for (const auto& [node, count] : containers_per_node) peak = std::max(peak, count);
+  return peak;
+}
+
+}  // namespace mrapid::mr

@@ -1,0 +1,109 @@
+#include "mapreduce/job_client.h"
+
+#include <cassert>
+
+#include "common/log.h"
+#include "mapreduce/app_master.h"
+#include "mapreduce/uber_am.h"
+
+namespace mrapid::mr {
+
+JobClient::JobClient(cluster::Cluster& cluster, hdfs::Hdfs& hdfs, yarn::ResourceManager& rm,
+                     MRConfig config)
+    : cluster_(cluster), hdfs_(hdfs), rm_(rm), sim_(cluster.simulation()), config_(config) {}
+
+JobSpec with_mode_defaults(JobSpec spec, ExecutionMode mode) {
+  if (spec.uber_options_locked) return spec;
+  switch (mode) {
+    case ExecutionMode::kHadoopDistributed:
+    case ExecutionMode::kDPlus:
+    case ExecutionMode::kSparkLite:
+      break;
+    case ExecutionMode::kHadoopUber:
+      spec.uber.parallel = false;
+      spec.uber.cache_in_memory = false;
+      break;
+    case ExecutionMode::kUPlus:
+      spec.uber.parallel = true;
+      spec.uber.cache_in_memory = true;
+      break;
+  }
+  return spec;
+}
+
+std::shared_ptr<AmBase> JobClient::make_app_master(const JobSpec& spec, ExecutionMode mode,
+                                                   AmBase::CompletionCallback on_complete) {
+  assert(mode != ExecutionMode::kSparkLite && "SparkLite jobs go through spark::SparkApp");
+  const JobSpec adjusted = with_mode_defaults(spec, mode);
+  std::shared_ptr<AmBase> am;
+  if (mode == ExecutionMode::kHadoopUber || mode == ExecutionMode::kUPlus) {
+    am = std::make_shared<UberAppMaster>(cluster_, hdfs_, rm_, config_, adjusted, mode,
+                                         std::move(on_complete));
+  } else {
+    am = std::make_shared<MRAppMaster>(cluster_, hdfs_, rm_, config_, adjusted, mode,
+                                       std::move(on_complete));
+  }
+  retained_.push_back(am);
+  return am;
+}
+
+void JobClient::upload_job_files(const std::string& staging_dir, cluster::NodeId writer,
+                                 std::function<void()> staged) {
+  auto pending = std::make_shared<int>(2);
+  auto shared = std::make_shared<std::function<void()>>(std::move(staged));
+  auto one_done = [pending, shared] {
+    if (--*pending == 0) (*shared)();
+  };
+  hdfs_.write_file(staging_dir + "/job.jar", config_.job_jar_size, writer, one_done);
+  hdfs_.write_file(staging_dir + "/job.xml", config_.job_conf_size, writer, one_done);
+}
+
+std::shared_ptr<AmBase> JobClient::submit(const JobSpec& spec, ExecutionMode mode,
+                                          AmBase::CompletionCallback on_complete) {
+  assert(spec.logic != nullptr);
+  const int seq = next_job_seq_++;
+  JobSpec adjusted = spec;
+  // Unique output/staging paths so concurrent attempts (speculative
+  // execution) never collide in HDFS.
+  adjusted.output_path += "." + std::string(mode_name(mode)) + "." + std::to_string(seq);
+  const std::string staging_dir =
+      "/tmp/staging/" + adjusted.name + "." + std::to_string(seq);
+
+  // The client observes completion at its next 1 s status poll, not
+  // the instant the AM unregisters.
+  const sim::SimTime submit_time = sim_.now();
+  auto wrapped = [this, submit_time, cb = std::move(on_complete)](const JobResult& result) {
+    const std::int64_t poll_us = config_.client_poll.as_micros();
+    const std::int64_t elapsed_us = (sim_.now() - submit_time).as_micros();
+    const std::int64_t aligned_us = ((elapsed_us + poll_us - 1) / poll_us) * poll_us;
+    const sim::SimTime seen = submit_time + sim::SimDuration::micros(aligned_us);
+    sim_.schedule_at(seen, [seen, cb, result]() mutable {
+      JobResult adjusted_result = result;
+      adjusted_result.profile.client_done_time = seen;
+      cb(adjusted_result);
+    }, "client:poll-complete");
+  };
+
+  auto am = make_app_master(adjusted, mode, std::move(wrapped));
+  am->set_submit_time(submit_time);
+
+  // Step 1: job-id RPC; step 2: upload jar + conf; step 3: submit.
+  const cluster::NodeId client_node = cluster_.master();
+  sim_.schedule_after(rm_.config().rpc_latency, [this, am, staging_dir, client_node] {
+    if (am->was_killed()) return;  // killed during the submission RPC
+    upload_job_files(staging_dir, client_node, [this, am] {
+      if (am->was_killed()) return;
+      const yarn::AppId app = rm_.submit_application(
+          am->spec().name, [am](const yarn::Container& container) {
+            if (!am->was_killed()) am->start(container);
+          });
+      am->set_app_id(app);
+      // A kill that raced the submission would have missed the app id;
+      // reconcile so the AM container is reclaimed.
+      if (am->was_killed()) rm_.finish_application(app);
+    });
+  }, "client:submit");
+  return am;
+}
+
+}  // namespace mrapid::mr

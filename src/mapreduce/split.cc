@@ -1,0 +1,31 @@
+#include "mapreduce/split.h"
+
+#include <cassert>
+
+namespace mrapid::mr {
+
+std::vector<InputSplit> compute_splits(const hdfs::Hdfs& hdfs,
+                                       const std::vector<std::string>& input_paths) {
+  std::vector<InputSplit> splits;
+  for (const std::string& path : input_paths) {
+    const hdfs::FileInfo* file = hdfs.namenode().lookup(path);
+    assert(file != nullptr && "job input file not found in HDFS");
+    Bytes offset = 0;
+    for (const hdfs::BlockId id : file->blocks) {
+      const hdfs::BlockInfo* block = hdfs.namenode().block(id);
+      if (block->size == 0) continue;  // empty trailing block
+      InputSplit split;
+      split.path = path;
+      split.index_in_job = splits.size();
+      split.offset = offset;
+      split.length = block->size;
+      split.hosts = block->replicas;
+      split.block_id = id;
+      offset += block->size;
+      splits.push_back(std::move(split));
+    }
+  }
+  return splits;
+}
+
+}  // namespace mrapid::mr

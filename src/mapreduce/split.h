@@ -1,0 +1,18 @@
+#pragma once
+
+// Input split calculation: Hadoop FileInputFormat semantics with split
+// size equal to the HDFS block size, so each split is one block and
+// its preferred hosts are the block's replica locations.
+
+#include <string>
+#include <vector>
+
+#include "hdfs/hdfs.h"
+#include "mapreduce/job.h"
+
+namespace mrapid::mr {
+
+std::vector<InputSplit> compute_splits(const hdfs::Hdfs& hdfs,
+                                       const std::vector<std::string>& input_paths);
+
+}  // namespace mrapid::mr

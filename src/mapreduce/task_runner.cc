@@ -1,0 +1,234 @@
+#include "mapreduce/task_runner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace mrapid::mr {
+
+using cluster::Locality;
+using cluster::NodeId;
+
+int spill_count(Bytes output_bytes, const MRConfig& config) {
+  if (output_bytes <= 0) return 0;
+  const double threshold =
+      static_cast<double>(config.sort_buffer) * config.spill_percent;
+  return std::max(1, static_cast<int>(std::ceil(static_cast<double>(output_bytes) / threshold)));
+}
+
+namespace {
+
+Locality best_locality(const cluster::Topology& topology, NodeId node,
+                       const std::vector<NodeId>& hosts) {
+  Locality best = Locality::kAny;
+  for (NodeId host : hosts) {
+    const Locality l = topology.locality(node, host);
+    if (static_cast<int>(l) < static_cast<int>(best)) best = l;
+  }
+  return best;
+}
+
+}  // namespace
+
+// NB: TaskEnv is captured *by value* throughout (it only holds
+// references and a shared_ptr), so callbacks stay valid however long
+// the fluid transfers take.
+void run_map_task(const TaskEnv& env_in, const JobSpec& spec, const InputSplit& split,
+                  NodeId node, MapTaskOptions options, std::function<void(MapTaskResult)> done,
+                  int attempt) {
+  TaskEnv env = env_in;
+  const JobLogic* logic = spec.logic;
+
+  auto state = std::make_shared<MapTaskResult>();
+  state->profile.index = static_cast<int>(split.index_in_job);
+  state->profile.attempt = attempt;
+  state->profile.node = node;
+  state->profile.locality = best_locality(env.cluster.topology(), node, split.hosts);
+  state->profile.start = env.sim.now();
+  state->profile.input_bytes = split.length;
+
+  // Phase 2: read the split from HDFS (phase 1, setup, was the
+  // container launch itself).
+  env.hdfs.read_block(split.block_id, node, [env, logic, split, node, options, state,
+                                             done = std::move(done)]() mutable {
+    if (env.is_killed()) return;
+    state->profile.read_done = env.sim.now();
+
+    // Phase 3: the map function — real computation, timed as fluid
+    // CPU work so co-located tasks contend for cores.
+    state->outcome = logic->execute_map(split);
+    state->profile.output_bytes = state->outcome.output_bytes;
+
+    // Fault injection: this attempt may crash partway through its
+    // compute; the partial work is charged (and wasted).
+    const FaultConfig& faults = env.config.faults;
+    if (faults.enabled() && env.sim.rng("mr.faults").next_double() < faults.map_failure_prob) {
+      const double fraction = env.sim.rng("mr.faults").next_real(0.05, 0.95);
+      const Bytes partial = cluster::Node::cpu_work(
+          sim::SimDuration::seconds(state->outcome.core_seconds * fraction));
+      env.cluster.node(node).cpu().start(
+          partial, logic->compute_contention(),
+          [env, state, done = std::move(done)](sim::SimDuration) mutable {
+            if (env.is_killed()) return;
+            state->failed = true;
+            state->outcome = MapOutcome{};  // crashed: nothing produced
+            state->profile.output_bytes = 0;
+            state->profile.compute_done = env.sim.now();
+            state->profile.end = env.sim.now();
+            done(std::move(*state));
+          });
+      return;
+    }
+
+    const Bytes work = cluster::Node::cpu_work(
+        sim::SimDuration::seconds(state->outcome.core_seconds));
+    env.cluster.node(node).cpu().start(work, logic->compute_contention(),
+                                       [env, node, options, state,
+                                        done = std::move(done)](sim::SimDuration) mutable {
+      if (env.is_killed()) return;
+      state->profile.compute_done = env.sim.now();
+
+      auto finish = [env, state, done = std::move(done)]() mutable {
+        if (env.is_killed()) return;
+        state->profile.end = env.sim.now();
+        done(std::move(*state));
+      };
+
+      const Bytes out = state->outcome.output_bytes;
+      const bool spill = out > 0 && (!options.spill_decider || options.spill_decider(out));
+      if (!spill) {
+        // U+ in-memory path: intermediate data stays cached.
+        state->profile.output_in_memory = true;
+        state->profile.spills = 0;
+        env.sim.schedule_now(std::move(finish), "map:in-memory");
+        return;
+      }
+
+      // Phase 4: spill — write the sorted output to local disk.
+      state->profile.spills = spill_count(out, env.config);
+      auto& disk_write = env.cluster.node(node).disk_write();
+      disk_write.start(out, [env, node, out, state, finish = std::move(finish)](
+                                sim::SimDuration) mutable {
+        if (env.is_killed()) return;
+        if (state->profile.spills <= 1) {
+          finish();
+          return;
+        }
+        // Phase 5: merge — read every spill back and write the merged
+        // file (s^o/d^o + s^o/d^i in the paper's notation).
+        auto after_read = [env, node, out, finish = std::move(finish)](
+                              sim::SimDuration) mutable {
+          if (env.is_killed()) return;
+          env.cluster.node(node).disk_write().start(
+              out, [finish = std::move(finish)](sim::SimDuration) mutable { finish(); });
+        };
+        env.cluster.node(node).disk_read().start(out, std::move(after_read));
+      });
+    });
+  });
+}
+
+ReduceRunner::ReduceRunner(const TaskEnv& env, const JobSpec& spec, int partition,
+                           std::string output_path, NodeId node, int total_maps,
+                           DoneCallback done)
+    : env_(env),
+      spec_(spec),
+      partition_(partition),
+      output_path_(std::move(output_path)),
+      node_(node),
+      total_maps_(total_maps),
+      done_(std::move(done)) {
+  outcomes_.resize(static_cast<std::size_t>(total_maps));
+  profile_.index = partition;
+  profile_.node = node;
+}
+
+void ReduceRunner::start() {
+  assert(!started_);
+  started_ = true;
+  profile_.start = env_.sim.now();
+  std::vector<MapTaskResult> backlog;
+  backlog.swap(pending_);
+  for (const auto& result : backlog) fetch(result);
+  maybe_finish_shuffle();  // handles the zero-map edge case
+}
+
+void ReduceRunner::on_map_output(const MapTaskResult& result) {
+  if (env_.is_killed()) return;
+  if (!started_) {
+    pending_.push_back(result);
+    return;
+  }
+  fetch(result);
+}
+
+void ReduceRunner::fetch(const MapTaskResult& result) {
+  const NodeId src = result.profile.node;
+  // This runner only moves its own partition's shard of the output.
+  MapOutcome shard = std::move(
+      spec_.logic->partition_map_output(result.outcome, std::max(1, spec_.num_reducers))
+          .at(static_cast<std::size_t>(partition_)));
+  const Bytes bytes = shard.output_bytes;
+  const int index = result.profile.index;
+  outcomes_[static_cast<std::size_t>(index)] = std::move(shard);
+
+  auto complete = [this, bytes] {
+    if (env_.is_killed()) return;
+    ++fetched_;
+    shuffled_bytes_ += bytes;
+    maybe_finish_shuffle();
+  };
+
+  if (bytes == 0 || (src == node_ && result.profile.output_in_memory)) {
+    // Nothing to move: in-memory output already sits in the consuming
+    // JVM (the U+ single-container case).
+    env_.sim.schedule_now(std::move(complete), "shuffle:local");
+    return;
+  }
+
+  // Remote/on-disk fetch: source disk read (when spilled) and the
+  // network flow stream concurrently; the fetch lands when both legs
+  // finish. Same-node fetches use the loopback link.
+  auto pending = std::make_shared<int>(result.profile.output_in_memory ? 1 : 2);
+  auto shared_complete = std::make_shared<std::function<void()>>(std::move(complete));
+  auto leg_done = [pending, shared_complete](sim::SimDuration) {
+    if (--*pending == 0) (*shared_complete)();
+  };
+  if (!result.profile.output_in_memory) {
+    env_.cluster.node(src).disk_read().start(bytes, leg_done);
+  }
+  env_.cluster.network().start_flow(src, node_, bytes, leg_done);
+}
+
+void ReduceRunner::maybe_finish_shuffle() {
+  if (!started_ || fetched_ < total_maps_) return;
+  profile_.read_done = env_.sim.now();
+  profile_.input_bytes = shuffled_bytes_;
+  run_reduce_phase();
+}
+
+void ReduceRunner::run_reduce_phase() {
+  // Merge-sort the fetched segments, run the reduce function, write
+  // the output file to HDFS, commit.
+  const ReduceOutcome outcome = spec_.logic->execute_reduce(outcomes_);
+  const Bytes work =
+      cluster::Node::cpu_work(sim::SimDuration::seconds(outcome.core_seconds));
+  env_.cluster.node(node_).cpu().start(work, spec_.logic->compute_contention(),
+                                       [this, outcome](sim::SimDuration) {
+    if (env_.is_killed()) return;
+    profile_.compute_done = env_.sim.now();
+    profile_.output_bytes = outcome.output_bytes;
+    env_.hdfs.write_file(output_path_, outcome.output_bytes, node_, [this, outcome] {
+      if (env_.is_killed()) return;
+      env_.sim.schedule_after(env_.config.commit_overhead, [this, outcome] {
+        if (env_.is_killed()) return;
+        profile_.end = env_.sim.now();
+        done_(profile_, outcome);
+      }, "reduce:commit");
+    });
+  });
+}
+
+}  // namespace mrapid::mr

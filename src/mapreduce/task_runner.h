@@ -1,0 +1,102 @@
+#pragma once
+
+// Phase-level task execution, shared by every AM flavour (distributed,
+// Uber, D+, U+). A map task walks Eq. 1's sub-phases — setup (charged
+// by container launch), read, map, spill, merge — and a reduce task
+// walks shuffle, merge, reduce, output write.
+//
+// Cancellation is cooperative: each phase boundary checks the shared
+// `killed` flag (set when the speculative framework terminates the
+// slower mode) and simply stops; in-flight fluid transfers drain
+// without side effects.
+
+#include <functional>
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "hdfs/hdfs.h"
+#include "mapreduce/job.h"
+#include "sim/simulation.h"
+
+namespace mrapid::mr {
+
+struct TaskEnv {
+  sim::Simulation& sim;
+  cluster::Cluster& cluster;
+  hdfs::Hdfs& hdfs;
+  const MRConfig& config;
+  std::shared_ptr<const bool> killed;  // owned by the job attempt
+
+  bool is_killed() const { return killed && *killed; }
+};
+
+struct MapTaskOptions {
+  // Consulted once the map output size is known. Returns true to
+  // spill to local disk (original Hadoop / original Uber / D+ always
+  // do); U+ installs a decider that caches in memory while its budget
+  // holds. Unset means "always spill".
+  std::function<bool(Bytes output_bytes)> spill_decider;
+};
+
+struct MapTaskResult {
+  TaskProfile profile;
+  MapOutcome outcome;
+  // True when this attempt crashed (fault injection): the outcome is
+  // discarded and the AM must retry or fail the job.
+  bool failed = false;
+};
+
+// Runs one map task's read/map/spill/merge pipeline on `node`; `done`
+// fires when the task's output is available — or, under fault
+// injection, when the attempt crashes mid-compute (result.failed).
+// Never fires if the job was killed mid-task.
+void run_map_task(const TaskEnv& env, const JobSpec& spec, const InputSplit& split,
+                  cluster::NodeId node, MapTaskOptions options,
+                  std::function<void(MapTaskResult)> done, int attempt = 0);
+
+// One reducer (partition) of a job. Feed map results as they finish;
+// the runner fetches each output's shard for its partition (disk read
+// at the source when the output is on disk, plus the network flow),
+// overlapping shuffle with the remaining map waves exactly as Hadoop
+// does, then merges, reduces, and writes its part file to HDFS.
+class ReduceRunner {
+ public:
+  using DoneCallback = std::function<void(TaskProfile, ReduceOutcome)>;
+
+  ReduceRunner(const TaskEnv& env, const JobSpec& spec, int partition, std::string output_path,
+               cluster::NodeId node, int total_maps, DoneCallback done);
+
+  // The reducer's container is up; shuffling may begin.
+  void start();
+
+  // A map task finished; its output can be fetched. Safe to call both
+  // before and after start().
+  void on_map_output(const MapTaskResult& result);
+
+  Bytes shuffled_bytes() const { return shuffled_bytes_; }
+
+ private:
+  void fetch(const MapTaskResult& result);
+  void maybe_finish_shuffle();
+  void run_reduce_phase();
+
+  TaskEnv env_;
+  const JobSpec& spec_;
+  int partition_;
+  std::string output_path_;
+  cluster::NodeId node_;
+  int total_maps_;
+  DoneCallback done_;
+  bool started_ = false;
+  int fetched_ = 0;
+  Bytes shuffled_bytes_ = 0;
+  std::vector<MapTaskResult> pending_;   // finished before start()
+  std::vector<MapOutcome> outcomes_;     // by map index
+  TaskProfile profile_;
+};
+
+// Number of spill files a map output of `bytes` produces under the
+// given sort-buffer config (>= 1 once there is any output).
+int spill_count(Bytes output_bytes, const MRConfig& config);
+
+}  // namespace mrapid::mr

@@ -1,0 +1,66 @@
+#include "mrapid/ampool.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace mrapid::core {
+
+AmPool::AmPool(cluster::Cluster& cluster, yarn::ResourceManager& rm, int size)
+    : cluster_(cluster), rm_(rm) {
+  assert(size >= 1);
+  slots_.resize(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) slots_[static_cast<std::size_t>(i)].slot.index = i;
+}
+
+void AmPool::start(std::function<void()> on_ready) {
+  on_ready_ = std::move(on_ready);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const yarn::AppId app = rm_.submit_application(
+        "ampool-reserve-" + std::to_string(i), [this, i](const yarn::Container& container) {
+          SlotState& state = slots_[i];
+          state.slot.container = container;
+          state.warm = true;
+          ++ready_slots_;
+          LOG_INFO("ampool", "slot %zu warm on node %d", i, container.node);
+          if (ready() && on_ready_) on_ready_();
+        });
+    slots_[i].slot.app = app;
+  }
+}
+
+int AmPool::free_slots() const {
+  int free = 0;
+  for (const auto& state : slots_) {
+    if (state.warm && !state.busy) ++free;
+  }
+  return free;
+}
+
+std::optional<AmPool::Slot> AmPool::acquire() {
+  SlotState* best = nullptr;
+  std::int64_t best_free_cores = -1;
+  for (auto& state : slots_) {
+    if (!state.warm || state.busy) continue;
+    auto& node = cluster_.node(state.slot.container.node);
+    // Free CPU estimated from the fluid resource: fewer active compute
+    // streams means a less loaded node.
+    const std::int64_t free_cores =
+        node.spec().cores - static_cast<std::int64_t>(node.cpu().active_transfers());
+    if (free_cores > best_free_cores) {
+      best_free_cores = free_cores;
+      best = &state;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  best->busy = true;
+  return best->slot;
+}
+
+void AmPool::release(int index) {
+  SlotState& state = slots_.at(static_cast<std::size_t>(index));
+  assert(state.busy);
+  state.busy = false;
+}
+
+}  // namespace mrapid::core

@@ -1,0 +1,79 @@
+#include "mrapid/decision_maker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrapid::core {
+
+Decision DecisionMaker::decide(double t_m, double s_i, double s_o,
+                               const DecisionContext& context) const {
+  EstimatorInputs in;
+  in.t_l = defaults_.t_l;
+  in.t_m = t_m;
+  in.s_i = s_i;
+  in.s_o = s_o;
+  in.d_i = defaults_.d_i;
+  in.d_o = defaults_.d_o;
+  in.b_i = defaults_.b_i;
+  in.n_m = context.n_m;
+  in.n_c = std::max(1, context.n_c);
+  in.n_u_m = std::max(1, context.n_u_m);
+
+  Decision decision;
+  decision.t_u = estimate_uplus_seconds(in);
+  decision.t_d = estimate_dplus_seconds(in);
+  decision.winner = decision.t_u <= decision.t_d ? mr::ExecutionMode::kUPlus
+                                                 : mr::ExecutionMode::kDPlus;
+  return decision;
+}
+
+std::optional<Decision> DecisionMaker::pre_decide(const std::string& signature,
+                                                  const DecisionContext& context) const {
+  const HistoryRecord* record = history_.find(signature);
+  if (record == nullptr || record->map_compute_seconds.count() == 0) return std::nullopt;
+  double t_m = record->map_compute_seconds.mean();
+  double s_i = record->map_input_bytes.mean();
+  double s_o = record->map_output_bytes.mean();
+  // The job at hand may have differently sized splits than the
+  // recorded runs: compute time and output volume both scale roughly
+  // linearly with input (s^o via the measured selectivity).
+  if (context.s_i_now > 0.0 && s_i > 0.0) {
+    const double scale = context.s_i_now / s_i;
+    t_m *= scale;
+    s_o = record->selectivity() * context.s_i_now;
+    s_i = context.s_i_now;
+  }
+  return decide(t_m, s_i, s_o, context);
+}
+
+std::optional<Decision> DecisionMaker::judge_live(const ModeMeasurement& dplus,
+                                                  const ModeMeasurement& uplus,
+                                                  const DecisionContext& context) const {
+  // A finished attempt is a decided race.
+  if (dplus.finished || uplus.finished) {
+    Decision decision;
+    decision.winner = dplus.finished ? mr::ExecutionMode::kDPlus : mr::ExecutionMode::kUPlus;
+    return decision;
+  }
+  if (!dplus.has_map_data() && !uplus.has_map_data()) return std::nullopt;
+
+  // Pool t^m / s^i / s^o across modes, preferring each equation's own
+  // mode where available.
+  const ModeMeasurement& for_u = uplus.has_map_data() ? uplus : dplus;
+  const ModeMeasurement& for_d = dplus.has_map_data() ? dplus : uplus;
+  Decision u_part = decide(for_u.mean_map_compute_seconds, for_u.mean_map_input_bytes,
+                           for_u.mean_map_output_bytes, context);
+  Decision d_part = decide(for_d.mean_map_compute_seconds, for_d.mean_map_input_bytes,
+                           for_d.mean_map_output_bytes, context);
+  Decision decision;
+  decision.t_u = u_part.t_u;
+  decision.t_d = d_part.t_d;
+  const double hi = std::max(decision.t_u, decision.t_d);
+  const double lo = std::min(decision.t_u, decision.t_d);
+  if (hi <= 0.0 || (hi - lo) / hi < margin_) return std::nullopt;  // not confident yet
+  decision.winner = decision.t_u <= decision.t_d ? mr::ExecutionMode::kUPlus
+                                                 : mr::ExecutionMode::kDPlus;
+  return decision;
+}
+
+}  // namespace mrapid::core

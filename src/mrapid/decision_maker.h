@@ -1,0 +1,66 @@
+#pragma once
+
+// The decision maker (paper §III-C steps 2 and 5): given execution
+// history or live profiler measurements, estimate t_u (Eq. 2) and t_d
+// (Eq. 3) and pick the faster mode.
+
+#include <optional>
+
+#include "mrapid/estimator.h"
+#include "mrapid/history.h"
+
+namespace mrapid::core {
+
+// Cluster-derived constants the estimator needs; the job-specific
+// fields of EstimatorInputs come from history / the profiler.
+struct EstimatorDefaults {
+  double t_l = 1.5;   // container launch seconds
+  double d_i = 80.0 * 1024 * 1024;   // disk write rate
+  double d_o = 100.0 * 1024 * 1024;  // disk read rate
+  double b_i = 118.0 * 1024 * 1024;  // NIC bandwidth
+};
+
+struct DecisionContext {
+  int n_m = 0;    // map tasks of the job at hand
+  int n_c = 1;    // task containers the cluster can run at once (D+)
+  int n_u_m = 1;  // maps per wave in U+
+  // Average split size of the job at hand (0 = unknown). History
+  // records transfer across input sizes by scaling t^m and s^o with
+  // the measured selectivity, per the paper's "even if they were
+  // executed with different input data".
+  double s_i_now = 0.0;
+};
+
+struct Decision {
+  mr::ExecutionMode winner;
+  double t_u = 0.0;  // Eq. 2
+  double t_d = 0.0;  // Eq. 3
+};
+
+class DecisionMaker {
+ public:
+  DecisionMaker(const HistoryStore& history, EstimatorDefaults defaults,
+                double confidence_margin = 0.15)
+      : history_(history), defaults_(defaults), margin_(confidence_margin) {}
+
+  // Step 2, pre-decision: answer only when history has data for this
+  // signature.
+  std::optional<Decision> pre_decide(const std::string& signature,
+                                     const DecisionContext& context) const;
+
+  // Step 5, during speculative execution: judge from live
+  // measurements; returns a decision only when confident (relative
+  // estimate gap above the margin, or one attempt already finished).
+  std::optional<Decision> judge_live(const ModeMeasurement& dplus, const ModeMeasurement& uplus,
+                                     const DecisionContext& context) const;
+
+  // The shared Eq. 2/3 evaluation given pooled measurements.
+  Decision decide(double t_m, double s_i, double s_o, const DecisionContext& context) const;
+
+ private:
+  const HistoryStore& history_;
+  EstimatorDefaults defaults_;
+  double margin_;
+};
+
+}  // namespace mrapid::core

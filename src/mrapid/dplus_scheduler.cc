@@ -1,0 +1,145 @@
+#include "mrapid/dplus_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mrapid::core {
+
+using cluster::Locality;
+using yarn::Ask;
+using yarn::NodeState;
+
+DPlusScheduler::DPlusScheduler(DPlusOptions options) : options_(options) {}
+
+void DPlusScheduler::on_container_request(std::vector<Ask> asks) {
+  for (auto& ask : asks) queue_.push_back(std::move(ask));
+  if (options_.immediate_response) run_algorithm();
+}
+
+void DPlusScheduler::on_node_update(cluster::NodeId) {
+  // Freed resources just became visible in the ClusterResource
+  // snapshot; serve whatever is still queued.
+  run_algorithm();
+}
+
+void DPlusScheduler::cancel_asks(yarn::AppId app) {
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [app](const Ask& a) { return a.app == app; }),
+               queue_.end());
+}
+
+DPlusScheduler::Dominant DPlusScheduler::dominant_resource() const {
+  std::int64_t total_vcores = 0;
+  std::int64_t used_vcores = 0;
+  std::int64_t total_mem = 0;
+  std::int64_t used_mem = 0;
+  for (const auto& node : context_->nodes()) {
+    total_vcores += node.capacity.vcores;
+    used_vcores += node.used.vcores;
+    total_mem += node.capacity.memory_mb;
+    used_mem += node.used.memory_mb;
+  }
+  const double vcore_ratio =
+      total_vcores > 0 ? static_cast<double>(used_vcores) / total_vcores : 0.0;
+  const double mem_ratio = total_mem > 0 ? static_cast<double>(used_mem) / total_mem : 0.0;
+  return vcore_ratio >= mem_ratio ? Dominant::kVcores : Dominant::kMemory;
+}
+
+std::vector<NodeState*> DPlusScheduler::sorted_nodes() const {
+  std::vector<NodeState*> nodes;
+  for (auto& node : context_->nodes()) nodes.push_back(&node);
+  if (!options_.balanced_spread) {
+    // Packing behaviour: fixed node order, first fit.
+    return nodes;
+  }
+  const Dominant dominant = dominant_resource();
+  std::stable_sort(nodes.begin(), nodes.end(), [dominant](const NodeState* a,
+                                                          const NodeState* b) {
+    const std::int64_t avail_a = dominant == Dominant::kVcores
+                                     ? a->available().vcores
+                                     : a->available().memory_mb;
+    const std::int64_t avail_b = dominant == Dominant::kVcores
+                                     ? b->available().vcores
+                                     : b->available().memory_mb;
+    if (avail_a != avail_b) return avail_a > avail_b;  // idler nodes first
+    return a->id < b->id;                              // deterministic tie-break
+  });
+  return nodes;
+}
+
+void DPlusScheduler::run_algorithm() {
+  assert(context_ != nullptr);
+  if (queue_.empty()) return;
+
+  // Algorithm 1: types = {NodeLocal, RackLocal, ANY}. For each tier we
+  // serve queued asks FIFO, placing each on the idlest matching node
+  // (the dominant-resource descending sort, recomputed after every
+  // allocation, is what yields the round-robin spread of Fig. 14).
+  const std::vector<Locality> tiers =
+      options_.locality_aware
+          ? std::vector<Locality>{Locality::kNodeLocal, Locality::kRackLocal, Locality::kAny}
+          : std::vector<Locality>{Locality::kAny};
+
+  for (Locality tier : tiers) {
+    if (options_.balanced_spread) {
+      // Spread placement: serve asks FIFO, re-sorting nodes by
+      // available dominant resource after every allocation so each
+      // task lands on the currently idlest matching node — the
+      // round-robin effect of Fig. 14.
+      bool progress = true;
+      while (progress && !queue_.empty()) {
+        progress = false;
+        const auto nodes = sorted_nodes();  // lines 3-4: dominant sort
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          const Ask& ask = *it;
+          NodeState* chosen = nullptr;
+          for (NodeState* node : nodes) {
+            if (!ask.capability.fits_in(node->available())) continue;
+            if (options_.locality_aware && tier != Locality::kAny &&
+                judge_locality(ask, node->id) != tier) {
+              continue;
+            }
+            chosen = node;
+            break;
+          }
+          if (chosen == nullptr) continue;
+          allocate(*chosen, *it);
+          queue_.erase(it);
+          progress = true;
+          break;  // re-sort nodes before placing the next ask
+        }
+      }
+    } else {
+      // Ablation (spread disabled): the paper's literal node-major
+      // loop without the sort — fill each node with every matching
+      // task before moving on, i.e. greedy packing.
+      for (NodeState* node : sorted_nodes()) {
+        for (auto it = queue_.begin(); it != queue_.end();) {
+          const Ask& ask = *it;
+          const bool fits = ask.capability.fits_in(node->available());
+          const bool tier_ok = !options_.locality_aware || tier == Locality::kAny ||
+                               judge_locality(ask, node->id) == tier;
+          if (fits && tier_ok) {
+            allocate(*node, ask);
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    if (queue_.empty()) break;  // lines 12-13: request satisfied
+  }
+}
+
+void DPlusScheduler::allocate(NodeState& node, const Ask& ask) {
+  node.used = node.used + ask.capability;
+  yarn::Allocation allocation;
+  allocation.ask = ask.id;
+  allocation.container =
+      yarn::Container{context_->next_container_id(), ask.app, node.id, ask.capability};
+  allocation.locality = judge_locality(ask, node.id);
+  context_->deliver_allocation(allocation);
+}
+
+}  // namespace mrapid::core

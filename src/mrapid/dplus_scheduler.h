@@ -1,0 +1,59 @@
+#pragma once
+
+// MRapid's improved scheduler (paper §III-A, Algorithm 1).
+//
+// Differences from the baseline HadoopCapacityScheduler, each behind
+// its own flag so the Fig. 14 ablation can isolate it:
+//  * immediate_response — allocate inside CONTAINER_STATUS_UPDATE from
+//    the RM's ClusterResource snapshot, answering the AM in the same
+//    heartbeat instead of waiting for some NM to report;
+//  * balanced_spread — per locality tier, sort nodes by available
+//    *dominant* resource (the cluster-wide scarcest dimension)
+//    descending, so tasks land on the relatively idle nodes;
+//  * locality_aware — serve NodeLocal matches first, then RackLocal,
+//    then ANY, per the HDFS replica placement tiers.
+//
+// With all three off this degenerates to baseline behaviour (FIFO
+// greedy packing at node-heartbeat time).
+
+#include <deque>
+
+#include "yarn/scheduler.h"
+
+namespace mrapid::core {
+
+struct DPlusOptions {
+  bool immediate_response = true;
+  bool balanced_spread = true;
+  bool locality_aware = true;
+};
+
+class DPlusScheduler : public yarn::Scheduler {
+ public:
+  explicit DPlusScheduler(DPlusOptions options = {});
+
+  const char* name() const override { return "DPlusScheduler"; }
+  bool allocates_immediately() const override { return options_.immediate_response; }
+
+  void on_container_request(std::vector<yarn::Ask> asks) override;
+  void on_node_update(cluster::NodeId node) override;
+  void cancel_asks(yarn::AppId app) override;
+  std::size_t queued_asks() const override { return queue_.size(); }
+
+  const DPlusOptions& options() const { return options_; }
+
+ private:
+  // One pass of Algorithm 1 over the current queue; leftovers stay
+  // queued for the next resource event.
+  void run_algorithm();
+  // Which resource dimension is currently dominant cluster-wide.
+  enum class Dominant { kVcores, kMemory };
+  Dominant dominant_resource() const;
+  std::vector<yarn::NodeState*> sorted_nodes() const;
+  void allocate(yarn::NodeState& node, const yarn::Ask& ask);
+
+  DPlusOptions options_;
+  std::deque<yarn::Ask> queue_;
+};
+
+}  // namespace mrapid::core

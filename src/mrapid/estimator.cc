@@ -1,0 +1,43 @@
+#include "mrapid/estimator.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace mrapid::core {
+
+std::string EstimatorInputs::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "t_l=%.2fs t_m=%.2fs s_i=%.1fMB s_o=%.1fMB n_m=%d n_c=%d n_u_m=%d",
+                t_l, t_m, s_i / (1024.0 * 1024.0), s_o / (1024.0 * 1024.0), n_m, n_c, n_u_m);
+  return buf;
+}
+
+int wave_count(int n_m, int width) {
+  if (n_m <= 0) return 0;
+  assert(width >= 1);
+  return (n_m + width - 1) / width;
+}
+
+double estimate_job_seconds(const EstimatorInputs& in) {
+  const int n_w = wave_count(in.n_m, in.n_c);
+  const double read = in.d_o > 0 ? in.s_i / in.d_o : 0.0;
+  const double spill = in.d_i > 0 ? in.s_o / in.d_i : 0.0;
+  const double merge = (in.d_o > 0 ? in.s_o / in.d_o : 0.0) + spill;
+  const double per_wave = in.t_l + read + in.t_m + spill + merge;
+  const double shuffle = in.b_i > 0 ? (in.s_o * in.n_c) / in.b_i : 0.0;
+  return in.t_l + per_wave * n_w + shuffle + in.t_reduce;
+}
+
+double estimate_uplus_seconds(const EstimatorInputs& in) {
+  return in.t_m * wave_count(in.n_m, in.n_u_m);
+}
+
+double estimate_dplus_seconds(const EstimatorInputs& in) {
+  const double spill = in.d_i > 0 ? in.s_o / in.d_i : 0.0;
+  const double shuffle = in.b_i > 0 ? (in.s_o * in.n_c) / in.b_i : 0.0;
+  return (in.t_l + in.t_m + spill) * wave_count(in.n_m, in.n_c) + shuffle;
+}
+
+}  // namespace mrapid::core

@@ -1,0 +1,49 @@
+#pragma once
+
+// The paper's analytic cost model (Table I notation, Equations 1-3).
+//
+//   Eq. 1: t_job = t^AM + t^Map + t^Shuffle + t^Reduce
+//        = t^l + (t^l + s^i/d^o + t^m + s^o/d^i + s^o/d^o + s^o/d^i) * n^w
+//          + (s^o * n^c) / b^i + t^Reduce
+//   Eq. 2 (U+):  t_u = t^m * (n^m / n_u^m)
+//   Eq. 3 (D+):  t_d = (t^l + t^m + s^o/d^i) * (n^m / n^c) + (s^o * n^c)/b^i
+//
+// Wave counts are physical, so n^m/n^c is taken as ceil.
+
+#include <string>
+
+#include "common/units.h"
+
+namespace mrapid::core {
+
+// Table I. Rates are bytes/second; times are seconds; sizes are the
+// *average per map task*.
+struct EstimatorInputs {
+  double t_l = 0.0;      // container launch time
+  double t_m = 0.0;      // map sub-phase (compute) time, from history/profiler
+  double t_reduce = 0.0; // reduce phase time (cancels between modes; kept for Eq. 1)
+  double s_i = 0.0;      // average map input bytes
+  double s_o = 0.0;      // average map output bytes
+  double d_i = 0.0;      // disk input (write) rate
+  double d_o = 0.0;      // disk output (read) rate
+  double b_i = 0.0;      // network bandwidth
+  int n_m = 0;           // number of map tasks
+  int n_c = 1;           // containers available to the job (D+ wave width)
+  int n_u_m = 1;         // maps per wave in U+ (n^c * n^m_c)
+
+  std::string to_string() const;
+};
+
+// Number of waves ceil(n_m / width), at least 1 when n_m > 0.
+int wave_count(int n_m, int width);
+
+// Eq. 1 — the full job model (used for estimator validation).
+double estimate_job_seconds(const EstimatorInputs& in);
+
+// Eq. 2 — U+ mode estimate.
+double estimate_uplus_seconds(const EstimatorInputs& in);
+
+// Eq. 3 — D+ mode estimate.
+double estimate_dplus_seconds(const EstimatorInputs& in);
+
+}  // namespace mrapid::core

@@ -1,0 +1,23 @@
+#include "mrapid/history.h"
+
+namespace mrapid::core {
+
+const HistoryRecord* HistoryStore::find(const std::string& signature) const {
+  auto it = records_.find(signature);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void HistoryStore::record_run(const std::string& signature, const ModeMeasurement& measurement,
+                              bool winner) {
+  HistoryRecord& record = records_[signature];
+  record.signature = signature;
+  ++record.runs;
+  if (measurement.has_map_data()) {
+    record.map_compute_seconds.add(measurement.mean_map_compute_seconds);
+    record.map_input_bytes.add(measurement.mean_map_input_bytes);
+    record.map_output_bytes.add(measurement.mean_map_output_bytes);
+  }
+  if (winner) record.last_winner = measurement.mode;
+}
+
+}  // namespace mrapid::core

@@ -1,0 +1,47 @@
+#pragma once
+
+// Execution-history store (paper §III-C step 2): per job *signature*
+// (the program, not the input — records apply "even if they were
+// executed with different input data"), pooled map measurements and
+// the last decided winner.
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/stats.h"
+#include "mapreduce/job.h"
+#include "mrapid/profiler.h"
+
+namespace mrapid::core {
+
+struct HistoryRecord {
+  std::string signature;
+  int runs = 0;
+  Summary map_compute_seconds;   // t^m samples
+  Summary map_input_bytes;       // s^i samples
+  Summary map_output_bytes;      // s^o samples
+  std::optional<mr::ExecutionMode> last_winner;
+
+  // s^o / s^i — lets the estimator predict output size for new inputs.
+  double selectivity() const {
+    return map_input_bytes.mean() > 0 ? map_output_bytes.mean() / map_input_bytes.mean() : 0.0;
+  }
+};
+
+class HistoryStore {
+ public:
+  const HistoryRecord* find(const std::string& signature) const;
+
+  // Folds one run's measurement into the record; `winner` marks this
+  // run's mode as the preferred one for future pre-decisions.
+  void record_run(const std::string& signature, const ModeMeasurement& measurement, bool winner);
+
+  void clear() { records_.clear(); }
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::map<std::string, HistoryRecord> records_;
+};
+
+}  // namespace mrapid::core

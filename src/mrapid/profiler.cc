@@ -1,0 +1,31 @@
+#include "mrapid/profiler.h"
+
+namespace mrapid::core {
+
+ModeMeasurement measure(const mr::AmBase& am, sim::SimTime now) {
+  const mr::JobProfile& profile = am.live_profile();
+  ModeMeasurement m;
+  m.mode = am.mode();
+  m.total_maps = am.total_maps();
+  m.finished = am.finished();
+  m.elapsed_seconds = ((m.finished ? profile.finish_time : now) - profile.submit_time)
+                          .as_seconds();
+  double compute_sum = 0.0;
+  double input_sum = 0.0;
+  double output_sum = 0.0;
+  for (const auto& task : profile.maps) {
+    if (task.end.as_micros() == 0) continue;  // not finished yet
+    ++m.completed_maps;
+    compute_sum += (task.compute_done - task.read_done).as_seconds();
+    input_sum += static_cast<double>(task.input_bytes);
+    output_sum += static_cast<double>(task.output_bytes);
+  }
+  if (m.completed_maps > 0) {
+    m.mean_map_compute_seconds = compute_sum / m.completed_maps;
+    m.mean_map_input_bytes = input_sum / m.completed_maps;
+    m.mean_map_output_bytes = output_sum / m.completed_maps;
+  }
+  return m;
+}
+
+}  // namespace mrapid::core

@@ -1,0 +1,30 @@
+#pragma once
+
+// The profiler (paper §III-C step 4). The original uses ASM bytecode
+// instrumentation inside the JVM; here the simulated runtime *is*
+// instrumented, so the profiler reduces to reading an AM's live
+// profile into the measurement record the decision maker consumes:
+// per-mode completed-map counts, mean map compute time (t^m), and mean
+// input/output sizes (s^i, s^o).
+
+#include "mapreduce/am_base.h"
+
+namespace mrapid::core {
+
+struct ModeMeasurement {
+  mr::ExecutionMode mode = mr::ExecutionMode::kHadoopDistributed;
+  int completed_maps = 0;
+  int total_maps = 0;
+  bool finished = false;
+  double elapsed_seconds = 0.0;        // so far (or total when finished)
+  double mean_map_compute_seconds = 0.0;  // t^m
+  double mean_map_input_bytes = 0.0;      // s^i
+  double mean_map_output_bytes = 0.0;     // s^o
+
+  bool has_map_data() const { return completed_maps > 0; }
+};
+
+// Reads the live (possibly still running) profile of an AM.
+ModeMeasurement measure(const mr::AmBase& am, sim::SimTime now);
+
+}  // namespace mrapid::core

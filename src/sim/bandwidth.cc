@@ -1,0 +1,126 @@
+#include "sim/bandwidth.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace mrapid::sim {
+
+namespace {
+// Transfers whose fluid remainder drops below this are considered done.
+constexpr double kEpsilonBytes = 1e-6;
+}  // namespace
+
+BandwidthResource::BandwidthResource(Simulation& sim, std::string name, Rate capacity,
+                                     Rate per_transfer_cap, double contention_alpha)
+    : sim_(sim), name_(std::move(name)), capacity_(capacity),
+      per_transfer_cap_(per_transfer_cap), contention_alpha_(contention_alpha) {
+  assert(capacity.valid());
+  assert(contention_alpha >= 0.0);
+}
+
+double BandwidthResource::share_for(const Transfer& transfer) const {
+  const std::size_t n = std::max<std::size_t>(1, transfers_.size());
+  double share = capacity_.bytes_per_sec / static_cast<double>(n);
+  if (per_transfer_cap_.valid()) share = std::min(share, per_transfer_cap_.bytes_per_sec);
+  share /= 1.0 + transfer.contention_alpha * static_cast<double>(n - 1);
+  return share;
+}
+
+Rate BandwidthResource::current_share() const {
+  Transfer probe{};
+  probe.contention_alpha = contention_alpha_;
+  return Rate{share_for(probe)};
+}
+
+double BandwidthResource::busy_seconds() const {
+  double total = busy_seconds_;
+  if (!transfers_.empty()) total += (sim_.now() - busy_since_).as_seconds();
+  return total;
+}
+
+BandwidthResource::TransferId BandwidthResource::start(Bytes bytes, CompletionCallback on_complete) {
+  return start(bytes, contention_alpha_, std::move(on_complete));
+}
+
+BandwidthResource::TransferId BandwidthResource::start(Bytes bytes, double contention_alpha,
+                                                       CompletionCallback on_complete) {
+  assert(bytes >= 0);
+  assert(contention_alpha >= 0.0);
+  const TransferId id = next_id_++;
+  if (bytes == 0) {
+    sim_.schedule_now([cb = std::move(on_complete)] { cb(SimDuration::zero()); },
+                      name_ + ":zero-transfer");
+    return id;
+  }
+  advance_progress();
+  if (transfers_.empty()) busy_since_ = sim_.now();
+  transfers_.push_back(Transfer{id, static_cast<double>(bytes), sim_.now(), bytes,
+                                contention_alpha, std::move(on_complete)});
+  replan();
+  return id;
+}
+
+bool BandwidthResource::cancel(TransferId id) {
+  advance_progress();
+  auto it = std::find_if(transfers_.begin(), transfers_.end(),
+                         [id](const Transfer& t) { return t.id == id; });
+  if (it == transfers_.end()) return false;
+  transfers_.erase(it);
+  if (transfers_.empty()) busy_seconds_ += (sim_.now() - busy_since_).as_seconds();
+  replan();
+  return true;
+}
+
+void BandwidthResource::advance_progress() {
+  const SimTime now = sim_.now();
+  if (now > last_update_ && !transfers_.empty()) {
+    const double elapsed = (now - last_update_).as_seconds();
+    for (auto& t : transfers_) {
+      t.remaining_bytes = std::max(0.0, t.remaining_bytes - share_for(t) * elapsed);
+    }
+  }
+  last_update_ = now;
+}
+
+void BandwidthResource::replan() {
+  if (completion_event_.valid()) {
+    sim_.cancel(completion_event_);
+    completion_event_ = EventId{};
+  }
+  if (transfers_.empty()) return;
+  double eta_seconds = std::numeric_limits<double>::infinity();
+  for (const auto& t : transfers_) {
+    eta_seconds = std::min(eta_seconds, t.remaining_bytes / share_for(t));
+  }
+  eta_seconds = std::max(0.0, eta_seconds);
+  completion_event_ = sim_.schedule_after(SimDuration::seconds_ceil(eta_seconds),
+                                          [this] { on_completion_event(); }, name_ + ":finish");
+}
+
+void BandwidthResource::on_completion_event() {
+  completion_event_ = EventId{};
+  advance_progress();
+  // Collect all transfers that finished at this instant (ties are
+  // common when identical transfers start together).
+  std::vector<Transfer> done;
+  for (auto it = transfers_.begin(); it != transfers_.end();) {
+    if (it->remaining_bytes <= kEpsilonBytes) {
+      done.push_back(std::move(*it));
+      it = transfers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (transfers_.empty() && !done.empty()) {
+    busy_seconds_ += (sim_.now() - busy_since_).as_seconds();
+  }
+  replan();
+  for (auto& t : done) {
+    bytes_served_ += t.total_bytes;
+    const SimDuration elapsed = sim_.now() - t.started;
+    if (t.on_complete) t.on_complete(elapsed);
+  }
+}
+
+}  // namespace mrapid::sim

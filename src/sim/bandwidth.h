@@ -1,0 +1,96 @@
+#pragma once
+
+// A bandwidth resource shared max-min fairly by concurrent transfers.
+//
+// Models a disk or a NIC: `n` concurrent transfers each progress at
+// capacity/n. On every membership change the resource advances all
+// transfers' progress to "now", recomputes the shared rate, and
+// re-schedules the single completion event for the next finisher.
+// This is the standard progress-based fluid model used by flow-level
+// network simulators.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace mrapid::sim {
+
+class BandwidthResource {
+ public:
+  using TransferId = std::uint64_t;
+  // Callback receives the total elapsed transfer time.
+  using CompletionCallback = std::function<void(SimDuration)>;
+
+  // `per_transfer_cap` bounds a single transfer's rate below the full
+  // capacity — e.g. a multi-core CPU serves many tasks at `cores`
+  // total, but one single-threaded task can use at most one core.
+  // An invalid (default) cap means "no cap".
+  //
+  // `contention_alpha` models sublinear scaling under concurrency:
+  // with n active transfers every share is divided by
+  // 1 + alpha * (n - 1). Zero (default) is ideal fair sharing (disks,
+  // NICs); CPUs use a small positive alpha so co-scheduled compute
+  // pays for shared caches/memory bandwidth — the "resource
+  // contention" that makes greedy container packing slow.
+  BandwidthResource(Simulation& sim, std::string name, Rate capacity,
+                    Rate per_transfer_cap = Rate{}, double contention_alpha = 0.0);
+
+  // Begins a transfer of `bytes`; on_complete fires when it finishes.
+  // Zero-byte transfers complete at the current instant.
+  TransferId start(Bytes bytes, CompletionCallback on_complete);
+
+  // As above, with a per-transfer contention coefficient overriding
+  // the resource default (e.g. a memory-bandwidth-heavy map task
+  // degrades more under co-scheduling than a cache-resident one).
+  TransferId start(Bytes bytes, double contention_alpha, CompletionCallback on_complete);
+
+  // Cancels an in-flight transfer; returns false if already finished.
+  bool cancel(TransferId id);
+
+  std::size_t active_transfers() const { return transfers_.size(); }
+  Rate capacity() const { return capacity_; }
+  const std::string& name() const { return name_; }
+
+  // Rate of a hypothetical transfer with the default contention
+  // coefficient under the current load (capacity if idle).
+  Rate current_share() const;
+
+  // Total bytes fully served so far (completed transfers only).
+  Bytes bytes_served() const { return bytes_served_; }
+  // Integral of busy time: seconds during which >=1 transfer was active.
+  double busy_seconds() const;
+
+ private:
+  struct Transfer {
+    TransferId id;
+    double remaining_bytes;
+    SimTime started;
+    Bytes total_bytes;
+    double contention_alpha;
+    CompletionCallback on_complete;
+  };
+
+  double share_for(const Transfer& transfer) const;  // bytes/sec under current load
+  void advance_progress();
+  void replan();
+  void on_completion_event();
+
+  Simulation& sim_;
+  std::string name_;
+  Rate capacity_;
+  Rate per_transfer_cap_;
+  double contention_alpha_;
+  std::vector<Transfer> transfers_;
+  SimTime last_update_ = SimTime::zero();
+  EventId completion_event_{};
+  TransferId next_id_ = 1;
+  Bytes bytes_served_ = 0;
+  double busy_seconds_ = 0.0;
+  SimTime busy_since_ = SimTime::zero();
+};
+
+}  // namespace mrapid::sim

@@ -1,0 +1,52 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace mrapid::sim {
+
+EventId EventQueue::push(SimTime at, EventCallback callback, std::string label) {
+  auto record = std::make_shared<Record>();
+  record->time = at;
+  record->seq = next_seq_++;
+  record->callback = std::move(callback);
+  record->label = std::move(label);
+  heap_.push(record);
+  index_.push_back(record);
+  ++live_;
+  return EventId{index_.size()};  // ids are 1-based so {0} stays "invalid"
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid() || id.value > index_.size()) return false;
+  auto record = index_[id.value - 1].lock();
+  if (!record || record->cancelled) return false;
+  record->cancelled = true;
+  record->callback = nullptr;  // release captured state promptly
+  assert(live_ > 0);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty() && heap_.top()->cancelled) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled_head();
+  return heap_.empty() ? SimTime::max() : heap_.top()->time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  auto record = heap_.top();
+  heap_.pop();
+  // Mark fired so a late cancel() of this id is a no-op.
+  record->cancelled = true;
+  --live_;
+  return Fired{record->time, std::move(record->callback), std::move(record->label)};
+}
+
+}  // namespace mrapid::sim

@@ -1,0 +1,77 @@
+#pragma once
+
+// The simulator's pending-event set.
+//
+// Ordering is the pair (time, sequence): events at the same instant
+// fire in insertion order, which keeps causality chains (schedule A,
+// then B, both "now") deterministic. Cancellation is lazy — a
+// cancelled record stays in the heap and is skipped on pop — because
+// heartbeats and bandwidth re-planning cancel events constantly and
+// heap surgery would cost more than it saves.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mrapid::sim {
+
+using EventCallback = std::function<void()>;
+
+struct EventId {
+  std::uint64_t value = 0;
+  constexpr bool valid() const { return value != 0; }
+  friend constexpr bool operator==(EventId a, EventId b) { return a.value == b.value; }
+};
+
+class EventQueue {
+ public:
+  EventId push(SimTime at, EventCallback callback, std::string label = {});
+
+  // Returns true if the event existed and had not yet fired.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  // Time of the next live event; SimTime::max() if none.
+  SimTime next_time() const;
+
+  struct Fired {
+    SimTime time;
+    EventCallback callback;
+    std::string label;
+  };
+  // Pops the earliest live event. Precondition: !empty().
+  Fired pop();
+
+ private:
+  struct Record {
+    SimTime time;
+    std::uint64_t seq;
+    EventCallback callback;
+    std::string label;
+    bool cancelled = false;
+  };
+  struct Compare {
+    bool operator()(const std::shared_ptr<Record>& a, const std::shared_ptr<Record>& b) const {
+      if (a->time != b->time) return a->time > b->time;  // min-heap on time
+      return a->seq > b->seq;                            // then FIFO
+    }
+  };
+
+  void drop_cancelled_head() const;
+
+  mutable std::priority_queue<std::shared_ptr<Record>, std::vector<std::shared_ptr<Record>>,
+                              Compare>
+      heap_;
+  std::vector<std::weak_ptr<Record>> index_;  // EventId -> record (1-based)
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mrapid::sim

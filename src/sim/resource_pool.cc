@@ -1,0 +1,43 @@
+#include "sim/resource_pool.h"
+
+#include <cassert>
+
+namespace mrapid::sim {
+
+ResourcePool::ResourcePool(Simulation& sim, std::string name, std::int64_t capacity)
+    : sim_(sim), name_(std::move(name)), capacity_(capacity), available_(capacity) {
+  assert(capacity >= 0);
+}
+
+bool ResourcePool::try_acquire(std::int64_t amount) {
+  assert(amount >= 0 && amount <= capacity_);
+  if (!waiters_.empty() || available_ < amount) return false;
+  available_ -= amount;
+  return true;
+}
+
+void ResourcePool::acquire(std::int64_t amount, Grant granted) {
+  assert(amount >= 0 && amount <= capacity_);
+  waiters_.push_back(Waiter{amount, std::move(granted)});
+  pump();
+}
+
+void ResourcePool::release(std::int64_t amount) {
+  assert(amount >= 0);
+  available_ += amount;
+  assert(available_ <= capacity_);
+  pump();
+}
+
+void ResourcePool::pump() {
+  while (!waiters_.empty() && waiters_.front().amount <= available_) {
+    Waiter waiter = std::move(waiters_.front());
+    waiters_.pop_front();
+    available_ -= waiter.amount;
+    // Deliver grants as fresh events so callers never re-enter the
+    // pool from inside their own acquire/release call.
+    sim_.schedule_now([granted = std::move(waiter.granted)] { granted(); }, name_ + ":grant");
+  }
+}
+
+}  // namespace mrapid::sim

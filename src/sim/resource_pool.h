@@ -1,0 +1,52 @@
+#pragma once
+
+// A counted resource (CPU cores, memory MB, container slots) with a
+// strict-FIFO wait queue. Strict FIFO — a large request at the head
+// blocks smaller ones behind it — matches YARN container semantics and
+// keeps starvation out of the model.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulation.h"
+
+namespace mrapid::sim {
+
+class ResourcePool {
+ public:
+  using Grant = std::function<void()>;
+
+  ResourcePool(Simulation& sim, std::string name, std::int64_t capacity);
+
+  // Immediate, non-queueing acquire. Returns false if short.
+  bool try_acquire(std::int64_t amount);
+
+  // Queueing acquire: `granted` fires (as a fresh event) once the
+  // amount is available and every earlier waiter has been served.
+  void acquire(std::int64_t amount, Grant granted);
+
+  void release(std::int64_t amount);
+
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t available() const { return available_; }
+  std::int64_t in_use() const { return capacity_ - available_; }
+  std::size_t waiting() const { return waiters_.size(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Waiter {
+    std::int64_t amount;
+    Grant granted;
+  };
+  void pump();
+
+  Simulation& sim_;
+  std::string name_;
+  std::int64_t capacity_;
+  std::int64_t available_;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace mrapid::sim

@@ -1,0 +1,60 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace mrapid::sim {
+
+Simulation::Simulation(std::uint64_t master_seed) : master_seed_(master_seed) {
+  Logger::instance().set_time_source([this] { return now_.as_seconds(); });
+}
+
+Simulation::~Simulation() { Logger::instance().set_time_source(nullptr); }
+
+EventId Simulation::schedule_at(SimTime at, EventCallback callback, std::string label) {
+  assert(at >= now_ && "cannot schedule into the past");
+  return queue_.push(at, std::move(callback), std::move(label));
+}
+
+EventId Simulation::schedule_after(SimDuration delay, EventCallback callback, std::string label) {
+  assert(delay >= SimDuration::zero());
+  return schedule_at(now_ + delay, std::move(callback), std::move(label));
+}
+
+EventId Simulation::schedule_now(EventCallback callback, std::string label) {
+  return schedule_at(now_, std::move(callback), std::move(label));
+}
+
+std::uint64_t Simulation::run() { return run_until(SimTime::max()); }
+
+std::uint64_t Simulation::run_until(SimTime deadline) {
+  stop_requested_ = false;
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > deadline) break;
+    auto event = queue_.pop();
+    now_ = event.time;
+    ++fired;
+    ++processed_;
+    if (event.callback) event.callback();
+  }
+  // Advance the clock to the deadline when nothing fires before it
+  // (whether the queue is empty or its head lies beyond the deadline),
+  // so repeated bounded runs make progress.
+  if (!stop_requested_ && deadline != SimTime::max() && now_ < deadline &&
+      (queue_.empty() || queue_.next_time() > deadline)) {
+    now_ = deadline;
+  }
+  return fired;
+}
+
+RngStream& Simulation::rng(std::string_view name) {
+  auto it = rng_streams_.find(std::string(name));
+  if (it == rng_streams_.end()) {
+    it = rng_streams_.emplace(std::string(name), RngStream(master_seed_, name)).first;
+  }
+  return it->second;
+}
+
+}  // namespace mrapid::sim

@@ -1,0 +1,68 @@
+#pragma once
+
+// The discrete-event simulation driver.
+//
+// Single-threaded by design: determinism comes from the stable event
+// queue plus named RNG streams (common/rng.h). Components hold a
+// Simulation& and schedule callbacks; there is no global state.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace mrapid::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t master_seed = 0x5EED);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  EventId schedule_at(SimTime at, EventCallback callback, std::string label = {});
+  EventId schedule_after(SimDuration delay, EventCallback callback, std::string label = {});
+  // Convenience: fire "immediately", i.e. after the current event, at
+  // the same simulated instant.
+  EventId schedule_now(EventCallback callback, std::string label = {});
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  // Runs until the event queue drains or stop() is called. Returns the
+  // number of events processed by this call.
+  std::uint64_t run();
+
+  // Runs events with time <= deadline; the clock ends at
+  // min(deadline, last event time). Returns events processed.
+  std::uint64_t run_until(SimTime deadline);
+
+  // Request the current run()/run_until() to return after the active
+  // event finishes.
+  void stop() { stop_requested_ = true; }
+
+  bool idle() const { return queue_.empty(); }
+  std::uint64_t processed_events() const { return processed_; }
+
+  // Named deterministic RNG stream, created on first use. The same
+  // (master seed, name) always yields the same sequence.
+  RngStream& rng(std::string_view name);
+  std::uint64_t master_seed() const { return master_seed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  bool stop_requested_ = false;
+  std::uint64_t processed_ = 0;
+  std::uint64_t master_seed_;
+  std::unordered_map<std::string, RngStream> rng_streams_;
+};
+
+}  // namespace mrapid::sim

@@ -1,0 +1,25 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace mrapid::sim {
+
+std::string format_time(SimTime t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3fs", t.as_seconds());
+  return buf;
+}
+
+std::string format_duration(SimDuration d) {
+  char buf[48];
+  if (d.as_micros() < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(d.as_micros()));
+  } else if (d.as_micros() < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", d.as_millis());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", d.as_seconds());
+  }
+  return buf;
+}
+
+}  // namespace mrapid::sim

@@ -1,0 +1,82 @@
+#pragma once
+
+// Simulated time.
+//
+// SimTime is an absolute instant, SimDuration a signed span; both are
+// integer microseconds so that event ordering is exact (no floating
+// point tie ambiguity) and runs are bit-for-bit reproducible.
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace mrapid::sim {
+
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  static constexpr SimDuration micros(std::int64_t us) { return SimDuration(us); }
+  static constexpr SimDuration millis(double ms) {
+    return SimDuration(static_cast<std::int64_t>(std::llround(ms * 1e3)));
+  }
+  static constexpr SimDuration seconds(double s) {
+    return SimDuration(static_cast<std::int64_t>(std::llround(s * 1e6)));
+  }
+  // Rounds up to the next whole microsecond. Completion events for
+  // fluid transfers must never fire *early*, or the leftover fraction
+  // of a byte re-plans a zero-delay event forever.
+  static constexpr SimDuration seconds_ceil(double s) {
+    return SimDuration(static_cast<std::int64_t>(std::ceil(s * 1e6)));
+  }
+  static constexpr SimDuration zero() { return SimDuration(0); }
+
+  constexpr std::int64_t as_micros() const { return us_; }
+  constexpr double as_seconds() const { return static_cast<double>(us_) * 1e-6; }
+  constexpr double as_millis() const { return static_cast<double>(us_) * 1e-3; }
+
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration(us_ + o.us_); }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration(us_ - o.us_); }
+  constexpr SimDuration operator*(std::int64_t k) const { return SimDuration(us_ * k); }
+  constexpr SimDuration& operator+=(SimDuration o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr SimDuration& operator-=(SimDuration o) {
+    us_ -= o.us_;
+    return *this;
+  }
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+ private:
+  constexpr explicit SimDuration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime from_micros(std::int64_t us) { return SimTime(us); }
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(std::llround(s * 1e6)));
+  }
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() { return SimTime(INT64_MAX); }
+
+  constexpr std::int64_t as_micros() const { return us_; }
+  constexpr double as_seconds() const { return static_cast<double>(us_) * 1e-6; }
+
+  constexpr SimTime operator+(SimDuration d) const { return SimTime(us_ + d.as_micros()); }
+  constexpr SimTime operator-(SimDuration d) const { return SimTime(us_ - d.as_micros()); }
+  constexpr SimDuration operator-(SimTime o) const { return SimDuration::micros(us_ - o.us_); }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+std::string format_time(SimTime t);
+std::string format_duration(SimDuration d);
+
+}  // namespace mrapid::sim

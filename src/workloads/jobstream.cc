@@ -1,0 +1,74 @@
+#include "workloads/jobstream.h"
+
+#include <cassert>
+#include <map>
+
+namespace mrapid::wl {
+
+std::vector<StreamedJob> make_job_stream(const JobStreamParams& params) {
+  assert(params.jobs > 0);
+  RngStream rng(params.seed, "jobstream");
+  const double total_weight =
+      params.scan_weight + params.sort_weight + params.numeric_weight;
+  assert(total_weight > 0);
+
+  // Cache one workload instance per concrete shape.
+  std::map<std::string, std::shared_ptr<Workload>> shapes;
+  std::vector<StreamedJob> stream;
+  double clock = 0.0;
+
+  for (int i = 0; i < params.jobs; ++i) {
+    clock += rng.next_exponential(params.mean_interarrival_seconds);
+    const double pick = rng.next_real(0.0, total_weight);
+
+    StreamedJob job;
+    job.submit_offset_seconds = clock;
+    if (pick < params.scan_weight) {
+      const int files =
+          static_cast<int>(rng.next_int(params.min_files, params.max_files));
+      // Quantise sizes to whole MB so shapes repeat and payload caches hit.
+      const Bytes size = megabytes(static_cast<double>(
+          rng.next_int(params.min_file_bytes / 1_MB, params.max_file_bytes / 1_MB)));
+      const std::string key =
+          "scan-" + std::to_string(files) + "x" + std::to_string(size / 1_MB) + "MB";
+      auto& shape = shapes[key];
+      if (!shape) {
+        WordCountParams wc;
+        wc.num_files = static_cast<std::size_t>(files);
+        wc.bytes_per_file = size;
+        wc.seed = params.seed;
+        shape = std::make_shared<WordCount>(wc);
+      }
+      job.label = key;
+      job.workload = shape;
+    } else if (pick < params.scan_weight + params.sort_weight) {
+      const std::int64_t rows = rng.next_int(1, 4) * 100000;
+      const std::string key = "sort-" + std::to_string(rows / 1000) + "k";
+      auto& shape = shapes[key];
+      if (!shape) {
+        TeraSortParams ts;
+        ts.rows = rows;
+        ts.seed = params.seed;
+        shape = std::make_shared<TeraSort>(ts);
+      }
+      job.label = key;
+      job.workload = shape;
+    } else {
+      const std::int64_t samples = rng.next_int(1, 4) * 100000000;
+      const std::string key = "numeric-" + std::to_string(samples / 1000000) + "m";
+      auto& shape = shapes[key];
+      if (!shape) {
+        PiParams pi;
+        pi.total_samples = samples;
+        shape = std::make_shared<Pi>(pi);
+      }
+      job.label = key;
+      job.workload = shape;
+    }
+    job.label += "#" + std::to_string(i);
+    stream.push_back(std::move(job));
+  }
+  return stream;
+}
+
+}  // namespace mrapid::wl

@@ -1,0 +1,52 @@
+#pragma once
+
+// Synthetic short-job stream generator — the paper's motivation in
+// workload form: "the MapReduce jobs at Google in 2004 took 634
+// seconds on the average, and over 80% of Yahoo's jobs finished
+// within 10 minutes", and SQL frontends "break a longer running job
+// into a collection of shorter jobs".
+//
+// A JobStream draws a deterministic sequence of jobs: mostly small
+// scan/aggregate stages (WordCount-shaped), some sorts, some numeric
+// stages, with Poisson-ish inter-arrival gaps. The throughput bench
+// and the ad-hoc example replay such streams against the baseline and
+// against MRapid.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workloads/pi.h"
+#include "workloads/terasort.h"
+#include "workloads/wordcount.h"
+
+namespace mrapid::wl {
+
+struct JobStreamParams {
+  std::uint64_t seed = 2017;
+  int jobs = 12;
+  double mean_interarrival_seconds = 5.0;
+  // Mix fractions (normalised internally).
+  double scan_weight = 0.6;   // WordCount-shaped stages
+  double sort_weight = 0.25;  // TeraSort-shaped stages
+  double numeric_weight = 0.15;  // PI-shaped stages
+  // Size ranges for the scan stages (the short-job regime).
+  int min_files = 1;
+  int max_files = 8;
+  Bytes min_file_bytes = 2_MB;
+  Bytes max_file_bytes = 10_MB;
+};
+
+struct StreamedJob {
+  std::string label;
+  double submit_offset_seconds = 0.0;  // since stream start
+  std::shared_ptr<Workload> workload;  // distinct instance per job class/size
+};
+
+// Deterministically expands the params into a concrete job list.
+// Workload instances are shared between jobs of identical shape so
+// generated payloads are built once.
+std::vector<StreamedJob> make_job_stream(const JobStreamParams& params);
+
+}  // namespace mrapid::wl

@@ -1,0 +1,34 @@
+#pragma once
+
+// Deterministic synthetic text: words drawn from a Zipf-distributed
+// vocabulary, the usual stand-in for natural-language corpora. Word
+// lengths follow English-ish statistics (3-10 chars, short words more
+// common because frequent ranks get short words).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace mrapid::wl {
+
+class TextGenerator {
+ public:
+  TextGenerator(std::uint64_t seed, std::size_t vocabulary_size = 100000, double zipf_s = 1.1);
+
+  // Generates approximately `bytes` of space-separated text,
+  // deterministic in (seed, stream_tag).
+  std::string generate(Bytes bytes, std::uint64_t stream_tag) const;
+
+  const std::string& word(std::size_t rank) const { return vocabulary_.at(rank); }
+  std::size_t vocabulary_size() const { return vocabulary_.size(); }
+
+ private:
+  std::uint64_t seed_;
+  double zipf_s_;
+  std::vector<std::string> vocabulary_;
+};
+
+}  // namespace mrapid::wl

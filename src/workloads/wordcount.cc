@@ -1,0 +1,158 @@
+#include "workloads/wordcount.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace mrapid::wl {
+
+namespace {
+// Serialized (word, count) pair: word bytes + separator + 8-byte count.
+constexpr Bytes kPairOverhead = 9;
+
+// Input directories are derived from the workload shape so distinct
+// WordCount instances sharing one HDFS never collide.
+std::string input_dir(const WordCountParams& params) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "/input/wordcount-%zux%lld-%llu", params.num_files,
+                static_cast<long long>(params.bytes_per_file),
+                static_cast<unsigned long long>(params.seed));
+  return buf;
+}
+
+std::string input_path(const WordCountParams& params, std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/part-%05zu", index);
+  return input_dir(params) + buf;
+}
+}  // namespace
+
+void tokenize_into(std::string_view text, WordCounts& counts) {
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    while (begin < text.size() && (text[begin] == ' ' || text[begin] == '\n')) ++begin;
+    std::size_t end = begin;
+    while (end < text.size() && text[end] != ' ' && text[end] != '\n') ++end;
+    if (end > begin) ++counts[std::string(text.substr(begin, end - begin))];
+    begin = end;
+  }
+}
+
+WordCount::WordCount(WordCountParams params)
+    : params_(params), generator_(params.seed, params.vocabulary, params.zipf_s) {
+  content_cache_.resize(params_.num_files);
+}
+
+const std::string& WordCount::file_content(std::size_t file_index) const {
+  assert(file_index < content_cache_.size());
+  std::string& cached = content_cache_[file_index];
+  if (cached.empty() && params_.bytes_per_file > 0) {
+    cached = generator_.generate(params_.bytes_per_file, file_index);
+  }
+  return cached;
+}
+
+std::vector<std::string> WordCount::stage(hdfs::Hdfs& hdfs) {
+  std::vector<std::string> paths;
+  paths.reserve(params_.num_files);
+  for (std::size_t i = 0; i < params_.num_files; ++i) {
+    std::string path = input_path(params_, i);
+    if (!hdfs.namenode().exists(path)) hdfs.preload_file(path, params_.bytes_per_file);
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+Bytes WordCount::serialized_size(const WordCounts& counts) {
+  Bytes total = 0;
+  for (const auto& [word, count] : counts) {
+    (void)count;
+    total += static_cast<Bytes>(word.size()) + kPairOverhead;
+  }
+  return total;
+}
+
+mr::MapOutcome WordCount::execute_map(const mr::InputSplit& split) const {
+  const auto cache_key = std::make_pair(split.path, split.offset);
+  if (auto it = map_cache_.find(cache_key); it != map_cache_.end()) return it->second;
+  // Recover the file index from the staged path layout.
+  std::size_t file_index = 0;
+  const std::size_t part = split.path.rfind("/part-");
+  assert(part != std::string::npos);
+  std::sscanf(split.path.c_str() + part, "/part-%zu", &file_index);
+  const std::string& content = file_content(file_index);
+
+  const auto offset = static_cast<std::size_t>(split.offset);
+  const auto length = static_cast<std::size_t>(split.length);
+  assert(offset + length <= content.size() + 1);
+  auto counts = std::make_shared<WordCounts>();
+  tokenize_into(std::string_view(content).substr(offset, length), *counts);
+
+  mr::MapOutcome outcome;
+  std::int64_t tokens = 0;
+  for (const auto& [word, count] : *counts) {
+    (void)word;
+    tokens += count;
+  }
+  if (params_.use_combiner) {
+    outcome.output_bytes = serialized_size(*counts);
+    outcome.output_records = static_cast<std::int64_t>(counts->size());
+  } else {
+    // Raw (word, 1) pairs: one record per token.
+    Bytes raw = 0;
+    for (const auto& [word, count] : *counts) {
+      raw += count * (static_cast<Bytes>(word.size()) + kPairOverhead);
+    }
+    outcome.output_bytes = raw;
+    outcome.output_records = tokens;
+  }
+  outcome.core_seconds = params_.map_throughput.seconds_for(split.length);
+  outcome.data = counts;
+  map_cache_.emplace(cache_key, outcome);
+  return outcome;
+}
+
+mr::ReduceOutcome WordCount::execute_reduce(std::span<const mr::MapOutcome> maps) const {
+  auto merged = std::make_shared<WordCounts>();
+  Bytes shuffled = 0;
+  for (const auto& map : maps) {
+    shuffled += map.output_bytes;
+    if (!map.data) continue;
+    const auto& counts = *std::static_pointer_cast<const WordCounts>(map.data);
+    for (const auto& [word, count] : counts) (*merged)[word] += count;
+  }
+  mr::ReduceOutcome outcome;
+  outcome.output_bytes = serialized_size(*merged);
+  outcome.core_seconds = params_.reduce_throughput.seconds_for(shuffled);
+  outcome.result = merged;
+  return outcome;
+}
+
+std::vector<mr::MapOutcome> WordCount::partition_map_output(const mr::MapOutcome& outcome,
+                                                            int reducers) const {
+  if (reducers <= 1) return mr::JobLogic::partition_map_output(outcome, reducers);
+  std::vector<std::shared_ptr<WordCounts>> shards(static_cast<std::size_t>(reducers));
+  for (auto& shard : shards) shard = std::make_shared<WordCounts>();
+  if (outcome.data) {
+    const auto& counts = *std::static_pointer_cast<const WordCounts>(outcome.data);
+    for (const auto& [word, count] : counts) {
+      const auto r = stable_hash64(word) % static_cast<std::uint64_t>(reducers);
+      (*shards[static_cast<std::size_t>(r)])[word] = count;
+    }
+  }
+  std::vector<mr::MapOutcome> out(static_cast<std::size_t>(reducers));
+  for (int r = 0; r < reducers; ++r) {
+    auto& shard = shards[static_cast<std::size_t>(r)];
+    out[static_cast<std::size_t>(r)].output_bytes = serialized_size(*shard);
+    out[static_cast<std::size_t>(r)].output_records = static_cast<std::int64_t>(shard->size());
+    out[static_cast<std::size_t>(r)].data = shard;
+  }
+  return out;
+}
+
+WordCounts WordCount::reference_counts() const {
+  WordCounts counts;
+  for (std::size_t i = 0; i < params_.num_files; ++i) tokenize_into(file_content(i), counts);
+  return counts;
+}
+
+}  // namespace mrapid::wl

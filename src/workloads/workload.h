@@ -1,0 +1,37 @@
+#pragma once
+
+// Workloads are JobLogic implementations that do *real* computation
+// over staged data — the three benchmarks the paper evaluates
+// (WordCount, TeraSort, PI from the Hadoop examples package). A
+// workload object is simulation-independent: the same instance is
+// staged into a fresh HDFS for every mode/run of an experiment, so its
+// (deterministically generated) input payloads are built once and
+// reused.
+
+#include <string>
+#include <vector>
+
+#include "hdfs/hdfs.h"
+#include "mapreduce/job.h"
+
+namespace mrapid::wl {
+
+class Workload : public mr::JobLogic {
+ public:
+  // Registers this workload's input files in `hdfs` (metadata only —
+  // the dataset is assumed pre-existing, as in the paper) and returns
+  // their paths.
+  virtual std::vector<std::string> stage(hdfs::Hdfs& hdfs) = 0;
+
+  // Convenience: stage + build the JobSpec for this workload.
+  mr::JobSpec make_spec(hdfs::Hdfs& hdfs) {
+    mr::JobSpec spec;
+    spec.name = name();
+    spec.input_paths = stage(hdfs);
+    spec.output_path = "/output/" + name();
+    spec.logic = this;
+    return spec;
+  }
+};
+
+}  // namespace mrapid::wl

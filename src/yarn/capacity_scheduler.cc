@@ -1,0 +1,36 @@
+#include "yarn/capacity_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mrapid::yarn {
+
+void HadoopCapacityScheduler::on_container_request(std::vector<Ask> asks) {
+  for (auto& ask : asks) queue_.push_back(std::move(ask));
+}
+
+void HadoopCapacityScheduler::on_node_update(cluster::NodeId node) {
+  assert(context_ != nullptr);
+  NodeState* state = context_->node_state(node);
+  if (state == nullptr) return;
+  // Greedy packing: serve the FIFO head as long as it fits here.
+  while (!queue_.empty() && queue_.front().capability.fits_in(state->available())) {
+    Ask ask = std::move(queue_.front());
+    queue_.pop_front();
+    state->used = state->used + ask.capability;
+    Allocation allocation;
+    allocation.ask = ask.id;
+    allocation.container =
+        Container{context_->next_container_id(), ask.app, node, ask.capability};
+    allocation.locality = judge_locality(ask, node);
+    context_->deliver_allocation(allocation);
+  }
+}
+
+void HadoopCapacityScheduler::cancel_asks(AppId app) {
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [app](const Ask& a) { return a.app == app; }),
+               queue_.end());
+}
+
+}  // namespace mrapid::yarn

@@ -1,0 +1,32 @@
+#pragma once
+
+// The baseline Hadoop scheduler of the paper's Figure 2.
+//
+// Asks queue strictly FIFO. Allocation happens only when a
+// NodeManager heartbeats (NODE_STATUS_UPDATE): the scheduler then
+// packs as many queued asks as fit onto *that* node — greedy,
+// locality-blind, and therefore prone to the container-allocation
+// imbalance the paper describes ("some DataNodes may be squeezed with
+// many containers, but others could be idle").
+
+#include <deque>
+
+#include "yarn/scheduler.h"
+
+namespace mrapid::yarn {
+
+class HadoopCapacityScheduler : public Scheduler {
+ public:
+  const char* name() const override { return "CapacityScheduler"; }
+  bool allocates_immediately() const override { return false; }
+
+  void on_container_request(std::vector<Ask> asks) override;
+  void on_node_update(cluster::NodeId node) override;
+  void cancel_asks(AppId app) override;
+  std::size_t queued_asks() const override { return queue_.size(); }
+
+ private:
+  std::deque<Ask> queue_;
+};
+
+}  // namespace mrapid::yarn

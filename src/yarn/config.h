@@ -1,0 +1,41 @@
+#pragma once
+
+// YARN runtime constants. Defaults are Hadoop-2.2-era values; the
+// per-figure benches only vary what the paper varies.
+
+#include "sim/time.h"
+#include "yarn/records.h"
+
+namespace mrapid::yarn {
+
+struct YarnConfig {
+  // Periodic heartbeats. Hadoop 2.2 defaults: NM->RM 1 s
+  // (yarn.resourcemanager.nodemanagers.heartbeat-interval-ms) and
+  // AM->RM 1 s (yarn.app.mapreduce.am.scheduler.heartbeat.interval-ms).
+  sim::SimDuration nm_heartbeat = sim::SimDuration::seconds(1.0);
+  sim::SimDuration am_heartbeat = sim::SimDuration::seconds(1.0);
+
+  // One-way RPC latency for non-heartbeat control messages
+  // (startContainer etc.).
+  sim::SimDuration rpc_latency = sim::SimDuration::millis(1.0);
+
+  // Container (JVM) launch cost t^l: localization + JVM spin-up.
+  sim::SimDuration container_launch = sim::SimDuration::seconds(1.5);
+  // Extra AM initialisation after its JVM is up (download splits,
+  // job.xml, build the job model).
+  sim::SimDuration am_init = sim::SimDuration::seconds(1.5);
+
+  // Default task / AM container sizes (mapreduce.map.memory.mb = 1024,
+  // AM 1536 MB in Hadoop 2.2).
+  Resource task_container{1, 1024};
+  Resource am_container{1, 1536};
+
+  // Fig. 12 knob: how many container vcores each physical core
+  // advertises (yarn vcore over-subscription).
+  int containers_per_core = 1;
+
+  // Memory the NM keeps back for daemons.
+  std::int64_t nm_memory_reserve_mb = 1024;
+};
+
+}  // namespace mrapid::yarn

@@ -1,0 +1,63 @@
+#pragma once
+
+// A NodeManager: owns the containers running on one worker node,
+// heartbeats to the RM on a fixed period (staggered per node), and
+// charges container launch time (localisation + JVM spin-up).
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "cluster/cluster.h"
+#include "sim/simulation.h"
+#include "yarn/config.h"
+#include "yarn/records.h"
+
+namespace mrapid::yarn {
+
+class ResourceManager;
+
+class NodeManager {
+ public:
+  NodeManager(cluster::Cluster& cluster, cluster::NodeId node, ResourceManager& rm,
+              const YarnConfig& config);
+  ~NodeManager();
+
+  NodeManager(const NodeManager&) = delete;
+  NodeManager& operator=(const NodeManager&) = delete;
+
+  cluster::NodeId node_id() const { return node_; }
+
+  // Resources this NM advertises to the RM.
+  Resource capacity() const;
+
+  // Begin heartbeating; the first beat fires after `initial_offset`.
+  void start(sim::SimDuration initial_offset);
+  void stop();
+
+  // AM -> NM: start a container. `on_running` fires once the RPC has
+  // arrived and the JVM is up (rpc_latency + container_launch +
+  // extra_init).
+  void launch_container(const Container& container, std::function<void()> on_running,
+                        sim::SimDuration extra_init = sim::SimDuration::zero());
+  void stop_container(ContainerId id);
+
+  std::size_t running_containers() const { return running_.size(); }
+  // Total containers ever launched here (imbalance metrics).
+  std::size_t launched_total() const { return launched_total_; }
+
+ private:
+  void heartbeat();
+
+  cluster::Cluster& cluster_;
+  sim::Simulation& sim_;
+  cluster::NodeId node_;
+  ResourceManager& rm_;
+  const YarnConfig& config_;
+  std::unordered_map<ContainerId, Container> running_;
+  std::size_t launched_total_ = 0;
+  sim::EventId heartbeat_event_{};
+  bool started_ = false;
+};
+
+}  // namespace mrapid::yarn

@@ -1,0 +1,14 @@
+#include "yarn/records.h"
+
+#include <cstdio>
+
+namespace mrapid::yarn {
+
+std::string Resource::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "<%d vcores, %lld MB>", vcores,
+                static_cast<long long>(memory_mb));
+  return buf;
+}
+
+}  // namespace mrapid::yarn

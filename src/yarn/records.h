@@ -1,0 +1,71 @@
+#pragma once
+
+// YARN protocol records: resources, containers, asks and allocations.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.h"
+
+namespace mrapid::yarn {
+
+using AppId = std::int32_t;
+using ContainerId = std::int64_t;
+using AskId = std::uint64_t;
+
+inline constexpr AppId kInvalidApp = -1;
+
+// A multi-dimensional resource amount (vcores + memory), the two
+// dimensions Hadoop's CapacityScheduler and the paper's dominant-
+// resource sort operate on.
+struct Resource {
+  int vcores = 0;
+  std::int64_t memory_mb = 0;
+
+  friend constexpr Resource operator+(Resource a, Resource b) {
+    return {a.vcores + b.vcores, a.memory_mb + b.memory_mb};
+  }
+  friend constexpr Resource operator-(Resource a, Resource b) {
+    return {a.vcores - b.vcores, a.memory_mb - b.memory_mb};
+  }
+  friend constexpr bool operator==(Resource a, Resource b) {
+    return a.vcores == b.vcores && a.memory_mb == b.memory_mb;
+  }
+  // True when this resource fits inside `other` on every dimension.
+  constexpr bool fits_in(Resource other) const {
+    return vcores <= other.vcores && memory_mb <= other.memory_mb;
+  }
+  constexpr bool is_zero() const { return vcores == 0 && memory_mb == 0; }
+
+  std::string to_string() const;
+};
+
+// A granted container: a resource lease on a node, owned by an app.
+struct Container {
+  ContainerId id = 0;
+  AppId app = kInvalidApp;
+  cluster::NodeId node = cluster::kInvalidNode;
+  Resource resource;
+};
+
+// One container ask from an AM. `preferred_nodes` lists the nodes
+// holding the task's input replicas (empty = no preference / ANY).
+// `relax_locality` mirrors Hadoop: when true the ask may fall back to
+// rack-local or arbitrary nodes.
+struct Ask {
+  AskId id = 0;
+  AppId app = kInvalidApp;
+  Resource capability;
+  std::vector<cluster::NodeId> preferred_nodes;
+  bool relax_locality = true;
+};
+
+// A satisfied ask, handed back to the AM.
+struct Allocation {
+  AskId ask = 0;
+  Container container;
+  cluster::Locality locality = cluster::Locality::kAny;
+};
+
+}  // namespace mrapid::yarn

@@ -1,0 +1,169 @@
+#include "yarn/resource_manager.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace mrapid::yarn {
+
+ResourceManager::ResourceManager(cluster::Cluster& cluster, std::unique_ptr<Scheduler> scheduler,
+                                 YarnConfig config)
+    : cluster_(cluster),
+      sim_(cluster.simulation()),
+      scheduler_(std::move(scheduler)),
+      config_(config) {
+  scheduler_->bind(this);
+}
+
+ResourceManager::~ResourceManager() { stop(); }
+
+void ResourceManager::start() {
+  assert(!started_);
+  started_ = true;
+  const auto& workers = cluster_.workers();
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const cluster::NodeId node = workers[i];
+    auto nm = std::make_unique<NodeManager>(cluster_, node, *this, config_);
+    NodeState state;
+    state.id = node;
+    state.capacity = nm->capacity();
+    node_states_.push_back(state);
+    // Stagger heartbeats deterministically across the period so the
+    // RM sees a steady trickle of NODE_STATUS_UPDATEs, as in a real
+    // cluster.
+    const sim::SimDuration offset =
+        sim::SimDuration::micros(static_cast<std::int64_t>(i) *
+                                 config_.nm_heartbeat.as_micros() /
+                                 static_cast<std::int64_t>(workers.size()));
+    nm->start(offset);
+    node_managers_.emplace(node, std::move(nm));
+  }
+}
+
+void ResourceManager::stop() {
+  for (auto& [id, nm] : node_managers_) nm->stop();
+  started_ = false;
+}
+
+ResourceManager::AppRecord* ResourceManager::app(AppId id) {
+  auto it = apps_.find(id);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+bool ResourceManager::app_finished(AppId id) const {
+  auto it = apps_.find(id);
+  return it == apps_.end() || it->second.finished;
+}
+
+NodeManager& ResourceManager::node_manager(cluster::NodeId node) {
+  auto it = node_managers_.find(node);
+  assert(it != node_managers_.end());
+  return *it->second;
+}
+
+NodeState* ResourceManager::node_state(cluster::NodeId id) {
+  for (auto& state : node_states_) {
+    if (state.id == id) return &state;
+  }
+  return nullptr;
+}
+
+AppId ResourceManager::submit_application(std::string name, AmReadyCallback on_am_ready) {
+  const AppId id = next_app_id_++;
+  AppRecord record;
+  record.id = id;
+  record.name = std::move(name);
+  record.on_am_ready = std::move(on_am_ready);
+  record.am_ask = new_ask_id();
+  apps_.emplace(id, std::move(record));
+
+  LOG_INFO("rm", "app %d (%s) submitted", id, apps_.at(id).name.c_str());
+  // Submission RPC, then the AM container ask enters the scheduler.
+  sim_.schedule_after(config_.rpc_latency, [this, id] {
+    AppRecord* record = app(id);
+    if (record == nullptr || record->finished) return;
+    Ask ask;
+    ask.id = record->am_ask;
+    ask.app = id;
+    ask.capability = config_.am_container;
+    scheduler_->on_container_request({ask});
+  }, "rm:submit");
+  return id;
+}
+
+void ResourceManager::deliver_allocation(const Allocation& allocation) {
+  AppRecord* record = app(allocation.container.app);
+  if (record == nullptr || record->finished) {
+    // Allocation raced with app completion: hand the resources back.
+    release_container(allocation.container);
+    return;
+  }
+  if (allocation.ask == record->am_ask) {
+    // This is the app's AM container: launch it straight away (the RM
+    // drives AM launch itself; no AM heartbeat exists yet).
+    record->am_container = allocation.container;
+    const AppId id = record->id;
+    node_manager(allocation.container.node)
+        .launch_container(allocation.container,
+                          [this, id] {
+                            AppRecord* r = app(id);
+                            if (r == nullptr || r->finished) return;
+                            r->am_running = true;
+                            LOG_INFO("rm", "app %d AM running on node %d", id,
+                                     r->am_container.node);
+                            r->on_am_ready(r->am_container);
+                          },
+                          config_.am_init);
+    return;
+  }
+  record->pending.push_back(allocation);
+}
+
+std::vector<Allocation> ResourceManager::am_allocate(AppId id, std::vector<Ask> new_asks) {
+  AppRecord* record = app(id);
+  assert(record != nullptr && !record->finished);
+  if (!new_asks.empty()) {
+    scheduler_->on_container_request(std::move(new_asks));
+  }
+  // An immediate scheduler (D+) has already pushed its answers into
+  // `pending` during on_container_request, so they go back in the same
+  // heartbeat; the baseline returns whatever NM heartbeats produced
+  // since the AM last called.
+  std::vector<Allocation> out;
+  out.swap(record->pending);
+  return out;
+}
+
+void ResourceManager::release_container(const Container& container) {
+  NodeState* state = node_state(container.node);
+  assert(state != nullptr);
+  // The RM's schedulable view only shrinks when the NM next reports.
+  state->pending_release = state->pending_release + container.resource;
+  node_manager(container.node).stop_container(container.id);
+}
+
+void ResourceManager::finish_application(AppId id) {
+  AppRecord* record = app(id);
+  if (record == nullptr || record->finished) return;
+  record->finished = true;
+  scheduler_->cancel_asks(id);
+  for (const auto& allocation : record->pending) release_container(allocation.container);
+  record->pending.clear();
+  if (record->am_running || record->am_container.id != 0) {
+    release_container(record->am_container);
+  }
+  LOG_INFO("rm", "app %d (%s) finished", id, record->name.c_str());
+}
+
+void ResourceManager::on_nm_heartbeat(cluster::NodeId node) {
+  NodeState* state = node_state(node);
+  assert(state != nullptr);
+  if (!state->pending_release.is_zero()) {
+    state->used = state->used - state->pending_release;
+    state->pending_release = Resource{};
+    assert(state->used.vcores >= 0 && state->used.memory_mb >= 0);
+  }
+  scheduler_->on_node_update(node);
+}
+
+}  // namespace mrapid::yarn

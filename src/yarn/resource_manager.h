@@ -1,0 +1,99 @@
+#pragma once
+
+// The ResourceManager: application lifecycle, the RM-side resource
+// view of every NodeManager, and the event plumbing between AM
+// heartbeats, NM heartbeats and the pluggable scheduler.
+//
+// Faithful latency structure (paper §II):
+//   client submit --(rpc)--> RM queues an AM ask
+//   scheduler allocates (baseline: at some NM's next heartbeat)
+//   NM launches the AM JVM (t^l) and the AM initialises (am_init)
+//   AM heartbeats allocate() every am_heartbeat; with the baseline
+//   scheduler new asks are answered no earlier than the *next*
+//   heartbeat after an NM reported in — the >= 2-heartbeat path the
+//   paper's Figure 2 describes.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "yarn/config.h"
+#include "yarn/node_manager.h"
+#include "yarn/scheduler.h"
+
+namespace mrapid::yarn {
+
+class ResourceManager : public SchedulerContext {
+ public:
+  using AmReadyCallback = std::function<void(const Container&)>;
+
+  ResourceManager(cluster::Cluster& cluster, std::unique_ptr<Scheduler> scheduler,
+                  YarnConfig config);
+  ~ResourceManager() override;
+
+  // Brings up a NodeManager on every worker and starts heartbeats.
+  void start();
+  void stop();
+
+  // ---- Client API -------------------------------------------------
+  // Submits an application; `on_am_ready` fires once the AM container
+  // has been allocated, launched and initialised.
+  AppId submit_application(std::string name, AmReadyCallback on_am_ready);
+
+  // ---- AM API -----------------------------------------------------
+  // One AM heartbeat: hand in new asks, take out satisfied ones. With
+  // an immediate scheduler (D+) new asks can be answered in this very
+  // call; with the baseline they are answered on a later heartbeat.
+  std::vector<Allocation> am_allocate(AppId app, std::vector<Ask> new_asks);
+  void release_container(const Container& container);
+  void finish_application(AppId app);
+  AskId new_ask_id() { return next_ask_id_++; }
+
+  // ---- NM API -----------------------------------------------------
+  void on_nm_heartbeat(cluster::NodeId node);
+
+  // ---- Introspection ---------------------------------------------
+  NodeManager& node_manager(cluster::NodeId node);
+  Scheduler& scheduler() { return *scheduler_; }
+  const YarnConfig& config() const { return config_; }
+  cluster::Cluster& cluster() { return cluster_; }
+  bool app_finished(AppId app) const;
+
+  // ---- SchedulerContext -------------------------------------------
+  std::vector<NodeState>& nodes() override { return node_states_; }
+  NodeState* node_state(cluster::NodeId id) override;
+  const cluster::Topology& topology() const override { return cluster_.topology(); }
+  ContainerId next_container_id() override { return next_container_id_++; }
+  void deliver_allocation(const Allocation& allocation) override;
+
+ private:
+  struct AppRecord {
+    AppId id = kInvalidApp;
+    std::string name;
+    bool finished = false;
+    AskId am_ask = 0;
+    bool am_running = false;
+    Container am_container;
+    AmReadyCallback on_am_ready;
+    std::vector<Allocation> pending;  // waiting for the AM's next heartbeat
+  };
+
+  AppRecord* app(AppId id);
+
+  cluster::Cluster& cluster_;
+  sim::Simulation& sim_;
+  std::unique_ptr<Scheduler> scheduler_;
+  YarnConfig config_;
+  std::vector<NodeState> node_states_;
+  std::unordered_map<cluster::NodeId, std::unique_ptr<NodeManager>> node_managers_;
+  std::unordered_map<AppId, AppRecord> apps_;
+  AppId next_app_id_ = 1;
+  ContainerId next_container_id_ = 1;
+  AskId next_ask_id_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace mrapid::yarn

@@ -1,0 +1,17 @@
+#include "yarn/scheduler.h"
+
+#include <algorithm>
+
+namespace mrapid::yarn {
+
+cluster::Locality Scheduler::judge_locality(const Ask& ask, cluster::NodeId node) const {
+  if (ask.preferred_nodes.empty()) return cluster::Locality::kAny;
+  cluster::Locality best = cluster::Locality::kAny;
+  for (cluster::NodeId preferred : ask.preferred_nodes) {
+    const cluster::Locality l = context_->topology().locality(node, preferred);
+    if (static_cast<int>(l) < static_cast<int>(best)) best = l;
+  }
+  return best;
+}
+
+}  // namespace mrapid::yarn

@@ -1,0 +1,79 @@
+#pragma once
+
+// The pluggable scheduler seam.
+//
+// The ResourceManager translates heartbeats into the two events the
+// paper names: an AM resource request becomes CONTAINER_STATUS_UPDATE
+// (-> on_container_request) and an NM heartbeat becomes
+// NODE_STATUS_UPDATE (-> on_node_update). The baseline Hadoop
+// scheduler only allocates inside on_node_update — that is precisely
+// the >= 2-heartbeat latency and greedy packing MRapid's D+ scheduler
+// removes by allocating inside on_container_request from the RM's own
+// cluster-resource snapshot.
+
+#include <deque>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "yarn/records.h"
+
+namespace mrapid::yarn {
+
+// The RM-side view of one NodeManager's resources.
+struct NodeState {
+  cluster::NodeId id = cluster::kInvalidNode;
+  Resource capacity;
+  Resource used;
+  // Containers released since this node's last heartbeat: the real RM
+  // only learns about freed resources when the NM reports, so the
+  // schedulable view lags by up to one NM heartbeat.
+  Resource pending_release;
+
+  Resource available() const { return capacity - used; }
+};
+
+// Services the RM exposes to its scheduler.
+class SchedulerContext {
+ public:
+  virtual ~SchedulerContext() = default;
+  virtual std::vector<NodeState>& nodes() = 0;
+  virtual NodeState* node_state(cluster::NodeId id) = 0;
+  virtual const cluster::Topology& topology() const = 0;
+  virtual ContainerId next_container_id() = 0;
+  // Hands a satisfied ask to the RM, which buffers it for (or, for an
+  // immediate scheduler, returns it to) the owning AM.
+  virtual void deliver_allocation(const Allocation& allocation) = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual const char* name() const = 0;
+
+  // True when on_container_request() allocates synchronously, letting
+  // the RM answer the AM in the same heartbeat (MRapid D+).
+  virtual bool allocates_immediately() const = 0;
+
+  virtual void bind(SchedulerContext* context) { context_ = context; }
+
+  // CONTAINER_STATUS_UPDATE: new asks from an AM heartbeat.
+  virtual void on_container_request(std::vector<Ask> asks) = 0;
+
+  // NODE_STATUS_UPDATE: an NM reported in; its lagged resource view
+  // has just been refreshed.
+  virtual void on_node_update(cluster::NodeId node) = 0;
+
+  // Drop any still-queued asks of a finished/killed app.
+  virtual void cancel_asks(AppId app) = 0;
+
+  virtual std::size_t queued_asks() const = 0;
+
+ protected:
+  // Locality of serving `ask` on `node`, judged against the ask's
+  // preferred (replica-holding) nodes.
+  cluster::Locality judge_locality(const Ask& ask, cluster::NodeId node) const;
+
+  SchedulerContext* context_ = nullptr;
+};
+
+}  // namespace mrapid::yarn

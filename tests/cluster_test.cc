@@ -1,0 +1,223 @@
+// Tests for the cluster substrate: topology distances, node resources,
+// the flow-level max-min network, and the Azure presets.
+
+#include <gtest/gtest.h>
+
+#include "cluster/azure.h"
+#include "cluster/cluster.h"
+#include "cluster/network.h"
+#include "cluster/topology.h"
+
+namespace mrapid::cluster {
+namespace {
+
+Topology two_racks() { return Topology({{0, 1, 2}, {3, 4}}); }
+
+// ---- topology --------------------------------------------------------
+
+TEST(Topology, RackAssignment) {
+  const Topology t = two_racks();
+  EXPECT_EQ(t.rack_count(), 2u);
+  EXPECT_EQ(t.node_count(), 5u);
+  EXPECT_EQ(t.rack_of(0), 0);
+  EXPECT_EQ(t.rack_of(4), 1);
+  EXPECT_EQ(t.nodes_in_rack(1), (std::vector<NodeId>{3, 4}));
+}
+
+TEST(Topology, HdfsDistances) {
+  const Topology t = two_racks();
+  EXPECT_EQ(t.distance(1, 1), 0);
+  EXPECT_EQ(t.distance(0, 2), 2);
+  EXPECT_EQ(t.distance(0, 3), 4);
+}
+
+TEST(Topology, LocalityLevels) {
+  const Topology t = two_racks();
+  EXPECT_EQ(t.locality(1, 1), Locality::kNodeLocal);
+  EXPECT_EQ(t.locality(1, 2), Locality::kRackLocal);
+  EXPECT_EQ(t.locality(1, 4), Locality::kAny);
+}
+
+TEST(Topology, LocalityNames) {
+  EXPECT_STREQ(locality_name(Locality::kNodeLocal), "NODE_LOCAL");
+  EXPECT_STREQ(locality_name(Locality::kRackLocal), "RACK_LOCAL");
+  EXPECT_STREQ(locality_name(Locality::kAny), "ANY");
+}
+
+// ---- cluster ----------------------------------------------------------
+
+TEST(ClusterTest, UniformConfigSpreadsNodesRoundRobin) {
+  const ClusterConfig config = ClusterConfig::uniform(5, 2, azure_a2());
+  EXPECT_EQ(config.racks.size(), 2u);
+  EXPECT_EQ(config.total_nodes(), 5u);
+  EXPECT_EQ(config.racks[0].size(), 3u);
+  EXPECT_EQ(config.racks[1].size(), 2u);
+}
+
+TEST(ClusterTest, MasterAndWorkers) {
+  sim::Simulation sim;
+  Cluster cluster(sim, cluster::a3_paper_cluster());
+  EXPECT_EQ(cluster.size(), 5u);
+  EXPECT_EQ(cluster.master(), 0);
+  EXPECT_EQ(cluster.workers(), (std::vector<NodeId>{1, 2, 3, 4}));
+}
+
+TEST(ClusterTest, NodeResourcesMatchSpec) {
+  sim::Simulation sim;
+  Cluster cluster(sim, cluster::a3_paper_cluster());
+  Node& node = cluster.node(1);
+  EXPECT_EQ(node.spec().cores, 4);
+  EXPECT_EQ(node.cores().capacity(), 4);
+  EXPECT_EQ(node.memory_mb().capacity(), 7168);
+  EXPECT_EQ(node.rack(), 0);
+}
+
+TEST(ClusterTest, CpuWorkConversion) {
+  EXPECT_EQ(Node::cpu_work(sim::SimDuration::seconds(2.5)), 2500000);
+}
+
+// ---- azure presets -----------------------------------------------------
+
+TEST(Azure, TableTwoShapes) {
+  EXPECT_EQ(azure_a1().cores, 1);
+  EXPECT_EQ(azure_a2().cores, 2);
+  EXPECT_EQ(azure_a3().cores, 4);
+  EXPECT_EQ(azure_a2().memory, megabytes(3584));
+  EXPECT_EQ(azure_a3().memory, megabytes(7168));
+}
+
+TEST(Azure, EqualCostClusters) {
+  // Fig. 13's premise: 5 x A3 and 10 x A2 cost the same per hour.
+  EXPECT_DOUBLE_EQ(5 * AzurePricing::a3, 10 * AzurePricing::a2);
+  EXPECT_EQ(fig13_a3_cluster().total_nodes(), 5u);
+  EXPECT_EQ(fig13_a2_cluster().total_nodes(), 10u);
+}
+
+// ---- network ------------------------------------------------------------
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : topology_({{0, 1, 2}, {3, 4}}),
+        network_(sim_, topology_,
+                 std::vector<Rate>(5, Rate::mb_per_sec(100)), NetworkConfig{}) {}
+
+  sim::Simulation sim_;
+  Topology topology_;
+  Network network_;
+};
+
+TEST_F(NetworkTest, IntraRackFlowRunsAtNicRate) {
+  double done = -1;
+  network_.start_flow(1, 2, 100_MB, [&](sim::SimDuration) { done = sim_.now().as_seconds(); });
+  sim_.run();
+  EXPECT_NEAR(done, 1.0, 1e-3);
+}
+
+TEST_F(NetworkTest, SameNodeFlowUsesLoopback) {
+  double done = -1;
+  network_.start_flow(1, 1, 100_MB, [&](sim::SimDuration) { done = sim_.now().as_seconds(); });
+  sim_.run();
+  // Loopback default 20 Gbit/s = 2500 MB/s -> ~0.04 s.
+  EXPECT_LT(done, 0.1);
+  EXPECT_GT(done, 0.0);
+}
+
+TEST_F(NetworkTest, ZeroByteFlowIsInstant) {
+  bool done = false;
+  network_.start_flow(0, 1, 0, [&](sim::SimDuration) { done = true; });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim_.now().as_seconds(), 0.0);
+}
+
+TEST_F(NetworkTest, SharedDestinationDownlinkIsBottleneck) {
+  // Two sources into one sink: each gets half the sink's NIC.
+  std::vector<double> done;
+  network_.start_flow(0, 2, 50_MB, [&](sim::SimDuration) { done.push_back(sim_.now().as_seconds()); });
+  network_.start_flow(1, 2, 50_MB, [&](sim::SimDuration) { done.push_back(sim_.now().as_seconds()); });
+  sim_.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 1.0, 1e-3);
+  EXPECT_NEAR(done[1], 1.0, 1e-3);
+}
+
+TEST_F(NetworkTest, IndependentFlowsDoNotInterfere) {
+  std::vector<double> done;
+  network_.start_flow(0, 1, 100_MB, [&](sim::SimDuration) { done.push_back(sim_.now().as_seconds()); });
+  network_.start_flow(2, 3, 100_MB, [&](sim::SimDuration) { done.push_back(sim_.now().as_seconds()); });
+  sim_.run();
+  for (double d : done) EXPECT_NEAR(d, 1.0, 1e-2);
+}
+
+TEST_F(NetworkTest, MaxMinGivesUnbottleneckedFlowTheRest) {
+  // Flows A: 0->2 and B: 1->2 share 2's downlink (50 each); flow C:
+  // 1->3 shares 1's uplink with B. Max-min: B = 50 (bottleneck at 2),
+  // C gets the remaining 50 of node 1's uplink... and is then capped
+  // by its own links at 50. Check A and B finish together.
+  double a = -1, b = -1, c = -1;
+  network_.start_flow(0, 2, 50_MB, [&](sim::SimDuration) { a = sim_.now().as_seconds(); });
+  network_.start_flow(1, 2, 50_MB, [&](sim::SimDuration) { b = sim_.now().as_seconds(); });
+  network_.start_flow(1, 3, 50_MB, [&](sim::SimDuration) { c = sim_.now().as_seconds(); });
+  sim_.run();
+  EXPECT_NEAR(a, 1.0, 1e-2);
+  EXPECT_NEAR(b, 1.0, 1e-2);
+  EXPECT_NEAR(c, 1.0, 1e-2);
+}
+
+TEST_F(NetworkTest, CrossRackUsesRackUplink) {
+  // Rack uplink is 10 Gbit/s = 1250 MB/s, NICs 100 MB/s: a single
+  // cross-rack flow is NIC-bound.
+  double done = -1;
+  network_.start_flow(0, 4, 100_MB, [&](sim::SimDuration) { done = sim_.now().as_seconds(); });
+  sim_.run();
+  EXPECT_NEAR(done, 1.0, 1e-3);
+}
+
+TEST_F(NetworkTest, RackUplinkSharedByManyCrossRackFlows) {
+  // Tight rack uplink: make it the bottleneck.
+  NetworkConfig config;
+  config.rack_uplink = Rate::mb_per_sec(100);
+  Network net(sim_, topology_, std::vector<Rate>(5, Rate::mb_per_sec(100)), config);
+  std::vector<double> done;
+  // Three flows rack0 -> rack1, distinct sources and sinks... only two
+  // distinct sinks exist in rack 1, so give two flows one sink: the
+  // shared rack uplink (100) still binds: 33.3 each.
+  net.start_flow(0, 3, 100_MB, [&](sim::SimDuration) { done.push_back(sim_.now().as_seconds()); });
+  net.start_flow(1, 4, 100_MB, [&](sim::SimDuration) { done.push_back(sim_.now().as_seconds()); });
+  net.start_flow(2, 3, 100_MB, [&](sim::SimDuration) { done.push_back(sim_.now().as_seconds()); });
+  sim_.run();
+  ASSERT_EQ(done.size(), 3u);
+  // All three share the 100 MB/s rack uplink; flows to node 3 also
+  // share its downlink. Max-min: all ~33.3 MB/s -> ~3 s.
+  for (double d : done) EXPECT_NEAR(d, 3.0, 0.05);
+}
+
+TEST_F(NetworkTest, CancelFreesBandwidth) {
+  double done = -1;
+  network_.start_flow(0, 2, 100_MB, [&](sim::SimDuration) { done = sim_.now().as_seconds(); });
+  const auto victim =
+      network_.start_flow(1, 2, 1_GB, [](sim::SimDuration) { FAIL() << "cancelled"; });
+  sim_.schedule_after(sim::SimDuration::seconds(0.5), [&] { EXPECT_TRUE(network_.cancel(victim)); });
+  sim_.run();
+  // 0.5 s at 50 MB/s + 75 MB at 100 MB/s = 1.25 s.
+  EXPECT_NEAR(done, 1.25, 1e-2);
+  EXPECT_EQ(network_.active_flows(), 0u);
+}
+
+TEST_F(NetworkTest, FlowRateIsReadable) {
+  const auto id = network_.start_flow(0, 1, 100_MB, [](sim::SimDuration) {});
+  EXPECT_NEAR(network_.flow_rate(id).bytes_per_sec, 100.0 * 1024 * 1024, 1e3);
+  EXPECT_EQ(network_.flow_rate(9999).bytes_per_sec, 0.0);
+  sim_.run();
+}
+
+TEST_F(NetworkTest, BytesDeliveredAccumulates) {
+  network_.start_flow(0, 1, 10_MB, [](sim::SimDuration) {});
+  network_.start_flow(1, 0, 5_MB, [](sim::SimDuration) {});
+  sim_.run();
+  EXPECT_EQ(network_.bytes_delivered(), 15_MB);
+}
+
+}  // namespace
+}  // namespace mrapid::cluster

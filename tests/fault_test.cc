@@ -1,0 +1,129 @@
+// Fault-tolerance tests: injected map-attempt failures must be
+// retried (fresh container in distributed mode, in place in Uber
+// mode), results must stay correct, and exceeding max_attempts must
+// fail the job cleanly.
+
+#include <gtest/gtest.h>
+
+#include "cluster/azure.h"
+#include "harness/world.h"
+#include "workloads/wordcount.h"
+
+namespace mrapid::mr {
+namespace {
+
+using harness::RunMode;
+using harness::WorldConfig;
+
+wl::WordCountParams wc_params(int files = 4, Bytes size = 2_MB) {
+  wl::WordCountParams params;
+  params.num_files = static_cast<std::size_t>(files);
+  params.bytes_per_file = size;
+  return params;
+}
+
+WorldConfig faulty_config(double prob, int max_attempts = 4, std::uint64_t seed = 0x5EED) {
+  WorldConfig config;
+  config.mr.faults.map_failure_prob = prob;
+  config.mr.faults.max_attempts = max_attempts;
+  config.seed = seed;
+  return config;
+}
+
+class FaultModeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultModeSweep, RetriesKeepResultsCorrect) {
+  const RunMode mode = std::array{RunMode::kHadoop, RunMode::kUber, RunMode::kDPlus,
+                                  RunMode::kUPlus}[static_cast<std::size_t>(GetParam())];
+  wl::WordCount wc(wc_params(6));
+  // A fairly aggressive failure rate; with 4 attempts per task the job
+  // still virtually always succeeds.
+  auto result = harness::run_workload(faulty_config(0.3), mode, wc);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->succeeded) << harness::run_mode_name(mode);
+  EXPECT_EQ(*wl::WordCount::result_of(*result), wc.reference_counts())
+      << harness::run_mode_name(mode);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, FaultModeSweep, ::testing::Range(0, 4));
+
+TEST(Faults, FailureFreeRunHasNoFailedAttempts) {
+  wl::WordCount wc(wc_params());
+  auto result = harness::run_workload(WorldConfig{}, RunMode::kHadoop, wc);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->profile.failed_attempts, 0u);
+  for (const auto& task : result->profile.maps) EXPECT_EQ(task.attempt, 0);
+}
+
+TEST(Faults, InjectedFailuresShowInProfile) {
+  wl::WordCount wc(wc_params(8));
+  // High probability so at least one failure occurs deterministically
+  // under this seed.
+  auto result = harness::run_workload(faulty_config(0.5, 6, 99), RunMode::kHadoop, wc);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->succeeded);
+  EXPECT_GT(result->profile.failed_attempts, 0u);
+  // At least one completed task is a retry.
+  bool any_retry = false;
+  for (const auto& task : result->profile.maps) any_retry |= task.attempt > 0;
+  EXPECT_TRUE(any_retry);
+}
+
+TEST(Faults, FailuresCostTime) {
+  wl::WordCount wc(wc_params(8, 4_MB));
+  auto clean = harness::run_workload(WorldConfig{}, RunMode::kUber, wc);
+  auto faulty = harness::run_workload(faulty_config(0.4, 8, 7), RunMode::kUber, wc);
+  ASSERT_TRUE(clean && faulty);
+  ASSERT_TRUE(faulty->succeeded);
+  if (faulty->profile.failed_attempts > 0) {
+    EXPECT_GT(faulty->profile.elapsed_seconds(), clean->profile.elapsed_seconds());
+  }
+}
+
+TEST(Faults, CertainFailureFailsJobAfterMaxAttempts) {
+  wl::WordCount wc(wc_params(2));
+  auto result = harness::run_workload(faulty_config(1.0, 3), RunMode::kHadoop, wc);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->succeeded);
+  EXPECT_GE(result->profile.failed_attempts, 3u);
+}
+
+TEST(Faults, CertainFailureFailsUberJobToo) {
+  wl::WordCount wc(wc_params(2));
+  auto result = harness::run_workload(faulty_config(1.0, 3), RunMode::kUber, wc);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->succeeded);
+}
+
+TEST(Faults, FailedJobFreesCluster) {
+  wl::WordCount wc(wc_params(4));
+  WorldConfig config = faulty_config(1.0, 2);
+  harness::World world(config, RunMode::kHadoop);
+  auto result = world.run(wc);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->succeeded);
+  world.simulation().run_until(world.simulation().now() + sim::SimDuration::seconds(3));
+  for (const auto& state : world.rm().nodes()) {
+    EXPECT_EQ(state.used.vcores, 0) << "node " << state.id;
+  }
+}
+
+TEST(Faults, DeterministicUnderSeed) {
+  wl::WordCount wc(wc_params(6));
+  auto a = harness::run_workload(faulty_config(0.3, 4, 1234), RunMode::kDPlus, wc);
+  auto b = harness::run_workload(faulty_config(0.3, 4, 1234), RunMode::kDPlus, wc);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->profile.failed_attempts, b->profile.failed_attempts);
+  EXPECT_EQ(a->profile.finish_time.as_micros(), b->profile.finish_time.as_micros());
+}
+
+TEST(Faults, SpeculativeSurvivesFailures) {
+  wl::WordCount wc(wc_params(4, 4_MB));
+  auto result = harness::run_workload(faulty_config(0.2), RunMode::kMRapidAuto, wc);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->succeeded);
+  EXPECT_EQ(*wl::WordCount::result_of(*result), wc.reference_counts());
+}
+
+}  // namespace
+}  // namespace mrapid::mr

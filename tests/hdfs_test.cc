@@ -1,0 +1,288 @@
+// Tests for the HDFS substrate: the default placement policy, the
+// NameNode metadata, and the timed read/write data path.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cluster/azure.h"
+#include "cluster/cluster.h"
+#include "hdfs/hdfs.h"
+#include "hdfs/namenode.h"
+#include "hdfs/placement.h"
+
+namespace mrapid::hdfs {
+namespace {
+
+using cluster::NodeId;
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  PlacementTest()
+      : topology_({{0, 1, 2}, {3, 4, 5}}),
+        policy_(topology_, {1, 2, 3, 4, 5}, RngStream(1234)) {}
+
+  cluster::Topology topology_;
+  BlockPlacementPolicy policy_;
+};
+
+TEST_F(PlacementTest, WriterLocalFirstReplica) {
+  for (int i = 0; i < 20; ++i) {
+    const auto replicas = policy_.choose(/*writer=*/2, 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(replicas[0], 2);
+  }
+}
+
+TEST_F(PlacementTest, NonDatanodeWriterGetsRandomFirstReplica) {
+  // Node 0 is not a DataNode (the master).
+  std::set<NodeId> firsts;
+  for (int i = 0; i < 50; ++i) {
+    const auto replicas = policy_.choose(0, 3);
+    EXPECT_NE(replicas[0], 0);
+    firsts.insert(replicas[0]);
+  }
+  EXPECT_GT(firsts.size(), 1u);  // actually random
+}
+
+TEST_F(PlacementTest, ReplicasAreDistinct) {
+  for (int i = 0; i < 50; ++i) {
+    const auto replicas = policy_.choose(1, 3);
+    const std::set<NodeId> unique(replicas.begin(), replicas.end());
+    EXPECT_EQ(unique.size(), replicas.size());
+  }
+}
+
+TEST_F(PlacementTest, SecondReplicaOnDifferentRack) {
+  for (int i = 0; i < 50; ++i) {
+    const auto replicas = policy_.choose(1, 3);
+    EXPECT_NE(topology_.rack_of(replicas[0]), topology_.rack_of(replicas[1]));
+  }
+}
+
+TEST_F(PlacementTest, ThirdReplicaSameRackAsSecond) {
+  for (int i = 0; i < 50; ++i) {
+    const auto replicas = policy_.choose(1, 3);
+    EXPECT_EQ(topology_.rack_of(replicas[1]), topology_.rack_of(replicas[2]));
+    EXPECT_NE(replicas[1], replicas[2]);
+  }
+}
+
+TEST_F(PlacementTest, ReplicationCappedByClusterSize) {
+  const auto replicas = policy_.choose(1, 10);
+  EXPECT_EQ(replicas.size(), 5u);  // only 5 DataNodes exist
+  const std::set<NodeId> unique(replicas.begin(), replicas.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(PlacementSingleRack, DegradesGracefully) {
+  cluster::Topology topology({{0, 1, 2}});
+  BlockPlacementPolicy policy(topology, {0, 1, 2}, RngStream(5));
+  const auto replicas = policy.choose(1, 3);
+  ASSERT_EQ(replicas.size(), 3u);
+  EXPECT_EQ(replicas[0], 1);
+  const std::set<NodeId> unique(replicas.begin(), replicas.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+// ---- namenode ---------------------------------------------------------
+
+class NameNodeTest : public ::testing::Test {
+ protected:
+  NameNodeTest()
+      : topology_({{0, 1, 2, 3}}),
+        namenode_(BlockPlacementPolicy(topology_, {1, 2, 3}, RngStream(9))) {}
+
+  cluster::Topology topology_;
+  NameNode namenode_;
+};
+
+TEST_F(NameNodeTest, CreateSplitsIntoBlocks) {
+  const FileInfo* file = namenode_.create_file("/f", 130_MB, 64_MB, 1, 3);
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->blocks.size(), 3u);  // 64 + 64 + 2
+  EXPECT_EQ(namenode_.block(file->blocks[0])->size, 64_MB);
+  EXPECT_EQ(namenode_.block(file->blocks[2])->size, 2_MB);
+  EXPECT_EQ(namenode_.block_count(), 3u);
+}
+
+TEST_F(NameNodeTest, EmptyFileGetsOneBlock) {
+  const FileInfo* file = namenode_.create_file("/empty", 0, 64_MB, 1, 3);
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->blocks.size(), 1u);
+  EXPECT_EQ(namenode_.block(file->blocks[0])->size, 0);
+}
+
+TEST_F(NameNodeTest, DuplicateCreateFails) {
+  EXPECT_NE(namenode_.create_file("/f", 1_MB, 64_MB, 1, 3), nullptr);
+  EXPECT_EQ(namenode_.create_file("/f", 1_MB, 64_MB, 1, 3), nullptr);
+}
+
+TEST_F(NameNodeTest, LookupAndExists) {
+  namenode_.create_file("/a", 1_MB, 64_MB, 1, 3);
+  EXPECT_TRUE(namenode_.exists("/a"));
+  EXPECT_FALSE(namenode_.exists("/b"));
+  EXPECT_EQ(namenode_.lookup("/b"), nullptr);
+  EXPECT_EQ(namenode_.lookup("/a")->size, 1_MB);
+}
+
+TEST_F(NameNodeTest, BlocksOfReturnsInOrder) {
+  namenode_.create_file("/f", 200_MB, 64_MB, 1, 3);
+  const auto blocks = namenode_.blocks_of("/f");
+  ASSERT_EQ(blocks.size(), 4u);
+  for (std::size_t i = 0; i < blocks.size(); ++i) EXPECT_EQ(blocks[i]->index, i);
+}
+
+TEST_F(NameNodeTest, RemoveDeletesBlocks) {
+  namenode_.create_file("/f", 128_MB, 64_MB, 1, 3);
+  EXPECT_EQ(namenode_.block_count(), 2u);
+  EXPECT_TRUE(namenode_.remove("/f"));
+  EXPECT_EQ(namenode_.block_count(), 0u);
+  EXPECT_FALSE(namenode_.remove("/f"));
+}
+
+TEST_F(NameNodeTest, ReplicationHonoured) {
+  namenode_.create_file("/f", 1_MB, 64_MB, 1, 2);
+  EXPECT_EQ(namenode_.blocks_of("/f")[0]->replicas.size(), 2u);
+}
+
+// ---- hdfs data path -----------------------------------------------------
+
+class HdfsTest : public ::testing::Test {
+ protected:
+  HdfsTest()
+      : cluster_(sim_, cluster::a3_paper_cluster()), hdfs_(cluster_, HdfsConfig{}) {}
+
+  sim::Simulation sim_;
+  cluster::Cluster cluster_;
+  Hdfs hdfs_;
+};
+
+TEST_F(HdfsTest, PreloadRegistersMetadataInstantly) {
+  const FileInfo* file = hdfs_.preload_file("/input", 10_MB);
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->blocks.size(), 1u);
+  EXPECT_DOUBLE_EQ(sim_.now().as_seconds(), 0.0);
+  // Replicas only on workers, never the master.
+  for (NodeId replica : hdfs_.namenode().block(file->blocks[0])->replicas) {
+    EXPECT_NE(replica, cluster_.master());
+  }
+}
+
+TEST_F(HdfsTest, StoredBytesTracksReplicas) {
+  hdfs_.preload_file("/input", 10_MB);
+  Bytes total = 0;
+  for (NodeId worker : cluster_.workers()) total += hdfs_.stored_bytes(worker);
+  EXPECT_EQ(total, 30_MB);  // 3 replicas
+}
+
+TEST_F(HdfsTest, LocalReadCostsDiskOnly) {
+  const FileInfo* file = hdfs_.preload_file("/input", 50_MB);
+  const BlockInfo* block = hdfs_.namenode().block(file->blocks[0]);
+  const NodeId local = block->replicas[0];
+  double done = -1;
+  hdfs_.read_block(block->id, local, [&] { done = sim_.now().as_seconds(); });
+  sim_.run();
+  // 50 MB at 100 MB/s disk read + 0.3 ms RPC.
+  EXPECT_NEAR(done, 0.5003, 1e-3);
+  EXPECT_EQ(hdfs_.read_stats().node_local, 1u);
+}
+
+TEST_F(HdfsTest, RemoteReadBoundByNetworkAndDisk) {
+  const FileInfo* file = hdfs_.preload_file("/input", 50_MB);
+  const BlockInfo* block = hdfs_.namenode().block(file->blocks[0]);
+  // Find a worker with no replica.
+  NodeId remote = cluster::kInvalidNode;
+  for (NodeId worker : cluster_.workers()) {
+    if (std::find(block->replicas.begin(), block->replicas.end(), worker) ==
+        block->replicas.end()) {
+      remote = worker;
+    }
+  }
+  ASSERT_NE(remote, cluster::kInvalidNode);
+  double done = -1;
+  hdfs_.read_block(block->id, remote, [&] { done = sim_.now().as_seconds(); });
+  sim_.run();
+  // Disk leg 0.5 s, network leg 50 MB / 119 MB/s ~ 0.42 s -> max wins.
+  EXPECT_NEAR(done, 0.5003, 2e-2);
+  EXPECT_EQ(hdfs_.read_stats().node_local, 0u);
+  EXPECT_GE(hdfs_.read_stats().rack_local + hdfs_.read_stats().off_rack, 1u);
+}
+
+TEST_F(HdfsTest, ChooseReplicaPrefersNodeLocal) {
+  const FileInfo* file = hdfs_.preload_file("/input", 10_MB);
+  const BlockInfo* block = hdfs_.namenode().block(file->blocks[0]);
+  for (NodeId replica : block->replicas) {
+    EXPECT_EQ(hdfs_.choose_replica(*block, replica), replica);
+  }
+}
+
+TEST_F(HdfsTest, ChooseReplicaPrefersRackLocalOverRemote) {
+  const FileInfo* file = hdfs_.preload_file("/input", 10_MB);
+  const BlockInfo* block = hdfs_.namenode().block(file->blocks[0]);
+  for (NodeId worker : cluster_.workers()) {
+    if (std::find(block->replicas.begin(), block->replicas.end(), worker) !=
+        block->replicas.end()) {
+      continue;
+    }
+    const NodeId chosen = hdfs_.choose_replica(*block, worker);
+    // The chosen replica must be at least as close as every other.
+    for (NodeId other : block->replicas) {
+      EXPECT_LE(cluster_.topology().distance(worker, chosen),
+                cluster_.topology().distance(worker, other));
+    }
+  }
+}
+
+TEST_F(HdfsTest, WriteFileChargesPipelineTime) {
+  double done = -1;
+  hdfs_.write_file("/out", 8_MB, cluster_.master(), [&] { done = sim_.now().as_seconds(); });
+  sim_.run();
+  // Must cost at least one disk write of 8 MB at 80 MB/s = 0.1 s, and
+  // finish in bounded time.
+  EXPECT_GT(done, 0.09);
+  EXPECT_LT(done, 2.0);
+  EXPECT_TRUE(hdfs_.namenode().exists("/out"));
+}
+
+TEST_F(HdfsTest, DuplicateWriteStillCompletes) {
+  hdfs_.preload_file("/dup", 1_MB);
+  bool done = false;
+  hdfs_.write_file("/dup", 1_MB, cluster_.master(), [&] { done = true; });
+  sim_.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(HdfsTest, ReadFileReadsAllBlocksInParallel) {
+  HdfsConfig config;
+  config.block_size = 16_MB;
+  Hdfs hdfs(cluster_, config);
+  hdfs.preload_file("/big", 64_MB);  // 4 blocks
+  double done = -1;
+  hdfs.read_file("/big", cluster_.workers()[0], [&] { done = sim_.now().as_seconds(); });
+  sim_.run();
+  EXPECT_GT(done, 0.0);
+  // Parallel reads bounded by this node's disk/NIC, not 4 serial reads.
+  EXPECT_LT(done, 1.5);
+}
+
+TEST_F(HdfsTest, ReadStatsDistributionOverManyReads) {
+  HdfsConfig config;
+  Hdfs hdfs(cluster_, config);
+  for (int i = 0; i < 20; ++i) {
+    hdfs.preload_file("/f" + std::to_string(i), 1_MB);
+  }
+  for (int i = 0; i < 20; ++i) {
+    const auto* file = hdfs.namenode().lookup("/f" + std::to_string(i));
+    hdfs.read_block(file->blocks[0], cluster_.workers()[i % 4], [] {});
+  }
+  sim_.run();
+  const auto& stats = hdfs.read_stats();
+  EXPECT_EQ(stats.node_local + stats.rack_local + stats.off_rack, 20u);
+  // With 3 of 4 workers holding each block, most reads are node-local.
+  EXPECT_GT(stats.node_local, 10u);
+}
+
+}  // namespace
+}  // namespace mrapid::hdfs

@@ -1,0 +1,287 @@
+// Integration tests: cross-mode invariants the whole system must
+// satisfy — identical computational results in every mode, bit-level
+// determinism, and the paper's qualitative claims (balance, locality,
+// who-beats-whom) across seeds and workloads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/azure.h"
+#include "harness/world.h"
+#include "workloads/pi.h"
+#include "workloads/terasort.h"
+#include "workloads/wordcount.h"
+
+namespace mrapid {
+namespace {
+
+using harness::RunMode;
+using harness::WorldConfig;
+using harness::run_workload;
+
+const RunMode kAllModes[] = {RunMode::kHadoop, RunMode::kUber, RunMode::kDPlus,
+                             RunMode::kUPlus};
+
+// ---- result equivalence across modes -----------------------------------
+
+TEST(CrossMode, WordCountIdenticalInEveryMode) {
+  wl::WordCountParams params;
+  params.num_files = 3;
+  params.bytes_per_file = 512_KB;
+  wl::WordCount wc(params);
+  const auto reference = wc.reference_counts();
+
+  WorldConfig config;
+  for (RunMode mode : kAllModes) {
+    auto result = run_workload(config, mode, wc);
+    ASSERT_TRUE(result.has_value()) << harness::run_mode_name(mode);
+    EXPECT_EQ(*wl::WordCount::result_of(*result), reference)
+        << harness::run_mode_name(mode);
+  }
+}
+
+TEST(CrossMode, TeraSortIdenticalInEveryMode) {
+  wl::TeraSortParams params;
+  params.rows = 20000;
+  wl::TeraSort ts(params);
+
+  WorldConfig config;
+  std::shared_ptr<const wl::TeraRows> reference;
+  for (RunMode mode : kAllModes) {
+    auto result = run_workload(config, mode, ts);
+    ASSERT_TRUE(result.has_value()) << harness::run_mode_name(mode);
+    auto sorted = wl::TeraSort::result_of(*result);
+    EXPECT_TRUE(std::is_sorted(sorted->begin(), sorted->end()));
+    if (!reference) {
+      reference = sorted;
+    } else {
+      EXPECT_EQ(*sorted, *reference) << harness::run_mode_name(mode);
+    }
+  }
+}
+
+TEST(CrossMode, PiIdenticalInEveryMode) {
+  wl::PiParams params;
+  params.total_samples = 1000000;
+  wl::Pi pi(params);
+
+  WorldConfig config;
+  std::shared_ptr<const wl::PiResult> reference;
+  for (RunMode mode : kAllModes) {
+    auto result = run_workload(config, mode, pi);
+    ASSERT_TRUE(result.has_value());
+    auto estimate = wl::Pi::result_of(*result);
+    if (!reference) {
+      reference = estimate;
+    } else {
+      EXPECT_EQ(estimate->inside, reference->inside);
+      EXPECT_EQ(estimate->total, reference->total);
+    }
+  }
+}
+
+TEST(CrossMode, SpeculativeResultMatchesPinnedModes) {
+  wl::WordCountParams params;
+  params.num_files = 2;
+  params.bytes_per_file = 256_KB;
+  wl::WordCount wc(params);
+  WorldConfig config;
+  auto speculative = run_workload(config, RunMode::kMRapidAuto, wc);
+  ASSERT_TRUE(speculative.has_value());
+  EXPECT_EQ(*wl::WordCount::result_of(*speculative), wc.reference_counts());
+}
+
+// ---- determinism -----------------------------------------------------------
+
+class DeterminismSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismSweep, IdenticalTimingForIdenticalSeeds) {
+  const RunMode mode = kAllModes[static_cast<std::size_t>(GetParam())];
+  wl::WordCountParams params;
+  params.num_files = 4;
+  params.bytes_per_file = 1_MB;
+  wl::WordCount wc(params);
+
+  WorldConfig config;
+  config.seed = 777;
+  auto a = run_workload(config, mode, wc);
+  auto b = run_workload(config, mode, wc);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->profile.finish_time.as_micros(), b->profile.finish_time.as_micros());
+  EXPECT_EQ(a->profile.node_local_maps, b->profile.node_local_maps);
+  ASSERT_EQ(a->profile.maps.size(), b->profile.maps.size());
+  for (std::size_t i = 0; i < a->profile.maps.size(); ++i) {
+    EXPECT_EQ(a->profile.maps[i].end.as_micros(), b->profile.maps[i].end.as_micros());
+    EXPECT_EQ(a->profile.maps[i].node, b->profile.maps[i].node);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, DeterminismSweep, ::testing::Range(0, 4));
+
+// ---- paper-shape properties over seeds --------------------------------------
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, MRapidModesBeatBaselinesOnShortJobs) {
+  wl::WordCountParams params;
+  params.num_files = 4;
+  params.bytes_per_file = 4_MB;
+  params.seed = GetParam();
+  wl::WordCount wc(params);
+
+  WorldConfig config;
+  config.seed = GetParam() * 31 + 7;
+  auto hadoop = run_workload(config, RunMode::kHadoop, wc);
+  auto uber = run_workload(config, RunMode::kUber, wc);
+  auto dplus = run_workload(config, RunMode::kDPlus, wc);
+  auto uplus = run_workload(config, RunMode::kUPlus, wc);
+  ASSERT_TRUE(hadoop && uber && dplus && uplus);
+  EXPECT_LT(dplus->profile.elapsed_seconds(), hadoop->profile.elapsed_seconds());
+  EXPECT_LT(uplus->profile.elapsed_seconds(), uber->profile.elapsed_seconds());
+}
+
+TEST_P(SeedSweep, DPlusBalancesContainersAtLeastAsWellAsHadoop) {
+  wl::WordCountParams params;
+  params.num_files = 8;
+  params.bytes_per_file = 2_MB;
+  params.seed = GetParam();
+  wl::WordCount wc(params);
+
+  WorldConfig config;
+  config.seed = GetParam() * 17 + 3;
+  auto hadoop = run_workload(config, RunMode::kHadoop, wc);
+  auto dplus = run_workload(config, RunMode::kDPlus, wc);
+  ASSERT_TRUE(hadoop && dplus);
+  EXPECT_LE(dplus->profile.max_containers_on_one_node(),
+            hadoop->profile.max_containers_on_one_node());
+}
+
+TEST_P(SeedSweep, DPlusLocalityAtLeastAsGoodAsHadoop) {
+  wl::WordCountParams params;
+  params.num_files = 8;
+  params.bytes_per_file = 2_MB;
+  params.seed = GetParam();
+  wl::WordCount wc(params);
+
+  WorldConfig config;
+  config.seed = GetParam() * 13 + 1;
+  auto hadoop = run_workload(config, RunMode::kHadoop, wc);
+  auto dplus = run_workload(config, RunMode::kDPlus, wc);
+  ASSERT_TRUE(hadoop && dplus);
+  EXPECT_GE(dplus->profile.node_local_maps, hadoop->profile.node_local_maps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ---- resource hygiene ---------------------------------------------------------
+
+TEST(Hygiene, ClusterFullyFreedAfterJob) {
+  wl::WordCountParams params;
+  params.num_files = 4;
+  params.bytes_per_file = 1_MB;
+  wl::WordCount wc(params);
+
+  WorldConfig config;
+  harness::World world(config, RunMode::kHadoop);
+  auto result = world.run(wc);
+  ASSERT_TRUE(result.has_value());
+  // Let releases propagate through the NM heartbeats.
+  world.simulation().run_until(world.simulation().now() + sim::SimDuration::seconds(3));
+  for (const auto& state : world.rm().nodes()) {
+    EXPECT_EQ(state.used.vcores, 0) << "node " << state.id;
+    EXPECT_EQ(state.used.memory_mb, 0) << "node " << state.id;
+  }
+}
+
+TEST(Hygiene, SpeculativeLeavesOnlyPoolResourcesHeld) {
+  wl::WordCountParams params;
+  params.num_files = 4;
+  params.bytes_per_file = 2_MB;
+  wl::WordCount wc(params);
+
+  WorldConfig config;
+  harness::World world(config, RunMode::kMRapidAuto);
+  auto result = world.run(wc);
+  ASSERT_TRUE(result.has_value());
+  world.simulation().run_until(world.simulation().now() + sim::SimDuration::seconds(3));
+  std::int64_t used_vcores = 0;
+  for (const auto& state : world.rm().nodes()) used_vcores += state.used.vcores;
+  // Exactly the 3 reserved pool AMs remain.
+  EXPECT_EQ(used_vcores, 3);
+}
+
+TEST(Hygiene, BackToBackJobsInOneWorld) {
+  wl::WordCountParams params;
+  params.num_files = 2;
+  params.bytes_per_file = 512_KB;
+  wl::WordCount wc(params);
+
+  WorldConfig config;
+  harness::World world(config, RunMode::kDPlus);
+  for (int i = 0; i < 5; ++i) {
+    auto result = world.run(wc, [i](mr::JobSpec& spec) {
+      spec.name = "wc-" + std::to_string(i);
+    });
+    ASSERT_TRUE(result.has_value()) << "job " << i;
+    EXPECT_TRUE(result->succeeded);
+  }
+  EXPECT_EQ(world.framework().pool().free_slots(), 3);
+}
+
+// ---- paper-shape: workload-level ordering -------------------------------------
+
+TEST(PaperShape, UberBeatsHadoopOnTinyJobs) {
+  // The motivation for Uber mode: one tiny file.
+  wl::WordCountParams params;
+  params.num_files = 1;
+  params.bytes_per_file = 1_MB;
+  wl::WordCount wc(params);
+  WorldConfig config;
+  auto hadoop = run_workload(config, RunMode::kHadoop, wc);
+  auto uber = run_workload(config, RunMode::kUber, wc);
+  ASSERT_TRUE(hadoop && uber);
+  EXPECT_LT(uber->profile.elapsed_seconds(), hadoop->profile.elapsed_seconds());
+}
+
+TEST(PaperShape, UPlusAlwaysWinsTeraSort) {
+  // Fig. 10: "the U+ mode is always better than the D+ mode" for
+  // TeraSort-class jobs.
+  for (std::int64_t rows : {100000, 400000}) {
+    wl::TeraSortParams params;
+    params.rows = rows;
+    wl::TeraSort ts(params);
+    WorldConfig config;
+    auto dplus = run_workload(config, RunMode::kDPlus, ts);
+    auto uplus = run_workload(config, RunMode::kUPlus, ts);
+    ASSERT_TRUE(dplus && uplus);
+    EXPECT_LT(uplus->profile.elapsed_seconds(), dplus->profile.elapsed_seconds())
+        << rows << " rows";
+  }
+}
+
+TEST(PaperShape, DPlusCatchesUpAsInputGrows) {
+  // Fig. 8's trend: U+'s margin over D+ shrinks (or flips) as file
+  // size grows, because D+ taps the whole cluster.
+  wl::WordCountParams small;
+  small.num_files = 4;
+  small.bytes_per_file = 5_MB;
+  wl::WordCountParams large = small;
+  large.bytes_per_file = 40_MB;
+
+  WorldConfig config;
+  wl::WordCount wc_small(small), wc_large(large);
+  auto d_small = run_workload(config, RunMode::kDPlus, wc_small);
+  auto u_small = run_workload(config, RunMode::kUPlus, wc_small);
+  auto d_large = run_workload(config, RunMode::kDPlus, wc_large);
+  auto u_large = run_workload(config, RunMode::kUPlus, wc_large);
+  ASSERT_TRUE(d_small && u_small && d_large && u_large);
+  const double ratio_small =
+      d_small->profile.elapsed_seconds() / u_small->profile.elapsed_seconds();
+  const double ratio_large =
+      d_large->profile.elapsed_seconds() / u_large->profile.elapsed_seconds();
+  EXPECT_LT(ratio_large, ratio_small);
+}
+
+}  // namespace
+}  // namespace mrapid

@@ -1,0 +1,108 @@
+// Tests for the ad-hoc short-job stream generator and its replay.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/world.h"
+#include "workloads/jobstream.h"
+
+namespace mrapid::wl {
+namespace {
+
+TEST(JobStream, DeterministicPerSeed) {
+  JobStreamParams params;
+  params.jobs = 20;
+  const auto a = make_job_stream(params);
+  const auto b = make_job_stream(params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_DOUBLE_EQ(a[i].submit_offset_seconds, b[i].submit_offset_seconds);
+  }
+  params.seed = 999;
+  const auto c = make_job_stream(params);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    if (a[i].label != c[i].label) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(JobStream, ArrivalsAreMonotonic) {
+  JobStreamParams params;
+  params.jobs = 30;
+  const auto stream = make_job_stream(params);
+  ASSERT_EQ(stream.size(), 30u);
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_GE(stream[i].submit_offset_seconds, stream[i - 1].submit_offset_seconds);
+  }
+}
+
+TEST(JobStream, LabelsAreUnique) {
+  JobStreamParams params;
+  params.jobs = 25;
+  const auto stream = make_job_stream(params);
+  std::set<std::string> labels;
+  for (const auto& job : stream) labels.insert(job.label);
+  EXPECT_EQ(labels.size(), stream.size());
+}
+
+TEST(JobStream, MixCoversAllClassesEventually) {
+  JobStreamParams params;
+  params.jobs = 60;
+  const auto stream = make_job_stream(params);
+  bool scan = false, sort = false, numeric = false;
+  for (const auto& job : stream) {
+    scan |= job.label.rfind("scan-", 0) == 0;
+    sort |= job.label.rfind("sort-", 0) == 0;
+    numeric |= job.label.rfind("numeric-", 0) == 0;
+  }
+  EXPECT_TRUE(scan);
+  EXPECT_TRUE(sort);
+  EXPECT_TRUE(numeric);
+}
+
+TEST(JobStream, IdenticalShapesShareWorkloadInstances) {
+  JobStreamParams params;
+  params.jobs = 40;
+  const auto stream = make_job_stream(params);
+  std::map<std::string, const Workload*> by_shape;
+  for (const auto& job : stream) {
+    const std::string shape = job.label.substr(0, job.label.find('#'));
+    auto [it, inserted] = by_shape.emplace(shape, job.workload.get());
+    if (!inserted) {
+      EXPECT_EQ(it->second, job.workload.get()) << shape;  // payload caches shared
+    }
+  }
+}
+
+TEST(JobStream, SmallStreamReplaysOnOneWorld) {
+  JobStreamParams params;
+  params.jobs = 3;
+  params.mean_interarrival_seconds = 2.0;
+  params.max_files = 2;
+  params.max_file_bytes = 2_MB;
+  const auto stream = make_job_stream(params);
+
+  harness::WorldConfig config;
+  harness::World world(config, harness::RunMode::kMRapidAuto);
+  world.boot();
+  int completed = 0;
+  for (const auto& job : stream) {
+    world.simulation().schedule_after(
+        sim::SimDuration::seconds(job.submit_offset_seconds), [&world, &job, &completed] {
+          mr::JobSpec spec = job.workload->make_spec(world.hdfs());
+          spec.name = job.label;
+          world.framework().submit(spec, [&completed](const mr::JobResult& result) {
+            EXPECT_TRUE(result.succeeded);
+            ++completed;
+          });
+        });
+  }
+  world.simulation().run_until(world.simulation().now() + sim::SimDuration::seconds(900));
+  EXPECT_EQ(completed, 3);
+}
+
+}  // namespace
+}  // namespace mrapid::wl

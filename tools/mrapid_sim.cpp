@@ -1,0 +1,210 @@
+// mrapid — the command-line front end to the simulator.
+//
+// Runs one workload on a configurable cluster in any execution mode
+// and prints the phase breakdown (optionally as CSV for scripting):
+//
+//   mrapid --workload wordcount --files 8 --size-mb 10 --mode dplus
+//   mrapid --workload terasort --rows 400000 --mode auto --cluster a2
+//   mrapid --workload pi --samples 800000000 --mode all --csv
+//
+// Flags:
+//   --workload wordcount|terasort|pi   (default wordcount)
+//   --mode hadoop|uber|dplus|uplus|auto|all   (default all)
+//   --cluster a3|a2       paper clusters (default a3: 1 NN + 4 DN)
+//   --files N --size-mb M wordcount geometry
+//   --rows N              terasort rows
+//   --samples N           pi samples
+//   --reducers R          reducer count (default 1)
+//   --failure-prob P      map-attempt failure injection
+//   --seed S              simulation master seed
+//   --csv                 machine-readable one line per run
+//   --verbose             simulator INFO logs
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "harness/world.h"
+#include "workloads/pi.h"
+#include "workloads/terasort.h"
+#include "workloads/wordcount.h"
+
+using namespace mrapid;
+
+namespace {
+
+struct CliOptions {
+  std::string workload = "wordcount";
+  std::string mode = "all";
+  std::string cluster = "a3";
+  int files = 4;
+  int size_mb = 10;
+  long long rows = 400000;
+  long long samples = 400000000;
+  int reducers = 1;
+  double failure_prob = 0.0;
+  unsigned long long seed = 0x5EED;
+  bool csv = false;
+  bool verbose = false;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "mrapid: %s\n(run with --help for usage)\n", message.c_str());
+  std::exit(2);
+}
+
+void print_help() {
+  std::printf(
+      "usage: mrapid [--workload wordcount|terasort|pi] [--mode "
+      "hadoop|uber|dplus|uplus|auto|all]\n"
+      "                  [--cluster a3|a2] [--files N] [--size-mb M] [--rows N]\n"
+      "                  [--samples N] [--reducers R] [--failure-prob P] [--seed S]\n"
+      "                  [--csv] [--verbose]\n");
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions options;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      std::exit(0);
+    } else if (arg == "--workload") {
+      options.workload = need_value(i);
+    } else if (arg == "--mode") {
+      options.mode = need_value(i);
+    } else if (arg == "--cluster") {
+      options.cluster = need_value(i);
+    } else if (arg == "--files") {
+      options.files = std::atoi(need_value(i));
+    } else if (arg == "--size-mb") {
+      options.size_mb = std::atoi(need_value(i));
+    } else if (arg == "--rows") {
+      options.rows = std::atoll(need_value(i));
+    } else if (arg == "--samples") {
+      options.samples = std::atoll(need_value(i));
+    } else if (arg == "--reducers") {
+      options.reducers = std::atoi(need_value(i));
+    } else if (arg == "--failure-prob") {
+      options.failure_prob = std::atof(need_value(i));
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(need_value(i), nullptr, 0);
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else {
+      usage_error("unknown flag " + arg);
+    }
+  }
+  if (options.files < 1 || options.size_mb < 1 || options.rows < 1 || options.samples < 1 ||
+      options.reducers < 0) {
+    usage_error("sizes must be positive");
+  }
+  return options;
+}
+
+std::unique_ptr<wl::Workload> make_workload(const CliOptions& options) {
+  if (options.workload == "wordcount") {
+    wl::WordCountParams params;
+    params.num_files = static_cast<std::size_t>(options.files);
+    params.bytes_per_file = megabytes(options.size_mb);
+    params.seed = options.seed;
+    return std::make_unique<wl::WordCount>(params);
+  }
+  if (options.workload == "terasort") {
+    wl::TeraSortParams params;
+    params.rows = options.rows;
+    return std::make_unique<wl::TeraSort>(params);
+  }
+  if (options.workload == "pi") {
+    wl::PiParams params;
+    params.total_samples = options.samples;
+    return std::make_unique<wl::Pi>(params);
+  }
+  usage_error("unknown workload " + options.workload);
+}
+
+std::vector<harness::RunMode> modes_for(const std::string& mode) {
+  static const std::map<std::string, harness::RunMode> kModes = {
+      {"hadoop", harness::RunMode::kHadoop}, {"uber", harness::RunMode::kUber},
+      {"dplus", harness::RunMode::kDPlus},   {"uplus", harness::RunMode::kUPlus},
+      {"auto", harness::RunMode::kMRapidAuto}};
+  if (mode == "all") {
+    return {harness::RunMode::kHadoop, harness::RunMode::kUber, harness::RunMode::kDPlus,
+            harness::RunMode::kUPlus};
+  }
+  auto it = kModes.find(mode);
+  if (it == kModes.end()) usage_error("unknown mode " + mode);
+  return {it->second};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = parse(argc, argv);
+  if (options.verbose) Logger::instance().set_level(LogLevel::kInfo);
+
+  harness::WorldConfig config;
+  if (options.cluster == "a3") {
+    config.cluster = cluster::a3_paper_cluster();
+  } else if (options.cluster == "a2") {
+    config.cluster = cluster::a2_paper_cluster();
+  } else {
+    usage_error("unknown cluster " + options.cluster);
+  }
+  config.seed = options.seed;
+  config.mr.faults.map_failure_prob = options.failure_prob;
+
+  auto workload = make_workload(options);
+
+  if (options.csv) {
+    std::printf("workload,mode,reducers,elapsed_s,am_setup_s,map_phase_s,shuffled_mb,"
+                "node_local,maps,failed_attempts\n");
+  }
+  Table table({"mode", "elapsed (s)", "AM setup (s)", "map phase (s)", "shuffled",
+               "node-local", "retries"});
+  table.with_title(options.workload + " on " + options.cluster + " cluster");
+
+  for (harness::RunMode mode : modes_for(options.mode)) {
+    harness::World world(config, mode);
+    auto result = world.run(*workload, [&](mr::JobSpec& spec) {
+      spec.num_reducers = options.reducers;
+    });
+    if (!result.has_value()) {
+      std::fprintf(stderr, "mrapid: %s run hit the simulation deadline\n",
+                   harness::run_mode_name(mode));
+      return 1;
+    }
+    if (!result->succeeded) {
+      std::fprintf(stderr, "mrapid: %s run FAILED (retries exhausted)\n",
+                   harness::run_mode_name(mode));
+      return 1;
+    }
+    const mr::JobProfile& p = result->profile;
+    if (options.csv) {
+      std::printf("%s,%s,%d,%.3f,%.3f,%.3f,%.2f,%zu,%zu,%zu\n", options.workload.c_str(),
+                  harness::run_mode_name(mode), options.reducers, p.elapsed_seconds(),
+                  p.am_setup_seconds(), p.map_phase_seconds(), to_mb(p.shuffled_bytes),
+                  p.node_local_maps, p.maps.size(), p.failed_attempts);
+    } else {
+      table.add_row({harness::run_mode_name(mode), Table::num(p.elapsed_seconds()),
+                     Table::num(p.am_setup_seconds()), Table::num(p.map_phase_seconds()),
+                     format_bytes(p.shuffled_bytes),
+                     std::to_string(p.node_local_maps) + "/" + std::to_string(p.maps.size()),
+                     std::to_string(p.failed_attempts)});
+    }
+  }
+  if (!options.csv) table.print(std::cout);
+  return 0;
+}
