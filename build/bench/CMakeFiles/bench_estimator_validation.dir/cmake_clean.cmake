@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_estimator_validation.dir/bench_estimator_validation.cc.o"
+  "CMakeFiles/bench_estimator_validation.dir/bench_estimator_validation.cc.o.d"
+  "bench_estimator_validation"
+  "bench_estimator_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_estimator_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

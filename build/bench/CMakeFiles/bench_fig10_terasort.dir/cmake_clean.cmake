@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_terasort.dir/bench_fig10_terasort.cc.o"
+  "CMakeFiles/bench_fig10_terasort.dir/bench_fig10_terasort.cc.o.d"
+  "bench_fig10_terasort"
+  "bench_fig10_terasort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_terasort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_pi.dir/bench_fig11_pi.cc.o"
+  "CMakeFiles/bench_fig11_pi.dir/bench_fig11_pi.cc.o.d"
+  "bench_fig11_pi"
+  "bench_fig11_pi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

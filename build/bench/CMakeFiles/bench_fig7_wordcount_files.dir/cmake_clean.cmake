@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_wordcount_files.dir/bench_fig7_wordcount_files.cc.o"
+  "CMakeFiles/bench_fig7_wordcount_files.dir/bench_fig7_wordcount_files.cc.o.d"
+  "bench_fig7_wordcount_files"
+  "bench_fig7_wordcount_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_wordcount_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_wordcount_filesize.dir/bench_fig8_wordcount_filesize.cc.o"
+  "CMakeFiles/bench_fig8_wordcount_filesize.dir/bench_fig8_wordcount_filesize.cc.o.d"
+  "bench_fig8_wordcount_filesize"
+  "bench_fig8_wordcount_filesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_wordcount_filesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_wordcount_fixed_total.dir/bench_fig9_wordcount_fixed_total.cc.o"
+  "CMakeFiles/bench_fig9_wordcount_fixed_total.dir/bench_fig9_wordcount_fixed_total.cc.o.d"
+  "bench_fig9_wordcount_fixed_total"
+  "bench_fig9_wordcount_fixed_total.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_wordcount_fixed_total.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jobstream.dir/bench_jobstream.cc.o"
+  "CMakeFiles/bench_jobstream.dir/bench_jobstream.cc.o.d"
+  "bench_jobstream"
+  "bench_jobstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jobstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spark_comparison.dir/bench_spark_comparison.cc.o"
+  "CMakeFiles/bench_spark_comparison.dir/bench_spark_comparison.cc.o.d"
+  "bench_spark_comparison"
+  "bench_spark_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spark_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

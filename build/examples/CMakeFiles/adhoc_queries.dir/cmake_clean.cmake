@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_queries.dir/adhoc_queries.cpp.o"
+  "CMakeFiles/adhoc_queries.dir/adhoc_queries.cpp.o.d"
+  "adhoc_queries"
+  "adhoc_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/trace_timeline.cpp" "examples/CMakeFiles/trace_timeline.dir/trace_timeline.cpp.o" "gcc" "examples/CMakeFiles/trace_timeline.dir/trace_timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/mrapid_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrapid/CMakeFiles/mrapid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/mrapid_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mrapid_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/mrapid_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/mrapid_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mrapid_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrapid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrapid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

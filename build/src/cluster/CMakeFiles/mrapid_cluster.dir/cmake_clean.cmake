@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrapid_cluster.dir/cluster.cc.o"
+  "CMakeFiles/mrapid_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/mrapid_cluster.dir/network.cc.o"
+  "CMakeFiles/mrapid_cluster.dir/network.cc.o.d"
+  "CMakeFiles/mrapid_cluster.dir/node.cc.o"
+  "CMakeFiles/mrapid_cluster.dir/node.cc.o.d"
+  "CMakeFiles/mrapid_cluster.dir/topology.cc.o"
+  "CMakeFiles/mrapid_cluster.dir/topology.cc.o.d"
+  "libmrapid_cluster.a"
+  "libmrapid_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrapid_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrapid_common.dir/log.cc.o"
+  "CMakeFiles/mrapid_common.dir/log.cc.o.d"
+  "CMakeFiles/mrapid_common.dir/rng.cc.o"
+  "CMakeFiles/mrapid_common.dir/rng.cc.o.d"
+  "CMakeFiles/mrapid_common.dir/stats.cc.o"
+  "CMakeFiles/mrapid_common.dir/stats.cc.o.d"
+  "CMakeFiles/mrapid_common.dir/table.cc.o"
+  "CMakeFiles/mrapid_common.dir/table.cc.o.d"
+  "CMakeFiles/mrapid_common.dir/thread_pool.cc.o"
+  "CMakeFiles/mrapid_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/mrapid_common.dir/units.cc.o"
+  "CMakeFiles/mrapid_common.dir/units.cc.o.d"
+  "libmrapid_common.a"
+  "libmrapid_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrapid_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrapid_harness.dir/world.cc.o"
+  "CMakeFiles/mrapid_harness.dir/world.cc.o.d"
+  "libmrapid_harness.a"
+  "libmrapid_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrapid_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrapid_hdfs.dir/hdfs.cc.o"
+  "CMakeFiles/mrapid_hdfs.dir/hdfs.cc.o.d"
+  "CMakeFiles/mrapid_hdfs.dir/namenode.cc.o"
+  "CMakeFiles/mrapid_hdfs.dir/namenode.cc.o.d"
+  "CMakeFiles/mrapid_hdfs.dir/placement.cc.o"
+  "CMakeFiles/mrapid_hdfs.dir/placement.cc.o.d"
+  "libmrapid_hdfs.a"
+  "libmrapid_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrapid_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/am_base.cc" "src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/am_base.cc.o" "gcc" "src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/am_base.cc.o.d"
+  "/root/repo/src/mapreduce/app_master.cc" "src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/app_master.cc.o" "gcc" "src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/app_master.cc.o.d"
+  "/root/repo/src/mapreduce/job.cc" "src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/job.cc.o" "gcc" "src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/job.cc.o.d"
+  "/root/repo/src/mapreduce/job_client.cc" "src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/job_client.cc.o" "gcc" "src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/job_client.cc.o.d"
+  "/root/repo/src/mapreduce/split.cc" "src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/split.cc.o" "gcc" "src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/split.cc.o.d"
+  "/root/repo/src/mapreduce/task_runner.cc" "src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/task_runner.cc.o" "gcc" "src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/task_runner.cc.o.d"
+  "/root/repo/src/mapreduce/uber_am.cc" "src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/uber_am.cc.o" "gcc" "src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/uber_am.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/yarn/CMakeFiles/mrapid_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/mrapid_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mrapid_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrapid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrapid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

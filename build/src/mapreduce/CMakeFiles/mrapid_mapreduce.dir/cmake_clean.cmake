@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrapid_mapreduce.dir/am_base.cc.o"
+  "CMakeFiles/mrapid_mapreduce.dir/am_base.cc.o.d"
+  "CMakeFiles/mrapid_mapreduce.dir/app_master.cc.o"
+  "CMakeFiles/mrapid_mapreduce.dir/app_master.cc.o.d"
+  "CMakeFiles/mrapid_mapreduce.dir/job.cc.o"
+  "CMakeFiles/mrapid_mapreduce.dir/job.cc.o.d"
+  "CMakeFiles/mrapid_mapreduce.dir/job_client.cc.o"
+  "CMakeFiles/mrapid_mapreduce.dir/job_client.cc.o.d"
+  "CMakeFiles/mrapid_mapreduce.dir/split.cc.o"
+  "CMakeFiles/mrapid_mapreduce.dir/split.cc.o.d"
+  "CMakeFiles/mrapid_mapreduce.dir/task_runner.cc.o"
+  "CMakeFiles/mrapid_mapreduce.dir/task_runner.cc.o.d"
+  "CMakeFiles/mrapid_mapreduce.dir/uber_am.cc.o"
+  "CMakeFiles/mrapid_mapreduce.dir/uber_am.cc.o.d"
+  "libmrapid_mapreduce.a"
+  "libmrapid_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrapid_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

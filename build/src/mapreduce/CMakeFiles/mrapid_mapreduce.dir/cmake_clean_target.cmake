@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrapid_mapreduce.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrapid/ampool.cc" "src/mrapid/CMakeFiles/mrapid_core.dir/ampool.cc.o" "gcc" "src/mrapid/CMakeFiles/mrapid_core.dir/ampool.cc.o.d"
+  "/root/repo/src/mrapid/decision_maker.cc" "src/mrapid/CMakeFiles/mrapid_core.dir/decision_maker.cc.o" "gcc" "src/mrapid/CMakeFiles/mrapid_core.dir/decision_maker.cc.o.d"
+  "/root/repo/src/mrapid/dplus_scheduler.cc" "src/mrapid/CMakeFiles/mrapid_core.dir/dplus_scheduler.cc.o" "gcc" "src/mrapid/CMakeFiles/mrapid_core.dir/dplus_scheduler.cc.o.d"
+  "/root/repo/src/mrapid/estimator.cc" "src/mrapid/CMakeFiles/mrapid_core.dir/estimator.cc.o" "gcc" "src/mrapid/CMakeFiles/mrapid_core.dir/estimator.cc.o.d"
+  "/root/repo/src/mrapid/framework.cc" "src/mrapid/CMakeFiles/mrapid_core.dir/framework.cc.o" "gcc" "src/mrapid/CMakeFiles/mrapid_core.dir/framework.cc.o.d"
+  "/root/repo/src/mrapid/history.cc" "src/mrapid/CMakeFiles/mrapid_core.dir/history.cc.o" "gcc" "src/mrapid/CMakeFiles/mrapid_core.dir/history.cc.o.d"
+  "/root/repo/src/mrapid/profiler.cc" "src/mrapid/CMakeFiles/mrapid_core.dir/profiler.cc.o" "gcc" "src/mrapid/CMakeFiles/mrapid_core.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/mrapid_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/mrapid_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrapid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mrapid_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrapid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

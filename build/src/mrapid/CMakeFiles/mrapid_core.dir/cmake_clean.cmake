@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrapid_core.dir/ampool.cc.o"
+  "CMakeFiles/mrapid_core.dir/ampool.cc.o.d"
+  "CMakeFiles/mrapid_core.dir/decision_maker.cc.o"
+  "CMakeFiles/mrapid_core.dir/decision_maker.cc.o.d"
+  "CMakeFiles/mrapid_core.dir/dplus_scheduler.cc.o"
+  "CMakeFiles/mrapid_core.dir/dplus_scheduler.cc.o.d"
+  "CMakeFiles/mrapid_core.dir/estimator.cc.o"
+  "CMakeFiles/mrapid_core.dir/estimator.cc.o.d"
+  "CMakeFiles/mrapid_core.dir/framework.cc.o"
+  "CMakeFiles/mrapid_core.dir/framework.cc.o.d"
+  "CMakeFiles/mrapid_core.dir/history.cc.o"
+  "CMakeFiles/mrapid_core.dir/history.cc.o.d"
+  "CMakeFiles/mrapid_core.dir/profiler.cc.o"
+  "CMakeFiles/mrapid_core.dir/profiler.cc.o.d"
+  "libmrapid_core.a"
+  "libmrapid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrapid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrapid_sim.dir/bandwidth.cc.o"
+  "CMakeFiles/mrapid_sim.dir/bandwidth.cc.o.d"
+  "CMakeFiles/mrapid_sim.dir/event_queue.cc.o"
+  "CMakeFiles/mrapid_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/mrapid_sim.dir/resource_pool.cc.o"
+  "CMakeFiles/mrapid_sim.dir/resource_pool.cc.o.d"
+  "CMakeFiles/mrapid_sim.dir/simulation.cc.o"
+  "CMakeFiles/mrapid_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/mrapid_sim.dir/time.cc.o"
+  "CMakeFiles/mrapid_sim.dir/time.cc.o.d"
+  "libmrapid_sim.a"
+  "libmrapid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrapid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrapid_spark.dir/spark.cc.o"
+  "CMakeFiles/mrapid_spark.dir/spark.cc.o.d"
+  "libmrapid_spark.a"
+  "libmrapid_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrapid_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

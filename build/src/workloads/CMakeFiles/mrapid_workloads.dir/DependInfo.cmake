@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/jobstream.cc" "src/workloads/CMakeFiles/mrapid_workloads.dir/jobstream.cc.o" "gcc" "src/workloads/CMakeFiles/mrapid_workloads.dir/jobstream.cc.o.d"
+  "/root/repo/src/workloads/pi.cc" "src/workloads/CMakeFiles/mrapid_workloads.dir/pi.cc.o" "gcc" "src/workloads/CMakeFiles/mrapid_workloads.dir/pi.cc.o.d"
+  "/root/repo/src/workloads/terasort.cc" "src/workloads/CMakeFiles/mrapid_workloads.dir/terasort.cc.o" "gcc" "src/workloads/CMakeFiles/mrapid_workloads.dir/terasort.cc.o.d"
+  "/root/repo/src/workloads/textgen.cc" "src/workloads/CMakeFiles/mrapid_workloads.dir/textgen.cc.o" "gcc" "src/workloads/CMakeFiles/mrapid_workloads.dir/textgen.cc.o.d"
+  "/root/repo/src/workloads/wordcount.cc" "src/workloads/CMakeFiles/mrapid_workloads.dir/wordcount.cc.o" "gcc" "src/workloads/CMakeFiles/mrapid_workloads.dir/wordcount.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/mrapid_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/mrapid_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrapid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/mrapid_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mrapid_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrapid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrapid_workloads.dir/jobstream.cc.o"
+  "CMakeFiles/mrapid_workloads.dir/jobstream.cc.o.d"
+  "CMakeFiles/mrapid_workloads.dir/pi.cc.o"
+  "CMakeFiles/mrapid_workloads.dir/pi.cc.o.d"
+  "CMakeFiles/mrapid_workloads.dir/terasort.cc.o"
+  "CMakeFiles/mrapid_workloads.dir/terasort.cc.o.d"
+  "CMakeFiles/mrapid_workloads.dir/textgen.cc.o"
+  "CMakeFiles/mrapid_workloads.dir/textgen.cc.o.d"
+  "CMakeFiles/mrapid_workloads.dir/wordcount.cc.o"
+  "CMakeFiles/mrapid_workloads.dir/wordcount.cc.o.d"
+  "libmrapid_workloads.a"
+  "libmrapid_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrapid_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yarn/capacity_scheduler.cc" "src/yarn/CMakeFiles/mrapid_yarn.dir/capacity_scheduler.cc.o" "gcc" "src/yarn/CMakeFiles/mrapid_yarn.dir/capacity_scheduler.cc.o.d"
+  "/root/repo/src/yarn/node_manager.cc" "src/yarn/CMakeFiles/mrapid_yarn.dir/node_manager.cc.o" "gcc" "src/yarn/CMakeFiles/mrapid_yarn.dir/node_manager.cc.o.d"
+  "/root/repo/src/yarn/records.cc" "src/yarn/CMakeFiles/mrapid_yarn.dir/records.cc.o" "gcc" "src/yarn/CMakeFiles/mrapid_yarn.dir/records.cc.o.d"
+  "/root/repo/src/yarn/resource_manager.cc" "src/yarn/CMakeFiles/mrapid_yarn.dir/resource_manager.cc.o" "gcc" "src/yarn/CMakeFiles/mrapid_yarn.dir/resource_manager.cc.o.d"
+  "/root/repo/src/yarn/scheduler.cc" "src/yarn/CMakeFiles/mrapid_yarn.dir/scheduler.cc.o" "gcc" "src/yarn/CMakeFiles/mrapid_yarn.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/mrapid_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrapid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrapid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrapid_yarn.dir/capacity_scheduler.cc.o"
+  "CMakeFiles/mrapid_yarn.dir/capacity_scheduler.cc.o.d"
+  "CMakeFiles/mrapid_yarn.dir/node_manager.cc.o"
+  "CMakeFiles/mrapid_yarn.dir/node_manager.cc.o.d"
+  "CMakeFiles/mrapid_yarn.dir/records.cc.o"
+  "CMakeFiles/mrapid_yarn.dir/records.cc.o.d"
+  "CMakeFiles/mrapid_yarn.dir/resource_manager.cc.o"
+  "CMakeFiles/mrapid_yarn.dir/resource_manager.cc.o.d"
+  "CMakeFiles/mrapid_yarn.dir/scheduler.cc.o"
+  "CMakeFiles/mrapid_yarn.dir/scheduler.cc.o.d"
+  "libmrapid_yarn.a"
+  "libmrapid_yarn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrapid_yarn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

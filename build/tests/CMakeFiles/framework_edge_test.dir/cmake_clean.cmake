@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framework_edge_test.dir/framework_edge_test.cc.o"
+  "CMakeFiles/framework_edge_test.dir/framework_edge_test.cc.o.d"
+  "framework_edge_test"
+  "framework_edge_test.pdb"
+  "framework_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framework_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobstream_test.dir/jobstream_test.cc.o"
+  "CMakeFiles/jobstream_test.dir/jobstream_test.cc.o.d"
+  "jobstream_test"
+  "jobstream_test.pdb"
+  "jobstream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobstream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrapid_test.dir/mrapid_test.cc.o"
+  "CMakeFiles/mrapid_test.dir/mrapid_test.cc.o.d"
+  "mrapid_test"
+  "mrapid_test.pdb"
+  "mrapid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrapid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

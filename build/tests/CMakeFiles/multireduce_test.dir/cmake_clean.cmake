@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multireduce_test.dir/multireduce_test.cc.o"
+  "CMakeFiles/multireduce_test.dir/multireduce_test.cc.o.d"
+  "multireduce_test"
+  "multireduce_test.pdb"
+  "multireduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multireduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yarn_test.dir/yarn_test.cc.o"
+  "CMakeFiles/yarn_test.dir/yarn_test.cc.o.d"
+  "yarn_test"
+  "yarn_test.pdb"
+  "yarn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yarn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

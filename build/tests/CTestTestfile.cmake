@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/hdfs_test[1]_include.cmake")
+include("/root/repo/build/tests/yarn_test[1]_include.cmake")
+include("/root/repo/build/tests/mapreduce_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/mrapid_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/framework_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/multireduce_test[1]_include.cmake")
+include("/root/repo/build/tests/spark_test[1]_include.cmake")
+include("/root/repo/build/tests/jobstream_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrapid_cli.dir/mrapid_sim.cpp.o"
+  "CMakeFiles/mrapid_cli.dir/mrapid_sim.cpp.o.d"
+  "mrapid"
+  "mrapid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrapid_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
