@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI entry point: builds and tests the simulator in two configurations —
+#
+#   1. Release      (assertions kept; what benches and users run)
+#   2. ASan+UBSan   (-DMRAPID_SANITIZE=ON, catches memory and UB bugs
+#                    the deterministic tests alone cannot)
+#
+# Usage: ./ci.sh [extra ctest args, e.g. -R Golden]
+#
+# Golden traces are refreshed with:  GOLDEN_UPDATE=1 ctest -R Golden
+# (see tests/golden_trace_test.cc) — never run that in CI.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+CTEST_ARGS=("$@")
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+# Leak detection is off: the harness deliberately keeps AMs and worlds
+# alive until process exit (shared_ptr teardown design), which LSan
+# reports as leaks in every test binary. ASan's memory-error detection
+# (use-after-free, overflows) and UBSan stay fully enabled.
+export ASAN_OPTIONS="detect_leaks=0:${ASAN_OPTIONS:-}"
+
+run_config() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S . "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== [$name] ctest ==="
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" "${CTEST_ARGS[@]}")
+}
+
+run_config release build-release -DCMAKE_BUILD_TYPE=Release -DMRAPID_WERROR=ON
+run_config sanitize build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMRAPID_SANITIZE=ON
+
+echo "=== CI green: release + sanitize ==="

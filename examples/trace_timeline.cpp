@@ -4,14 +4,22 @@
 // packed nodes, Uber's serial chain, D+'s one-wave spread, U+'s dense
 // parallel block).
 //
-//   $ ./trace_timeline [files] [mb_per_file]
+//   $ ./trace_timeline [files] [mb_per_file] [chrome_trace.json]
+//
+// With a third argument, also writes a Chrome trace_event JSON of all
+// four runs — open it in chrome://tracing or https://ui.perfetto.dev
+// to scrub the same timelines interactively.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "harness/world.h"
+#include "sim/trace.h"
 #include "workloads/wordcount.h"
 
 using namespace mrapid;
@@ -60,6 +68,7 @@ void render(const mr::JobProfile& profile) {
 int main(int argc, char** argv) {
   const int files = argc > 1 ? std::atoi(argv[1]) : 4;
   const int mb = argc > 2 ? std::atoi(argv[2]) : 10;
+  const std::string trace_path = argc > 3 ? argv[3] : "";
 
   wl::WordCountParams params;
   params.num_files = static_cast<std::size_t>(files);
@@ -69,12 +78,30 @@ int main(int argc, char** argv) {
   harness::WorldConfig config;
   config.cluster = cluster::a3_paper_cluster();
 
+  std::vector<std::unique_ptr<sim::Tracer>> tracers;
+  std::vector<sim::ChromeProcess> processes;
+
   std::printf("WordCount, %d x %d MB, A3 cluster (1 NN + 4 DN)\n", files, mb);
   for (harness::RunMode mode : {harness::RunMode::kHadoop, harness::RunMode::kUber,
                                 harness::RunMode::kDPlus, harness::RunMode::kUPlus}) {
-    auto result = harness::run_workload(config, mode, wc);
+    harness::World world(config, mode);
+    if (!trace_path.empty()) {
+      tracers.push_back(std::make_unique<sim::Tracer>(sim::kTraceAll));
+      world.attach_tracer(*tracers.back());
+      processes.push_back({harness::run_mode_name(mode), &tracers.back()->events()});
+    }
+    auto result = world.run(wc);
     if (!result) return 1;
     render(result->profile);
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "trace_timeline: cannot open %s\n", trace_path.c_str());
+      return 1;
+    }
+    sim::write_chrome_trace(out, processes);
+    std::printf("\nwrote %s (load in chrome://tracing or Perfetto)\n", trace_path.c_str());
   }
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "sim/trace.h"
+
 namespace mrapid::cluster {
 
 namespace {
@@ -42,9 +44,13 @@ Network::FlowId Network::start_flow(NodeId src, NodeId dst, Bytes bytes,
                                     CompletionCallback on_complete) {
   assert(bytes >= 0);
   const FlowId id = next_id_++;
+  MRAPID_TRACE(sim_, sim::TraceCategory::kNet, "net.flow", {"flow", id}, {"src", src},
+               {"dst", dst}, {"bytes", bytes});
   if (bytes == 0) {
-    sim_.schedule_now([cb = std::move(on_complete)] { cb(sim::SimDuration::zero()); },
-                      "net:zero-flow");
+    sim_.schedule_now([this, id, cb = std::move(on_complete)] {
+      MRAPID_TRACE(sim_, sim::TraceCategory::kNet, "net.flow.done", {"flow", id}, {"bytes", 0});
+      cb(sim::SimDuration::zero());
+    }, "net:zero-flow");
     return id;
   }
   advance_progress();
@@ -162,6 +168,8 @@ void Network::on_completion_event() {
   replan();
   for (auto& f : done) {
     bytes_delivered_ += f.total_bytes;
+    MRAPID_TRACE(sim_, sim::TraceCategory::kNet, "net.flow.done", {"flow", f.id},
+                 {"bytes", f.total_bytes});
     if (f.on_complete) f.on_complete(sim_.now() - f.started);
   }
 }

@@ -68,6 +68,11 @@ class World {
   RunMode mode() const { return mode_; }
   const WorldConfig& config() const { return config_; }
 
+  // Attaches a trace sink to this world's simulation. Attach before
+  // boot() so node capacities and pool warm-up land in the trace; the
+  // tracer must outlive the world's run.
+  void attach_tracer(sim::Tracer& tracer) { sim_->set_tracer(&tracer); }
+
   // Brings up NMs (and, for MRapid modes, warms the AM pool), leaving
   // the simulation at the instant the system is ready for jobs.
   void boot();

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/log.h"
+#include "sim/trace.h"
 
 namespace mrapid::hdfs {
 
@@ -21,6 +22,9 @@ Hdfs::Hdfs(cluster::Cluster& cluster, HdfsConfig config)
 void Hdfs::account_file(const FileInfo& file) {
   for (BlockId id : file.blocks) {
     const BlockInfo* block = namenode_->block(id);
+    MRAPID_TRACE(sim_, sim::TraceCategory::kHdfs, "block.create", {"block", id},
+                 {"bytes", block->size},
+                 {"replicas", static_cast<std::int64_t>(block->replicas.size())});
     for (NodeId replica : block->replicas) stored_[replica] += block->size;
   }
 }
@@ -46,6 +50,8 @@ void Hdfs::write_file(const std::string& path, Bytes size, NodeId writer, Callba
     return;
   }
   account_file(*file);
+  MRAPID_TRACE(sim_, sim::TraceCategory::kHdfs, "file.write", {"path", path}, {"bytes", size},
+               {"writer", writer}, {"blocks", static_cast<std::int64_t>(file->blocks.size())});
 
   // Count outstanding sub-operations: per replica one disk write, plus
   // one network flow when the replica is not the writer itself.
@@ -107,6 +113,8 @@ void Hdfs::read_block(BlockId id, NodeId reader, Callback done) {
     case Locality::kRackLocal: ++read_stats_.rack_local; break;
     case Locality::kAny: ++read_stats_.off_rack; break;
   }
+  MRAPID_TRACE(sim_, sim::TraceCategory::kHdfs, "block.read", {"block", id},
+               {"reader", reader}, {"replica", replica}, {"bytes", block->size});
 
   const Bytes size = block->size;
   sim_.schedule_after(config_.namenode_rpc, [this, replica, reader, size,

@@ -59,7 +59,10 @@ class AmBase {
   ExecutionMode mode() const { return mode_; }
 
  protected:
-  TaskEnv env() { return TaskEnv{sim_, cluster_, hdfs_, config_, killed_}; }
+  TaskEnv env() {
+    return TaskEnv{sim_, cluster_, hdfs_, config_,  killed_,
+                   app_id_, profile_.submit_time.as_micros()};
+  }
   void complete(bool success, std::vector<std::shared_ptr<const void>> reduce_results);
 
   cluster::Cluster& cluster_;

@@ -7,6 +7,7 @@
 
 #include "common/log.h"
 #include "mapreduce/split.h"
+#include "sim/trace.h"
 
 namespace mrapid::mr {
 
@@ -29,6 +30,9 @@ void MRAppMaster::start(const yarn::Container& am_container) {
     ask.capability = rm_.config().task_container;
     ask.preferred_nodes = splits_[i].hosts;
     ask_to_task_.emplace(ask.id, i);
+    MRAPID_TRACE(sim_, sim::TraceCategory::kTask, "map.scheduled", {"app", app_id_},
+                 {"job", profile_.submit_time.as_micros()},
+                 {"task", static_cast<std::int64_t>(i)}, {"attempt", 0}, {"ask", ask.id});
     asks_to_send_.push_back(std::move(ask));
   }
   reduce_runners_.resize(static_cast<std::size_t>(spec_.num_reducers));
@@ -106,6 +110,10 @@ void MRAppMaster::on_map_failed(const yarn::Container& container, const MapTaskR
   ask.capability = rm_.config().task_container;
   ask.preferred_nodes = splits_[task].hosts;
   ask_to_task_.emplace(ask.id, task);
+  MRAPID_TRACE(sim_, sim::TraceCategory::kTask, "map.scheduled", {"app", app_id_},
+               {"job", profile_.submit_time.as_micros()},
+               {"task", static_cast<std::int64_t>(task)}, {"attempt", attempts_[task]},
+               {"ask", ask.id});
   asks_to_send_.push_back(std::move(ask));
 }
 
@@ -182,6 +190,9 @@ void MRAppMaster::maybe_request_reducers() {
     ask.app = app_id_;
     ask.capability = rm_.config().task_container;
     reducer_asks_.emplace(ask.id, partition);
+    MRAPID_TRACE(sim_, sim::TraceCategory::kTask, "reduce.scheduled", {"app", app_id_},
+                 {"job", profile_.submit_time.as_micros()}, {"partition", partition},
+                 {"ask", ask.id});
     asks_to_send_.push_back(std::move(ask));
   }
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "sim/trace.h"
 
 namespace mrapid::mr {
 
@@ -48,6 +49,9 @@ void run_map_task(const TaskEnv& env_in, const JobSpec& spec, const InputSplit& 
   state->profile.locality = best_locality(env.cluster.topology(), node, split.hosts);
   state->profile.start = env.sim.now();
   state->profile.input_bytes = split.length;
+  MRAPID_TRACE(env.sim, sim::TraceCategory::kTask, "map.start", {"app", env.app},
+               {"job", env.job}, {"task", state->profile.index},
+               {"attempt", attempt}, {"node", node}, {"input_bytes", split.length});
 
   // Phase 2: read the split from HDFS (phase 1, setup, was the
   // container launch itself).
@@ -77,6 +81,9 @@ void run_map_task(const TaskEnv& env_in, const JobSpec& spec, const InputSplit& 
             state->profile.output_bytes = 0;
             state->profile.compute_done = env.sim.now();
             state->profile.end = env.sim.now();
+            MRAPID_TRACE(env.sim, sim::TraceCategory::kTask, "map.failed", {"app", env.app},
+                         {"job", env.job}, {"task", state->profile.index},
+                         {"attempt", state->profile.attempt}, {"node", state->profile.node});
             done(std::move(*state));
           });
       return;
@@ -93,6 +100,10 @@ void run_map_task(const TaskEnv& env_in, const JobSpec& spec, const InputSplit& 
       auto finish = [env, state, done = std::move(done)]() mutable {
         if (env.is_killed()) return;
         state->profile.end = env.sim.now();
+        MRAPID_TRACE(env.sim, sim::TraceCategory::kTask, "map.done", {"app", env.app},
+                     {"job", env.job}, {"task", state->profile.index},
+                     {"attempt", state->profile.attempt}, {"node", state->profile.node},
+                     {"output_bytes", state->profile.output_bytes});
         done(std::move(*state));
       };
 
@@ -102,12 +113,21 @@ void run_map_task(const TaskEnv& env_in, const JobSpec& spec, const InputSplit& 
         // U+ in-memory path: intermediate data stays cached.
         state->profile.output_in_memory = true;
         state->profile.spills = 0;
+        if (out > 0) {
+          MRAPID_TRACE(env.sim, sim::TraceCategory::kTask, "map.cached", {"app", env.app},
+                       {"job", env.job}, {"task", state->profile.index},
+                       {"attempt", state->profile.attempt}, {"bytes", out});
+        }
         env.sim.schedule_now(std::move(finish), "map:in-memory");
         return;
       }
 
       // Phase 4: spill — write the sorted output to local disk.
       state->profile.spills = spill_count(out, env.config);
+      MRAPID_TRACE(env.sim, sim::TraceCategory::kTask, "map.spill", {"app", env.app},
+                   {"job", env.job}, {"task", state->profile.index},
+                   {"attempt", state->profile.attempt}, {"bytes", out},
+                   {"spills", state->profile.spills});
       auto& disk_write = env.cluster.node(node).disk_write();
       disk_write.start(out, [env, node, out, state, finish = std::move(finish)](
                                 sim::SimDuration) mutable {
@@ -149,6 +169,8 @@ void ReduceRunner::start() {
   assert(!started_);
   started_ = true;
   profile_.start = env_.sim.now();
+  MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.start", {"app", env_.app},
+               {"job", env_.job}, {"partition", partition_}, {"node", node_});
   std::vector<MapTaskResult> backlog;
   backlog.swap(pending_);
   for (const auto& result : backlog) fetch(result);
@@ -173,6 +195,9 @@ void ReduceRunner::fetch(const MapTaskResult& result) {
   const Bytes bytes = shard.output_bytes;
   const int index = result.profile.index;
   outcomes_[static_cast<std::size_t>(index)] = std::move(shard);
+  MRAPID_TRACE(env_.sim, sim::TraceCategory::kShuffle, "shuffle.fetch", {"app", env_.app},
+               {"job", env_.job}, {"partition", partition_}, {"map", index}, {"bytes", bytes},
+               {"src", src}, {"dst", node_});
 
   auto complete = [this, bytes] {
     if (env_.is_killed()) return;
@@ -206,6 +231,8 @@ void ReduceRunner::maybe_finish_shuffle() {
   if (!started_ || fetched_ < total_maps_) return;
   profile_.read_done = env_.sim.now();
   profile_.input_bytes = shuffled_bytes_;
+  MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.shuffle_done", {"app", env_.app},
+               {"job", env_.job}, {"partition", partition_}, {"bytes", shuffled_bytes_});
   run_reduce_phase();
 }
 
@@ -225,6 +252,9 @@ void ReduceRunner::run_reduce_phase() {
       env_.sim.schedule_after(env_.config.commit_overhead, [this, outcome] {
         if (env_.is_killed()) return;
         profile_.end = env_.sim.now();
+        MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.done", {"app", env_.app},
+                     {"job", env_.job}, {"partition", partition_}, {"node", node_},
+                     {"output_bytes", outcome.output_bytes});
         done_(profile_, outcome);
       }, "reduce:commit");
     });

@@ -26,6 +26,11 @@ struct TaskEnv {
   hdfs::Hdfs& hdfs;
   const MRConfig& config;
   std::shared_ptr<const bool> killed;  // owned by the job attempt
+  // Trace identity: the owning YARN app plus a per-job discriminator
+  // (submit time in micros — pool slots reuse app ids across jobs, so
+  // the pair is what uniquely names a job attempt in a trace).
+  std::int32_t app = -1;
+  std::int64_t job = 0;
 
   bool is_killed() const { return killed && *killed; }
 };

@@ -6,6 +6,7 @@
 
 #include "common/log.h"
 #include "mapreduce/split.h"
+#include "sim/trace.h"
 
 namespace mrapid::mr {
 
@@ -70,6 +71,10 @@ MapTaskOptions UberAppMaster::make_map_options() {
 void UberAppMaster::launch_map(std::size_t split_index) {
   ++running_maps_;
   const int attempt = attempts_[split_index]++;
+  MRAPID_TRACE(sim_, sim::TraceCategory::kTask, "map.scheduled", {"app", app_id_},
+               {"job", profile_.submit_time.as_micros()},
+               {"task", static_cast<std::int64_t>(split_index)}, {"attempt", attempt},
+               {"node", am_node_});
   run_map_task(env(), spec_, splits_[split_index], am_node_, make_map_options(),
                [this](MapTaskResult result) { on_map_done(std::move(result)); }, attempt);
 }
@@ -141,6 +146,9 @@ void UberAppMaster::start_reduces() {
   for (int partition = 0; partition < spec_.num_reducers; ++partition) {
     char part_name[32];
     std::snprintf(part_name, sizeof(part_name), "/part-r-%05d", partition);
+    MRAPID_TRACE(sim_, sim::TraceCategory::kTask, "reduce.scheduled", {"app", app_id_},
+                 {"job", profile_.submit_time.as_micros()}, {"partition", partition},
+                 {"node", am_node_});
     auto& runner = reduce_runners_[static_cast<std::size_t>(partition)];
     runner = std::make_unique<ReduceRunner>(
         env(), spec_, partition, spec_.output_path + part_name, am_node_, total_maps(),

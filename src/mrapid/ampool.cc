@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "sim/trace.h"
 
 namespace mrapid::core {
 
@@ -22,6 +23,9 @@ void AmPool::start(std::function<void()> on_ready) {
           state.slot.container = container;
           state.warm = true;
           ++ready_slots_;
+          MRAPID_TRACE(cluster_.simulation(), sim::TraceCategory::kPool, "pool.warm",
+                       {"slot", static_cast<std::int64_t>(i)}, {"app", state.slot.app},
+                       {"node", container.node});
           LOG_INFO("ampool", "slot %zu warm on node %d", i, container.node);
           if (ready() && on_ready_) on_ready_();
         });
@@ -54,6 +58,9 @@ std::optional<AmPool::Slot> AmPool::acquire() {
   }
   if (best == nullptr) return std::nullopt;
   best->busy = true;
+  MRAPID_TRACE(cluster_.simulation(), sim::TraceCategory::kPool, "pool.acquire",
+               {"slot", best->slot.index}, {"app", best->slot.app},
+               {"node", best->slot.container.node});
   return best->slot;
 }
 
@@ -61,6 +68,8 @@ void AmPool::release(int index) {
   SlotState& state = slots_.at(static_cast<std::size_t>(index));
   assert(state.busy);
   state.busy = false;
+  MRAPID_TRACE(cluster_.simulation(), sim::TraceCategory::kPool, "pool.release",
+               {"slot", index}, {"app", state.slot.app});
 }
 
 }  // namespace mrapid::core

@@ -16,7 +16,10 @@ std::string EstimatorInputs::to_string() const {
 
 int wave_count(int n_m, int width) {
   if (n_m <= 0) return 0;
-  assert(width >= 1);
+  // A degenerate width (no container slots reported, or a corrupt
+  // profile) must not divide by zero: the tightest pipeline a job can
+  // have is one task at a time, i.e. n_m waves.
+  if (width < 1) width = 1;
   return (n_m + width - 1) / width;
 }
 

@@ -34,7 +34,8 @@ struct EstimatorInputs {
   std::string to_string() const;
 };
 
-// Number of waves ceil(n_m / width), at least 1 when n_m > 0.
+// Number of waves ceil(n_m / width), at least 1 when n_m > 0. A
+// non-positive width is clamped to 1 (serial execution).
 int wave_count(int n_m, int width);
 
 // Eq. 1 — the full job model (used for estimator validation).

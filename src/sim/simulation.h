@@ -18,6 +18,8 @@
 
 namespace mrapid::sim {
 
+class Tracer;
+
 class Simulation {
  public:
   explicit Simulation(std::uint64_t master_seed = 0x5EED);
@@ -56,12 +58,18 @@ class Simulation {
   RngStream& rng(std::string_view name);
   std::uint64_t master_seed() const { return master_seed_; }
 
+  // Trace observer (sim/trace.h). Not owned; null (the default) means
+  // tracing is off and MRAPID_TRACE sites cost one pointer test.
+  Tracer* tracer() const { return tracer_; }
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   EventQueue queue_;
   SimTime now_ = SimTime::zero();
   bool stop_requested_ = false;
   std::uint64_t processed_ = 0;
   std::uint64_t master_seed_;
+  Tracer* tracer_ = nullptr;
   std::unordered_map<std::string, RngStream> rng_streams_;
 };
 

@@ -1,0 +1,236 @@
+#include "sim/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+namespace mrapid::sim {
+
+const char* trace_category_name(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kApp: return "app";
+    case TraceCategory::kContainer: return "container";
+    case TraceCategory::kNode: return "node";
+    case TraceCategory::kTask: return "task";
+    case TraceCategory::kShuffle: return "shuffle";
+    case TraceCategory::kHdfs: return "hdfs";
+    case TraceCategory::kNet: return "net";
+    case TraceCategory::kHeartbeat: return "heartbeat";
+    case TraceCategory::kPool: return "pool";
+  }
+  return "?";
+}
+
+const std::int64_t* TraceEvent::arg(std::string_view key) const {
+  for (const auto& a : args) {
+    if (!a.is_string && a.key == key) return &a.num;
+  }
+  return nullptr;
+}
+
+std::int64_t TraceEvent::arg_or(std::string_view key, std::int64_t fallback) const {
+  const std::int64_t* value = arg(key);
+  return value != nullptr ? *value : fallback;
+}
+
+const std::string* TraceEvent::str_arg(std::string_view key) const {
+  for (const auto& a : args) {
+    if (a.is_string && a.key == key) return &a.str;
+  }
+  return nullptr;
+}
+
+void Tracer::emit(SimTime at, TraceCategory category, std::string_view name,
+                  std::initializer_list<TraceArg> args) {
+  if (!enabled(category)) return;
+  TraceEvent event;
+  event.time_us = at.as_micros();
+  event.category = category;
+  event.name = name;
+  event.args.assign(args.begin(), args.end());
+  events_.push_back(std::move(event));
+}
+
+std::string canonical_text(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 64);
+  char buf[64];
+  for (const auto& event : events) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, event.time_us);
+    out += buf;
+    out += ' ';
+    out += trace_category_name(event.category);
+    out += ' ';
+    out += event.name;
+    for (const auto& arg : event.args) {
+      out += ' ';
+      out += arg.key;
+      out += '=';
+      if (arg.is_string) {
+        out += arg.str;
+      } else {
+        std::snprintf(buf, sizeof(buf), "%" PRId64, arg.num);
+        out += buf;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void json_escape(std::ostream& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void write_args(std::ostream& out, const std::vector<TraceArg>& args) {
+  out << "{";
+  bool first = true;
+  for (const auto& arg : args) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"";
+    json_escape(out, arg.key);
+    out << "\":";
+    if (arg.is_string) {
+      out << "\"";
+      json_escape(out, arg.str);
+      out << "\"";
+    } else {
+      out << arg.num;
+    }
+  }
+  out << "}";
+}
+
+// Lifecycle pairs rendered as duration slices. `key` identifies the
+// instance within a process; `tid_key` picks the lane (node id).
+struct SlicePairing {
+  const char* begin_name;
+  const char* end_names[2];  // second may be nullptr
+  const char* key_args[3];   // nullptr-terminated
+  const char* tid_key;
+};
+
+constexpr SlicePairing kPairings[] = {
+    {"map.start", {"map.done", "map.failed"}, {"app", "task", "attempt"}, "node"},
+    {"reduce.start", {"reduce.done", nullptr}, {"app", "partition", nullptr}, "node"},
+    {"container.launched", {"container.released", nullptr}, {"id", nullptr, nullptr}, "node"},
+};
+
+std::string pairing_key(const TraceEvent& event, const SlicePairing& pairing, int which) {
+  std::string key = pairing.begin_name;
+  key += '|';
+  key += std::to_string(which);
+  for (const char* arg_key : pairing.key_args) {
+    if (arg_key == nullptr) break;
+    key += '|';
+    key += std::to_string(event.arg_or(arg_key, -1));
+  }
+  return key;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const std::vector<ChromeProcess>& processes) {
+  out << "[";
+  bool first_record = true;
+  auto record = [&](auto&& body) {
+    if (!first_record) out << ",\n";
+    first_record = false;
+    body();
+  };
+
+  for (std::size_t pid = 0; pid < processes.size(); ++pid) {
+    const ChromeProcess& process = processes[pid];
+    record([&] {
+      out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+          << ",\"tid\":0,\"args\":{\"name\":\"";
+      json_escape(out, process.name);
+      out << "\"}}";
+    });
+    if (process.events == nullptr) continue;
+
+    // First pass: find the end time of every open lifecycle slice.
+    std::unordered_map<std::string, std::int64_t> slice_end;
+    for (const auto& event : *process.events) {
+      for (int p = 0; p < static_cast<int>(std::size(kPairings)); ++p) {
+        const SlicePairing& pairing = kPairings[p];
+        for (const char* end_name : pairing.end_names) {
+          if (end_name != nullptr && event.name == end_name) {
+            // Last writer wins; begin events pop entries as they match.
+            slice_end[pairing_key(event, pairing, p)] = event.time_us;
+          }
+        }
+      }
+    }
+
+    for (const auto& event : *process.events) {
+      const SlicePairing* matched = nullptr;
+      int matched_index = -1;
+      for (int p = 0; p < static_cast<int>(std::size(kPairings)); ++p) {
+        if (event.name == kPairings[p].begin_name) {
+          matched = &kPairings[p];
+          matched_index = p;
+          break;
+        }
+      }
+      bool emitted_slice = false;
+      if (matched != nullptr) {
+        const std::string key = pairing_key(event, *matched, matched_index);
+        auto it = slice_end.find(key);
+        if (it != slice_end.end() && it->second >= event.time_us) {
+          record([&] {
+            out << "{\"name\":\"";
+            json_escape(out, event.name);
+            out << "\",\"cat\":\"" << trace_category_name(event.category)
+                << "\",\"ph\":\"X\",\"ts\":" << event.time_us
+                << ",\"dur\":" << (it->second - event.time_us) << ",\"pid\":" << pid
+                << ",\"tid\":" << event.arg_or(matched->tid_key, 0) << ",\"args\":";
+            write_args(out, event.args);
+            out << "}";
+          });
+          slice_end.erase(it);
+          emitted_slice = true;
+        }
+      }
+      if (emitted_slice) continue;
+      record([&] {
+        out << "{\"name\":\"";
+        json_escape(out, event.name);
+        out << "\",\"cat\":\"" << trace_category_name(event.category)
+            << "\",\"ph\":\"i\",\"s\":\"p\",\"ts\":" << event.time_us << ",\"pid\":" << pid
+            << ",\"tid\":" << event.arg_or("node", 0) << ",\"args\":";
+        write_args(out, event.args);
+        out << "}";
+      });
+    }
+  }
+  out << "]\n";
+}
+
+std::string chrome_trace_json(const std::vector<ChromeProcess>& processes) {
+  std::ostringstream out;
+  write_chrome_trace(out, processes);
+  return out.str();
+}
+
+}  // namespace mrapid::sim

@@ -1,0 +1,144 @@
+#pragma once
+
+// The simulation trace layer: an observer components emit structured
+// events into (container lifecycle, task phases, block reads, shuffle
+// flows, heartbeats...). A Tracer is attached to a Simulation with
+// Simulation::set_tracer(); when none is attached the MRAPID_TRACE
+// macro is a single null-pointer test, so tracing costs nothing in
+// benches and production runs.
+//
+// On top of the recorded stream:
+//   - canonical_text(): a deterministic line-per-event text form used
+//     by the golden-trace regression tests (same seed => byte-identical
+//     text; see tests/golden_trace_test.cc),
+//   - chrome_trace_json(): Chrome trace_event JSON loadable in
+//     chrome://tracing / Perfetto (tasks and containers become duration
+//     slices laid out per node),
+//   - trace_check.h: always-on invariant checkers that replay a trace
+//     and report structural violations.
+//
+// Arguments are int64 or string only — no floating point ever enters a
+// trace, which is what makes the canonical text stable enough to diff.
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mrapid::sim {
+
+// Event taxonomy. Used both for display and for filtering: golden
+// traces record a reduced mask so periodic noise (heartbeats, raw
+// network flows) doesn't churn the checked-in files.
+enum class TraceCategory : std::uint32_t {
+  kApp = 1u << 0,        // application lifecycle (submit/finish)
+  kContainer = 1u << 1,  // container requested/allocated/launched/released
+  kNode = 1u << 2,       // node capacity announcements
+  kTask = 1u << 3,       // map/reduce phase boundaries
+  kShuffle = 1u << 4,    // reducer fetches of map output
+  kHdfs = 1u << 5,       // block create/read, file write
+  kNet = 1u << 6,        // raw network flows
+  kHeartbeat = 1u << 7,  // NM heartbeats
+  kPool = 1u << 8,       // AM pool slot lifecycle
+};
+
+inline constexpr std::uint32_t kTraceAll = 0xFFFFFFFFu;
+// The stable subset golden traces pin down (no heartbeats, no raw
+// flows: those are volume, not structure).
+inline constexpr std::uint32_t kTraceGolden =
+    static_cast<std::uint32_t>(TraceCategory::kApp) |
+    static_cast<std::uint32_t>(TraceCategory::kContainer) |
+    static_cast<std::uint32_t>(TraceCategory::kNode) |
+    static_cast<std::uint32_t>(TraceCategory::kTask) |
+    static_cast<std::uint32_t>(TraceCategory::kShuffle) |
+    static_cast<std::uint32_t>(TraceCategory::kHdfs) |
+    static_cast<std::uint32_t>(TraceCategory::kPool);
+
+const char* trace_category_name(TraceCategory category);
+
+// One event argument: a key with either an integer or a string value.
+struct TraceArg {
+  std::string key;
+  std::int64_t num = 0;
+  std::string str;
+  bool is_string = false;
+
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  TraceArg(std::string_view k, T v) : key(k), num(static_cast<std::int64_t>(v)) {}
+  TraceArg(std::string_view k, std::string_view v) : key(k), str(v), is_string(true) {}
+  TraceArg(std::string_view k, const std::string& v) : key(k), str(v), is_string(true) {}
+  TraceArg(std::string_view k, const char* v) : key(k), str(v), is_string(true) {}
+};
+
+struct TraceEvent {
+  std::int64_t time_us = 0;
+  TraceCategory category = TraceCategory::kApp;
+  std::string name;
+  std::vector<TraceArg> args;
+
+  // nullptr when absent; int-valued args only.
+  const std::int64_t* arg(std::string_view key) const;
+  // `fallback` when absent.
+  std::int64_t arg_or(std::string_view key, std::int64_t fallback) const;
+  const std::string* str_arg(std::string_view key) const;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::uint32_t category_mask = kTraceAll) : mask_(category_mask) {}
+
+  bool enabled(TraceCategory category) const {
+    return (mask_ & static_cast<std::uint32_t>(category)) != 0;
+  }
+  std::uint32_t mask() const { return mask_; }
+
+  void emit(SimTime at, TraceCategory category, std::string_view name,
+            std::initializer_list<TraceArg> args);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::uint32_t mask_;
+  std::vector<TraceEvent> events_;
+};
+
+// ---- serializers ----------------------------------------------------
+
+// One line per event: "<micros> <category> <name> k=v k=v...".
+// Deterministic for a deterministic event stream; used for golden-file
+// diffs and the same-seed determinism harness.
+std::string canonical_text(const std::vector<TraceEvent>& events);
+
+// A named process in the Chrome export (one simulated run each).
+struct ChromeProcess {
+  std::string name;
+  const std::vector<TraceEvent>* events = nullptr;
+};
+
+// Chrome trace_event JSON (JSON-array format). Lifecycle pairs —
+// map.start/map.done, reduce.start/reduce.done,
+// container.launched/container.released — become "X" duration slices
+// with tid = node, everything else an instant event.
+void write_chrome_trace(std::ostream& out, const std::vector<ChromeProcess>& processes);
+std::string chrome_trace_json(const std::vector<ChromeProcess>& processes);
+
+}  // namespace mrapid::sim
+
+// The emission macro: evaluates its arguments only when a tracer is
+// attached AND the category is enabled, so untraced simulations pay a
+// single pointer test per site.
+#define MRAPID_TRACE(sim_ref, category, name, ...)                           \
+  do {                                                                       \
+    ::mrapid::sim::Tracer* mrapid_tracer__ = (sim_ref).tracer();             \
+    if (mrapid_tracer__ != nullptr && mrapid_tracer__->enabled(category)) {  \
+      mrapid_tracer__->emit((sim_ref).now(), category, name, {__VA_ARGS__}); \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,272 @@
+#include "sim/trace_check.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace mrapid::sim {
+
+namespace {
+
+constexpr std::size_t kMaxViolations = 100;
+
+struct Resources {
+  std::int64_t vcores = 0;
+  std::int64_t mem = 0;
+};
+
+struct ContainerState {
+  bool allocated = false;
+  bool launched = false;
+  bool released = false;
+  std::int64_t node = -1;
+  Resources resource;
+};
+
+enum class TaskPhase { kNone, kStarted, kEnded };
+
+struct ReduceState {
+  TaskPhase phase = TaskPhase::kNone;
+  bool shuffle_done = false;
+  std::int64_t fetched_bytes = 0;
+};
+
+struct FlowState {
+  std::int64_t bytes = 0;
+  bool done = false;
+};
+
+class Checker {
+ public:
+  explicit Checker(const TraceCheckOptions& options) : options_(options) {}
+
+  std::vector<std::string> run(const std::vector<TraceEvent>& events) {
+    std::int64_t last_time = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const TraceEvent& event = events[i];
+      if (event.time_us < last_time) {
+        fail(event, "time went backwards (%" PRId64 " < %" PRId64 ")", event.time_us,
+             last_time);
+      }
+      last_time = event.time_us;
+      dispatch(event);
+    }
+    finish();
+    return std::move(violations_);
+  }
+
+ private:
+  void dispatch(const TraceEvent& event) {
+    if (event.name == "node.capacity") {
+      capacity_[event.arg_or("node", -1)] = {event.arg_or("vcores", 0), event.arg_or("mem", 0)};
+    } else if (event.name == "container.allocated") {
+      on_allocated(event);
+    } else if (event.name == "container.launched") {
+      on_launched(event);
+    } else if (event.name == "container.released") {
+      on_released(event);
+    } else if (event.name == "map.start") {
+      on_phase(event, map_key(event), TaskPhase::kStarted);
+    } else if (event.name == "map.done" || event.name == "map.failed") {
+      on_phase(event, map_key(event), TaskPhase::kEnded);
+    } else if (event.name == "map.spill" || event.name == "map.cached") {
+      auto it = maps_.find(map_key(event));
+      if (it == maps_.end() || it->second != TaskPhase::kStarted) {
+        fail(event, "spill/cache outside a running map");
+      }
+    } else if (event.name == "reduce.start") {
+      ReduceState& state = reduces_[reduce_key(event)];
+      if (state.phase != TaskPhase::kNone) fail(event, "reduce started twice");
+      state.phase = TaskPhase::kStarted;
+    } else if (event.name == "shuffle.fetch") {
+      reduces_[reduce_key(event)].fetched_bytes += event.arg_or("bytes", 0);
+    } else if (event.name == "reduce.shuffle_done") {
+      ReduceState& state = reduces_[reduce_key(event)];
+      if (state.phase != TaskPhase::kStarted) fail(event, "shuffle_done outside a running reduce");
+      if (state.shuffle_done) fail(event, "shuffle_done twice");
+      state.shuffle_done = true;
+      const std::int64_t reported = event.arg_or("bytes", 0);
+      if (reported != state.fetched_bytes) {
+        fail(event, "shuffle bytes not conserved: fetched %" PRId64 ", reported %" PRId64,
+             state.fetched_bytes, reported);
+      }
+    } else if (event.name == "reduce.done") {
+      ReduceState& state = reduces_[reduce_key(event)];
+      if (state.phase != TaskPhase::kStarted) fail(event, "reduce.done outside a running reduce");
+      state.phase = TaskPhase::kEnded;
+    } else if (event.name == "block.create") {
+      const std::int64_t block = event.arg_or("block", -1);
+      if (!blocks_.emplace(block, event.arg_or("bytes", 0)).second) {
+        fail(event, "block %" PRId64 " created twice", block);
+      }
+    } else if (event.name == "block.read") {
+      const std::int64_t block = event.arg_or("block", -1);
+      auto it = blocks_.find(block);
+      if (it == blocks_.end()) {
+        fail(event, "read of unknown block %" PRId64, block);
+      } else if (it->second != event.arg_or("bytes", -1)) {
+        fail(event, "block %" PRId64 " read %" PRId64 " bytes, created with %" PRId64, block,
+             event.arg_or("bytes", -1), it->second);
+      }
+    } else if (event.name == "net.flow") {
+      const std::int64_t flow = event.arg_or("flow", -1);
+      if (!flows_.emplace(flow, FlowState{event.arg_or("bytes", 0), false}).second) {
+        fail(event, "flow %" PRId64 " started twice", flow);
+      }
+    } else if (event.name == "net.flow.done") {
+      const std::int64_t flow = event.arg_or("flow", -1);
+      auto it = flows_.find(flow);
+      if (it == flows_.end()) {
+        fail(event, "completion of unknown flow %" PRId64, flow);
+      } else if (it->second.done) {
+        fail(event, "flow %" PRId64 " completed twice", flow);
+      } else {
+        it->second.done = true;
+        if (it->second.bytes != event.arg_or("bytes", -1)) {
+          fail(event, "flow %" PRId64 " delivered %" PRId64 " bytes of %" PRId64, flow,
+               event.arg_or("bytes", -1), it->second.bytes);
+        }
+      }
+    }
+  }
+
+  void on_allocated(const TraceEvent& event) {
+    const std::int64_t id = event.arg_or("id", -1);
+    ContainerState& state = containers_[id];
+    if (state.allocated) {
+      fail(event, "container %" PRId64 " allocated twice", id);
+      return;
+    }
+    state.allocated = true;
+    state.node = event.arg_or("node", -1);
+    state.resource = {event.arg_or("vcores", 0), event.arg_or("mem", 0)};
+    Resources& used = used_[state.node];
+    used.vcores += state.resource.vcores;
+    used.mem += state.resource.mem;
+    auto cap = capacity_.find(state.node);
+    if (cap != capacity_.end() &&
+        (used.vcores > cap->second.vcores || used.mem > cap->second.mem)) {
+      fail(event,
+           "node %" PRId64 " over-allocated: used %" PRId64 "c/%" PRId64 "mb of %" PRId64
+           "c/%" PRId64 "mb",
+           state.node, used.vcores, used.mem, cap->second.vcores, cap->second.mem);
+    }
+  }
+
+  void on_launched(const TraceEvent& event) {
+    const std::int64_t id = event.arg_or("id", -1);
+    auto it = containers_.find(id);
+    if (it == containers_.end() || !it->second.allocated) {
+      fail(event, "container %" PRId64 " launched before allocation", id);
+      return;
+    }
+    if (it->second.released) fail(event, "container %" PRId64 " launched after release", id);
+    if (it->second.launched) fail(event, "container %" PRId64 " launched twice", id);
+    it->second.launched = true;
+  }
+
+  void on_released(const TraceEvent& event) {
+    const std::int64_t id = event.arg_or("id", -1);
+    auto it = containers_.find(id);
+    if (it == containers_.end() || !it->second.allocated) {
+      fail(event, "container %" PRId64 " released before allocation", id);
+      return;
+    }
+    ContainerState& state = it->second;
+    if (state.released) {
+      fail(event, "container %" PRId64 " released twice", id);
+      return;
+    }
+    state.released = true;
+    Resources& used = used_[state.node];
+    used.vcores -= state.resource.vcores;
+    used.mem -= state.resource.mem;
+    if (used.vcores < 0 || used.mem < 0) {
+      fail(event, "node %" PRId64 " usage went negative (%" PRId64 "c/%" PRId64 "mb)",
+           state.node, used.vcores, used.mem);
+    }
+  }
+
+  void on_phase(const TraceEvent& event, const std::string& key, TaskPhase next) {
+    TaskPhase& phase = maps_[key];
+    if (next == TaskPhase::kStarted) {
+      if (phase != TaskPhase::kNone) fail(event, "map attempt started twice");
+      phase = TaskPhase::kStarted;
+      return;
+    }
+    if (phase != TaskPhase::kStarted) fail(event, "map ended without a start");
+    phase = TaskPhase::kEnded;
+  }
+
+  void finish() {
+    if (options_.require_all_released) {
+      for (const auto& [id, state] : containers_) {
+        if (state.allocated && !state.released) {
+          append("container " + std::to_string(id) + " never released");
+        }
+      }
+    }
+    if (options_.require_flows_complete) {
+      for (const auto& [id, state] : flows_) {
+        if (!state.done) append("flow " + std::to_string(id) + " never completed");
+      }
+    }
+  }
+
+  static std::string map_key(const TraceEvent& event) {
+    return std::to_string(event.arg_or("app", -1)) + "|" +
+           std::to_string(event.arg_or("job", 0)) + "|" +
+           std::to_string(event.arg_or("task", -1)) + "|" +
+           std::to_string(event.arg_or("attempt", 0));
+  }
+
+  static std::string reduce_key(const TraceEvent& event) {
+    return std::to_string(event.arg_or("app", -1)) + "|" +
+           std::to_string(event.arg_or("job", 0)) + "|" +
+           std::to_string(event.arg_or("partition", -1));
+  }
+
+  void append(std::string message) {
+    if (violations_.size() < kMaxViolations) violations_.push_back(std::move(message));
+  }
+
+  template <typename... Args>
+  void fail(const TraceEvent& event, const char* format, Args... args) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), format, args...);
+    char line[384];
+    std::snprintf(line, sizeof(line), "[%" PRId64 " us] %s %s: %s", event.time_us,
+                  trace_category_name(event.category), event.name.c_str(), buf);
+    append(line);
+  }
+
+  TraceCheckOptions options_;
+  std::vector<std::string> violations_;
+  std::map<std::int64_t, Resources> capacity_;
+  std::map<std::int64_t, Resources> used_;
+  std::map<std::int64_t, ContainerState> containers_;
+  std::unordered_map<std::string, TaskPhase> maps_;
+  std::unordered_map<std::string, ReduceState> reduces_;
+  std::unordered_map<std::int64_t, std::int64_t> blocks_;
+  std::unordered_map<std::int64_t, FlowState> flows_;
+};
+
+}  // namespace
+
+std::vector<std::string> check_trace(const std::vector<TraceEvent>& events,
+                                     const TraceCheckOptions& options) {
+  return Checker(options).run(events);
+}
+
+std::string violations_to_string(const std::vector<std::string>& violations) {
+  std::string out;
+  for (const auto& violation : violations) {
+    out += violation;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mrapid::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+// Always-on invariant checkers over a recorded trace. Any test that
+// attaches a Tracer can replay the stream through check_trace() and
+// assert the returned violation list is empty — a structural tripwire
+// that catches scheduler / AM / pool regressions (double releases,
+// over-allocation, lost bytes) which would otherwise only surface as a
+// silently shifted benchmark number.
+//
+// Checks performed:
+//   - monotonic time: event timestamps never decrease;
+//   - container lifecycle: each container id is allocated exactly
+//     once, launched at most once (after allocation), released at most
+//     once (after allocation), and never used after release;
+//   - resource conservation: replaying allocate/release keeps every
+//     node's occupancy within its announced capacity and >= 0;
+//   - task lifecycle: each (app, job, task, attempt) map starts at most
+//     once, finishes or fails at most once, and phases stay ordered;
+//     likewise reduce partitions;
+//   - shuffle byte conservation: per reducer, the sum of fetched shard
+//     bytes equals the bytes the reducer reports at shuffle completion;
+//   - HDFS byte conservation: every block read moves exactly the byte
+//     count the block was created with;
+//   - network flows: a flow completion always matches a started flow
+//     and never delivers a different byte count.
+//
+// Traces may legitimately end mid-flight (pool AMs keep their reserved
+// containers, a stopped simulation strands heartbeats), so "everything
+// must wind down" checks are opt-in via TraceCheckOptions.
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace mrapid::sim {
+
+struct TraceCheckOptions {
+  // Require every allocated container to have been released by the end
+  // of the trace (off by default: AM-pool reserve containers live for
+  // the whole simulation).
+  bool require_all_released = false;
+  // Require every started network flow to have completed.
+  bool require_flows_complete = false;
+};
+
+// Returns human-readable violations; empty means every invariant held.
+std::vector<std::string> check_trace(const std::vector<TraceEvent>& events,
+                                     const TraceCheckOptions& options = {});
+
+// Convenience for gtest: joins violations (empty string == green).
+std::string violations_to_string(const std::vector<std::string>& violations);
+
+}  // namespace mrapid::sim

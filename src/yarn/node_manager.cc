@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "sim/trace.h"
 #include "yarn/resource_manager.h"
 
 namespace mrapid::yarn {
@@ -47,6 +48,8 @@ void NodeManager::launch_container(const Container& container, std::function<voi
   assert(container.node == node_);
   running_.emplace(container.id, container);
   ++launched_total_;
+  MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.launched",
+               {"id", container.id}, {"app", container.app}, {"node", node_});
   const sim::SimDuration delay = config_.rpc_latency + config_.container_launch + extra_init;
   LOG_DEBUG("nm", "%s launching container %lld (%s)", cluster_.node(node_).name().c_str(),
             static_cast<long long>(container.id), container.resource.to_string().c_str());

@@ -3,8 +3,21 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "sim/trace.h"
 
 namespace mrapid::yarn {
+
+namespace {
+
+void trace_asks(sim::Simulation& sim, const std::vector<Ask>& asks) {
+  for (const Ask& ask : asks) {
+    MRAPID_TRACE(sim, sim::TraceCategory::kContainer, "container.requested",
+                 {"ask", static_cast<std::int64_t>(ask.id)}, {"app", ask.app},
+                 {"vcores", ask.capability.vcores}, {"mem", ask.capability.memory_mb});
+  }
+}
+
+}  // namespace
 
 ResourceManager::ResourceManager(cluster::Cluster& cluster, std::unique_ptr<Scheduler> scheduler,
                                  YarnConfig config)
@@ -28,6 +41,8 @@ void ResourceManager::start() {
     state.id = node;
     state.capacity = nm->capacity();
     node_states_.push_back(state);
+    MRAPID_TRACE(sim_, sim::TraceCategory::kNode, "node.capacity", {"node", node},
+                 {"vcores", state.capacity.vcores}, {"mem", state.capacity.memory_mb});
     // Stagger heartbeats deterministically across the period so the
     // RM sees a steady trickle of NODE_STATUS_UPDATEs, as in a real
     // cluster.
@@ -78,6 +93,8 @@ AppId ResourceManager::submit_application(std::string name, AmReadyCallback on_a
   apps_.emplace(id, std::move(record));
 
   LOG_INFO("rm", "app %d (%s) submitted", id, apps_.at(id).name.c_str());
+  MRAPID_TRACE(sim_, sim::TraceCategory::kApp, "app.submitted", {"app", id},
+               {"name", apps_.at(id).name});
   // Submission RPC, then the AM container ask enters the scheduler.
   sim_.schedule_after(config_.rpc_latency, [this, id] {
     AppRecord* record = app(id);
@@ -86,12 +103,19 @@ AppId ResourceManager::submit_application(std::string name, AmReadyCallback on_a
     ask.id = record->am_ask;
     ask.app = id;
     ask.capability = config_.am_container;
-    scheduler_->on_container_request({ask});
+    std::vector<Ask> asks{ask};
+    trace_asks(sim_, asks);
+    scheduler_->on_container_request(std::move(asks));
   }, "rm:submit");
   return id;
 }
 
 void ResourceManager::deliver_allocation(const Allocation& allocation) {
+  MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.allocated",
+               {"id", allocation.container.id}, {"ask", static_cast<std::int64_t>(allocation.ask)},
+               {"app", allocation.container.app}, {"node", allocation.container.node},
+               {"vcores", allocation.container.resource.vcores},
+               {"mem", allocation.container.resource.memory_mb});
   AppRecord* record = app(allocation.container.app);
   if (record == nullptr || record->finished) {
     // Allocation raced with app completion: hand the resources back.
@@ -123,6 +147,7 @@ std::vector<Allocation> ResourceManager::am_allocate(AppId id, std::vector<Ask> 
   AppRecord* record = app(id);
   assert(record != nullptr && !record->finished);
   if (!new_asks.empty()) {
+    trace_asks(sim_, new_asks);
     scheduler_->on_container_request(std::move(new_asks));
   }
   // An immediate scheduler (D+) has already pushed its answers into
@@ -137,6 +162,9 @@ std::vector<Allocation> ResourceManager::am_allocate(AppId id, std::vector<Ask> 
 void ResourceManager::release_container(const Container& container) {
   NodeState* state = node_state(container.node);
   assert(state != nullptr);
+  MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.released",
+               {"id", container.id}, {"app", container.app}, {"node", container.node},
+               {"vcores", container.resource.vcores}, {"mem", container.resource.memory_mb});
   // The RM's schedulable view only shrinks when the NM next reports.
   state->pending_release = state->pending_release + container.resource;
   node_manager(container.node).stop_container(container.id);
@@ -153,9 +181,11 @@ void ResourceManager::finish_application(AppId id) {
     release_container(record->am_container);
   }
   LOG_INFO("rm", "app %d (%s) finished", id, record->name.c_str());
+  MRAPID_TRACE(sim_, sim::TraceCategory::kApp, "app.finished", {"app", id});
 }
 
 void ResourceManager::on_nm_heartbeat(cluster::NodeId node) {
+  MRAPID_TRACE(sim_, sim::TraceCategory::kHeartbeat, "nm.heartbeat", {"node", node});
   NodeState* state = node_state(node);
   assert(state != nullptr);
   if (!state->pending_release.is_zero()) {

@@ -1,0 +1,142 @@
+// Edge cases of the paper's analytic cost model (Eq. 1-3) and the
+// decision maker on degenerate inputs: empty jobs, zero-width waves,
+// zero-rate hardware, and an empty history store. These pin down the
+// clamping behaviour so a bad profile or an unpopulated cluster spec
+// can never turn into a divide-by-zero, NaN, or assert deep inside a
+// mode decision.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mrapid/decision_maker.h"
+#include "mrapid/estimator.h"
+#include "mrapid/history.h"
+
+namespace mrapid::core {
+namespace {
+
+// ---- wave_count -------------------------------------------------------------
+
+TEST(WaveCount, ZeroOrNegativeTasksMeansZeroWaves) {
+  EXPECT_EQ(wave_count(0, 4), 0);
+  EXPECT_EQ(wave_count(-3, 4), 0);
+}
+
+TEST(WaveCount, RoundsUpToWholeWaves) {
+  EXPECT_EQ(wave_count(1, 4), 1);
+  EXPECT_EQ(wave_count(4, 4), 1);
+  EXPECT_EQ(wave_count(5, 4), 2);
+  EXPECT_EQ(wave_count(8, 4), 2);
+  EXPECT_EQ(wave_count(9, 4), 3);
+}
+
+TEST(WaveCount, DegenerateWidthClampsToSerialExecution) {
+  // width <= 0 (no containers reported / corrupt profile) must not
+  // divide by zero: the floor is one task at a time, i.e. n_m waves.
+  EXPECT_EQ(wave_count(5, 0), 5);
+  EXPECT_EQ(wave_count(5, -2), 5);
+  EXPECT_EQ(wave_count(1, 0), 1);
+}
+
+// ---- Eq. 1-3 with degenerate rates ------------------------------------------
+
+EstimatorInputs typical_inputs() {
+  EstimatorInputs in;
+  in.t_l = 1.5;
+  in.t_m = 2.0;
+  in.s_i = 64.0 * 1024 * 1024;
+  in.s_o = 32.0 * 1024 * 1024;
+  in.d_i = 80.0 * 1024 * 1024;
+  in.d_o = 100.0 * 1024 * 1024;
+  in.b_i = 118.0 * 1024 * 1024;
+  in.n_m = 8;
+  in.n_c = 4;
+  in.n_u_m = 8;
+  return in;
+}
+
+TEST(Estimator, ZeroDiskAndNicRatesStayFinite) {
+  EstimatorInputs in = typical_inputs();
+  in.d_i = 0.0;
+  in.d_o = 0.0;
+  in.b_i = 0.0;
+  for (double estimate : {estimate_job_seconds(in), estimate_uplus_seconds(in),
+                          estimate_dplus_seconds(in)}) {
+    EXPECT_TRUE(std::isfinite(estimate)) << estimate;
+    EXPECT_GE(estimate, 0.0);
+  }
+  // With all transfer terms gone, Eq. 1 degenerates to launch+compute.
+  EXPECT_DOUBLE_EQ(estimate_job_seconds(in),
+                   in.t_l + (in.t_l + in.t_m) * 2 + in.t_reduce);
+}
+
+TEST(Estimator, EmptyJobCostsOnlyTheFixedTerms) {
+  EstimatorInputs in = typical_inputs();
+  in.n_m = 0;
+  // No map waves: Eq. 1 leaves the AM launch, shuffle and reduce
+  // terms; Eq. 2/3 are pure map-side models and collapse to ~0.
+  const double shuffle = (in.s_o * in.n_c) / in.b_i;
+  EXPECT_DOUBLE_EQ(estimate_job_seconds(in), in.t_l + shuffle + in.t_reduce);
+  EXPECT_DOUBLE_EQ(estimate_uplus_seconds(in), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_dplus_seconds(in), shuffle);
+}
+
+TEST(Estimator, ZeroWidthContextDoesNotBlowUp) {
+  EstimatorInputs in = typical_inputs();
+  in.n_c = 0;
+  in.n_u_m = 0;
+  EXPECT_TRUE(std::isfinite(estimate_job_seconds(in)));
+  EXPECT_TRUE(std::isfinite(estimate_uplus_seconds(in)));
+  EXPECT_TRUE(std::isfinite(estimate_dplus_seconds(in)));
+  // Serial floor: 8 tasks, one per wave.
+  EXPECT_DOUBLE_EQ(estimate_uplus_seconds(in), in.t_m * 8);
+}
+
+// ---- decision maker ---------------------------------------------------------
+
+TEST(DecisionMaker, EmptyHistoryGivesNoPreDecision) {
+  HistoryStore history;
+  DecisionMaker maker(history, EstimatorDefaults{});
+  DecisionContext context;
+  context.n_m = 4;
+  context.n_c = 4;
+  context.n_u_m = 8;
+  EXPECT_FALSE(maker.pre_decide("wordcount", context).has_value());
+  // And an unknown signature on a non-empty store behaves the same.
+  ModeMeasurement measurement;
+  measurement.completed_maps = 2;
+  measurement.mean_map_compute_seconds = 1.0;
+  measurement.mean_map_input_bytes = 1024.0;
+  measurement.mean_map_output_bytes = 512.0;
+  history.record_run("terasort", measurement, true);
+  EXPECT_FALSE(maker.pre_decide("wordcount", context).has_value());
+  EXPECT_TRUE(maker.pre_decide("terasort", context).has_value());
+}
+
+TEST(DecisionMaker, DegenerateContextStillDecides) {
+  // A context with no containers (cluster not yet reporting) must
+  // yield a finite decision, not a crash: wave_count clamps to serial.
+  HistoryStore history;
+  ModeMeasurement measurement;
+  measurement.completed_maps = 4;
+  measurement.mean_map_compute_seconds = 2.0;
+  measurement.mean_map_input_bytes = 1 << 20;
+  measurement.mean_map_output_bytes = 1 << 19;
+  history.record_run("wc", measurement, true);
+
+  DecisionMaker maker(history, EstimatorDefaults{});
+  DecisionContext context;
+  context.n_m = 4;
+  context.n_c = 0;
+  context.n_u_m = 0;
+  auto decision = maker.pre_decide("wc", context);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_TRUE(std::isfinite(decision->t_u));
+  EXPECT_TRUE(std::isfinite(decision->t_d));
+  EXPECT_GE(decision->t_u, 0.0);
+  EXPECT_GE(decision->t_d, 0.0);
+}
+
+}  // namespace
+}  // namespace mrapid::core

@@ -7,6 +7,8 @@
 
 #include "cluster/azure.h"
 #include "harness/world.h"
+#include "sim/trace.h"
+#include "sim/trace_check.h"
 #include "workloads/wordcount.h"
 
 namespace mrapid::mr {
@@ -115,6 +117,27 @@ TEST(Faults, DeterministicUnderSeed) {
   ASSERT_TRUE(a && b);
   EXPECT_EQ(a->profile.failed_attempts, b->profile.failed_attempts);
   EXPECT_EQ(a->profile.finish_time.as_micros(), b->profile.finish_time.as_micros());
+}
+
+TEST(Faults, RetriesKeepTraceInvariants) {
+  // Crashed attempts and their retries must still form valid container
+  // and task lifecycles (failed attempt = started + failed, retry =
+  // its own attempt key) — the checker would flag a double-start or a
+  // leaked container immediately.
+  wl::WordCount wc(wc_params(8));
+  WorldConfig config = faulty_config(0.5, 6, 99);
+  harness::World world(config, RunMode::kHadoop);
+  sim::Tracer tracer;
+  world.attach_tracer(tracer);
+  auto result = world.run(wc);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->succeeded);
+  EXPECT_GT(result->profile.failed_attempts, 0u);
+  bool saw_failed_event = false;
+  for (const auto& event : tracer.events()) saw_failed_event |= event.name == "map.failed";
+  EXPECT_TRUE(saw_failed_event);
+  const auto violations = sim::check_trace(tracer.events());
+  EXPECT_TRUE(violations.empty()) << sim::violations_to_string(violations);
 }
 
 TEST(Faults, SpeculativeSurvivesFailures) {

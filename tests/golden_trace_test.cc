@@ -1,0 +1,158 @@
+// Golden-trace regression tests.
+//
+// Each (workload, mode) cell runs a small job with a Tracer recording
+// the kTraceGolden categories and compares the canonical text against
+// a checked-in file under tests/golden/. The files pin down the whole
+// observable structure of a run — scheduling order, container churn,
+// task phase boundaries, HDFS traffic — so any behavioural drift in
+// the scheduler, the AMs, the pool, or the estimator-driven mode
+// choice shows up as a readable diff instead of a silently shifted
+// benchmark number.
+//
+// Updating the goldens after an *intentional* behaviour change:
+//
+//   GOLDEN_UPDATE=1 ctest -R Golden        # or run the test binary
+//   git diff tests/golden/                 # review what moved, then commit
+//
+// The update mode rewrites the files in the source tree (the path is
+// baked in via the MRAPID_GOLDEN_DIR compile definition) and fails the
+// run so a forgotten GOLDEN_UPDATE in CI can't quietly bless a drift.
+// Invariants are checked in both modes: a golden file is never allowed
+// to contain a structurally invalid trace.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/world.h"
+#include "sim/trace.h"
+#include "sim/trace_check.h"
+#include "workloads/pi.h"
+#include "workloads/terasort.h"
+#include "workloads/wordcount.h"
+
+#ifndef MRAPID_GOLDEN_DIR
+#error "MRAPID_GOLDEN_DIR must point at tests/golden (set in tests/CMakeLists.txt)"
+#endif
+
+namespace mrapid {
+namespace {
+
+using harness::RunMode;
+
+bool update_mode() {
+  const char* value = std::getenv("GOLDEN_UPDATE");
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(MRAPID_GOLDEN_DIR) + "/" + name + ".trace";
+}
+
+std::unique_ptr<wl::Workload> make_workload(const std::string& workload) {
+  if (workload == "wordcount") {
+    wl::WordCountParams params;
+    params.num_files = 2;
+    params.bytes_per_file = 256_KB;
+    return std::make_unique<wl::WordCount>(params);
+  }
+  if (workload == "terasort") {
+    wl::TeraSortParams params;
+    params.rows = 5000;
+    return std::make_unique<wl::TeraSort>(params);
+  }
+  wl::PiParams params;
+  params.total_samples = 200000;
+  return std::make_unique<wl::Pi>(params);
+}
+
+struct GoldenCase {
+  const char* workload;
+  RunMode mode;
+  const char* mode_tag;
+};
+
+class GoldenTrace : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenTrace, MatchesCheckedInTrace) {
+  const GoldenCase& c = GetParam();
+  auto workload = make_workload(c.workload);
+
+  harness::WorldConfig config;
+  harness::World world(config, c.mode);
+  sim::Tracer tracer(sim::kTraceGolden);
+  world.attach_tracer(tracer);
+  auto result = world.run(*workload);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->succeeded);
+  ASSERT_FALSE(tracer.empty());
+
+  // A golden file must always be structurally valid, whichever mode
+  // we're in.
+  const auto violations = sim::check_trace(tracer.events());
+  ASSERT_TRUE(violations.empty()) << sim::violations_to_string(violations);
+
+  const std::string text = sim::canonical_text(tracer.events());
+  const std::string path = golden_path(std::string(c.workload) + "_" + c.mode_tag);
+
+  if (update_mode()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << text;
+    out.close();
+    FAIL() << "GOLDEN_UPDATE=1: rewrote " << path
+           << " — review the diff, commit, and re-run without GOLDEN_UPDATE";
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (generate with GOLDEN_UPDATE=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  ASSERT_EQ(text, expected.str())
+      << "trace drifted from " << path
+      << " — if the behaviour change is intentional, refresh with GOLDEN_UPDATE=1";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, GoldenTrace,
+    ::testing::Values(GoldenCase{"wordcount", RunMode::kHadoop, "hadoop"},
+                      GoldenCase{"wordcount", RunMode::kDPlus, "dplus"},
+                      GoldenCase{"wordcount", RunMode::kUPlus, "uplus"},
+                      GoldenCase{"terasort", RunMode::kHadoop, "hadoop"},
+                      GoldenCase{"terasort", RunMode::kDPlus, "dplus"},
+                      GoldenCase{"terasort", RunMode::kUPlus, "uplus"},
+                      GoldenCase{"pi", RunMode::kHadoop, "hadoop"},
+                      GoldenCase{"pi", RunMode::kDPlus, "dplus"},
+                      GoldenCase{"pi", RunMode::kUPlus, "uplus"}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      return std::string(info.param.workload) + "_" + info.param.mode_tag;
+    });
+
+// Same seed, two fresh worlds: the recorded traces must be
+// byte-identical — the foundation the golden files stand on.
+TEST(GoldenTrace, SameSeedGivesByteIdenticalTrace) {
+  auto workload = make_workload("wordcount");
+  harness::WorldConfig config;
+  config.seed = 0xC0FFEE;
+
+  std::string first;
+  for (int run = 0; run < 2; ++run) {
+    harness::World world(config, RunMode::kDPlus);
+    sim::Tracer tracer;  // full mask: heartbeats and flows included
+    world.attach_tracer(tracer);
+    ASSERT_TRUE(world.run(*workload).has_value());
+    const std::string text = sim::canonical_text(tracer.events());
+    if (run == 0) {
+      first = text;
+    } else {
+      ASSERT_EQ(first, text);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrapid

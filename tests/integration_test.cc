@@ -9,6 +9,8 @@
 
 #include "cluster/azure.h"
 #include "harness/world.h"
+#include "sim/trace.h"
+#include "sim/trace_check.h"
 #include "workloads/pi.h"
 #include "workloads/terasort.h"
 #include "workloads/wordcount.h"
@@ -184,6 +186,8 @@ TEST(Hygiene, ClusterFullyFreedAfterJob) {
 
   WorldConfig config;
   harness::World world(config, RunMode::kHadoop);
+  sim::Tracer tracer;
+  world.attach_tracer(tracer);
   auto result = world.run(wc);
   ASSERT_TRUE(result.has_value());
   // Let releases propagate through the NM heartbeats.
@@ -192,6 +196,13 @@ TEST(Hygiene, ClusterFullyFreedAfterJob) {
     EXPECT_EQ(state.used.vcores, 0) << "node " << state.id;
     EXPECT_EQ(state.used.memory_mb, 0) << "node " << state.id;
   }
+  // A fully drained non-pool world satisfies even the strict trace
+  // invariants: every container released, every flow completed.
+  sim::TraceCheckOptions options;
+  options.require_all_released = true;
+  options.require_flows_complete = true;
+  const auto violations = sim::check_trace(tracer.events(), options);
+  EXPECT_TRUE(violations.empty()) << sim::violations_to_string(violations);
 }
 
 TEST(Hygiene, SpeculativeLeavesOnlyPoolResourcesHeld) {
@@ -219,6 +230,8 @@ TEST(Hygiene, BackToBackJobsInOneWorld) {
 
   WorldConfig config;
   harness::World world(config, RunMode::kDPlus);
+  sim::Tracer tracer;
+  world.attach_tracer(tracer);
   for (int i = 0; i < 5; ++i) {
     auto result = world.run(wc, [i](mr::JobSpec& spec) {
       spec.name = "wc-" + std::to_string(i);
@@ -227,6 +240,10 @@ TEST(Hygiene, BackToBackJobsInOneWorld) {
     EXPECT_TRUE(result->succeeded);
   }
   EXPECT_EQ(world.framework().pool().free_slots(), 3);
+  // Five jobs through reused pool slots: the (app, job) discriminator
+  // must keep every task lifecycle distinct in the combined trace.
+  const auto violations = sim::check_trace(tracer.events());
+  EXPECT_TRUE(violations.empty()) << sim::violations_to_string(violations);
 }
 
 // ---- paper-shape: workload-level ordering -------------------------------------

@@ -11,11 +11,15 @@
 #include "cluster/azure.h"
 #include "cluster/cluster.h"
 #include "common/rng.h"
+#include "harness/world.h"
 #include "hdfs/hdfs.h"
 #include "mrapid/dplus_scheduler.h"
 #include "mrapid/estimator.h"
 #include "sim/bandwidth.h"
 #include "sim/simulation.h"
+#include "sim/trace.h"
+#include "sim/trace_check.h"
+#include "workloads/wordcount.h"
 #include "yarn/resource_manager.h"
 
 namespace mrapid {
@@ -252,6 +256,60 @@ TEST_P(SchedulerLaw, AllAllocationsRespectCapacity) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerLaw, ::testing::Values(3, 7, 21));
 
 // ---- zipf / placement determinism ------------------------------------------
+
+// ---- trace-level determinism and invariants over seeds ---------------------
+//
+// The seed-sweep harness: the full event stream (heartbeats and raw
+// network flows included) is the finest-grained observable the
+// simulator has, so byte-identical canonical text across two runs of
+// the same seed is the strongest determinism statement we can make —
+// and the structural invariants must hold at *every* seed, not just
+// the ones the golden files happen to pin.
+
+std::string traced_canonical_run(harness::RunMode mode, std::uint64_t seed,
+                                 std::vector<std::string>* violations) {
+  wl::WordCountParams params;
+  params.num_files = 3;
+  params.bytes_per_file = 1_MB;
+  params.seed = seed;
+  wl::WordCount wc(params);
+
+  harness::WorldConfig config;
+  config.seed = seed;
+  harness::World world(config, mode);
+  sim::Tracer tracer;  // full category mask
+  world.attach_tracer(tracer);
+  auto result = world.run(wc);
+  EXPECT_TRUE(result.has_value());
+  if (violations != nullptr) *violations = sim::check_trace(tracer.events());
+  return sim::canonical_text(tracer.events());
+}
+
+class TraceDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceDeterminism, SameSeedGivesByteIdenticalTraceInEveryMode) {
+  for (harness::RunMode mode :
+       {harness::RunMode::kHadoop, harness::RunMode::kUber, harness::RunMode::kDPlus,
+        harness::RunMode::kUPlus, harness::RunMode::kMRapidAuto}) {
+    const std::string a = traced_canonical_run(mode, GetParam(), nullptr);
+    const std::string b = traced_canonical_run(mode, GetParam(), nullptr);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << harness::run_mode_name(mode) << " seed " << GetParam();
+  }
+}
+
+TEST_P(TraceDeterminism, InvariantsHoldAtEverySeed) {
+  for (harness::RunMode mode : {harness::RunMode::kHadoop, harness::RunMode::kDPlus,
+                                harness::RunMode::kUPlus}) {
+    std::vector<std::string> violations;
+    traced_canonical_run(mode, GetParam(), &violations);
+    EXPECT_TRUE(violations.empty()) << harness::run_mode_name(mode) << " seed " << GetParam()
+                                    << ":\n" << sim::violations_to_string(violations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceDeterminism,
+                         ::testing::Values(1, 42, 777, 0xBEEF, 31337));
 
 TEST(DeterminismProperty, PlacementIdenticalAcrossIdenticalWorlds) {
   for (std::uint64_t seed : {1ull, 9ull}) {

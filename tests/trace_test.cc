@@ -1,0 +1,383 @@
+// Trace-layer unit tests: the Tracer/MRAPID_TRACE emission path, the
+// canonical text + Chrome trace_event serializers, and — most
+// importantly — the invariant checkers of sim/trace_check.h, exercised
+// both on synthetic streams engineered to violate each invariant and
+// on real end-to-end simulation runs in every execution mode.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/world.h"
+#include "sim/simulation.h"
+#include "sim/trace.h"
+#include "sim/trace_check.h"
+#include "workloads/wordcount.h"
+
+namespace mrapid {
+namespace {
+
+using sim::check_trace;
+using sim::TraceCategory;
+using sim::TraceCheckOptions;
+using sim::TraceEvent;
+using sim::Tracer;
+
+TraceEvent ev(std::int64_t time_us, TraceCategory category, std::string name,
+              std::initializer_list<sim::TraceArg> args) {
+  TraceEvent event;
+  event.time_us = time_us;
+  event.category = category;
+  event.name = std::move(name);
+  event.args.assign(args.begin(), args.end());
+  return event;
+}
+
+// ---- tracer mechanics -------------------------------------------------------
+
+TEST(Tracer, NoTracerMeansNoRecordingAndNoCrash) {
+  sim::Simulation simulation(42);
+  ASSERT_EQ(simulation.tracer(), nullptr);
+  // The macro must be safe (and a no-op) with no tracer attached.
+  MRAPID_TRACE(simulation, TraceCategory::kApp, "app.submitted", {"app", 1});
+}
+
+TEST(Tracer, MaskFiltersCategories) {
+  sim::Simulation simulation(42);
+  Tracer tracer(static_cast<std::uint32_t>(TraceCategory::kApp));
+  simulation.set_tracer(&tracer);
+  MRAPID_TRACE(simulation, TraceCategory::kApp, "app.submitted", {"app", 1});
+  MRAPID_TRACE(simulation, TraceCategory::kHeartbeat, "nm.heartbeat", {"node", 0});
+  ASSERT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.events()[0].name, "app.submitted");
+  EXPECT_TRUE(tracer.enabled(TraceCategory::kApp));
+  EXPECT_FALSE(tracer.enabled(TraceCategory::kHeartbeat));
+}
+
+TEST(Tracer, ArgsAreRecoverable) {
+  Tracer tracer;
+  tracer.emit(sim::SimTime::from_micros(1234), TraceCategory::kHdfs, "block.read",
+              {{"block", 7}, {"bytes", std::int64_t{1} << 40}, {"path", "/data/a"}});
+  ASSERT_EQ(tracer.size(), 1u);
+  const TraceEvent& event = tracer.events()[0];
+  EXPECT_EQ(event.time_us, 1234);
+  ASSERT_NE(event.arg("block"), nullptr);
+  EXPECT_EQ(*event.arg("block"), 7);
+  EXPECT_EQ(event.arg_or("bytes", -1), std::int64_t{1} << 40);
+  EXPECT_EQ(event.arg_or("missing", -1), -1);
+  EXPECT_EQ(event.arg("path"), nullptr);  // string-valued, not an int
+  ASSERT_NE(event.str_arg("path"), nullptr);
+  EXPECT_EQ(*event.str_arg("path"), "/data/a");
+}
+
+TEST(Tracer, CanonicalTextIsOneStableLinePerEvent) {
+  Tracer tracer;
+  tracer.emit(sim::SimTime::from_micros(10), TraceCategory::kApp, "app.submitted",
+              {{"app", 1}, {"name", "wc"}});
+  tracer.emit(sim::SimTime::from_micros(25), TraceCategory::kTask, "map.start",
+              {{"app", 1}, {"task", 0}});
+  const std::string text = sim::canonical_text(tracer.events());
+  EXPECT_EQ(text,
+            "10 app app.submitted app=1 name=wc\n"
+            "25 task map.start app=1 task=0\n");
+}
+
+// ---- invariant checkers on synthetic streams --------------------------------
+
+std::vector<TraceEvent> healthy_stream() {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(0, TraceCategory::kNode, "node.capacity",
+                      {{"node", 0}, {"vcores", 4}, {"mem", 8192}}));
+  events.push_back(ev(1, TraceCategory::kContainer, "container.allocated",
+                      {{"id", 1}, {"app", 1}, {"node", 0}, {"vcores", 1}, {"mem", 1024}}));
+  events.push_back(ev(2, TraceCategory::kContainer, "container.launched",
+                      {{"id", 1}, {"app", 1}, {"node", 0}}));
+  events.push_back(ev(3, TraceCategory::kTask, "map.start",
+                      {{"app", 1}, {"job", 0}, {"task", 0}, {"attempt", 0}}));
+  events.push_back(ev(4, TraceCategory::kTask, "map.spill",
+                      {{"app", 1}, {"job", 0}, {"task", 0}, {"attempt", 0}, {"bytes", 100}}));
+  events.push_back(ev(5, TraceCategory::kTask, "map.done",
+                      {{"app", 1}, {"job", 0}, {"task", 0}, {"attempt", 0}}));
+  events.push_back(ev(6, TraceCategory::kContainer, "container.released",
+                      {{"id", 1}, {"app", 1}, {"node", 0}, {"vcores", 1}, {"mem", 1024}}));
+  return events;
+}
+
+TEST(TraceCheck, HealthyStreamIsGreen) {
+  const auto violations = check_trace(healthy_stream());
+  EXPECT_TRUE(violations.empty()) << sim::violations_to_string(violations);
+}
+
+TEST(TraceCheck, HealthyStreamPassesStrictModes) {
+  TraceCheckOptions options;
+  options.require_all_released = true;
+  options.require_flows_complete = true;
+  const auto violations = check_trace(healthy_stream(), options);
+  EXPECT_TRUE(violations.empty()) << sim::violations_to_string(violations);
+}
+
+TEST(TraceCheck, DetectsTimeGoingBackwards) {
+  auto events = healthy_stream();
+  events.back().time_us = 0;  // before its predecessor
+  const auto violations = check_trace(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("time went backwards"), std::string::npos);
+}
+
+TEST(TraceCheck, DetectsDoubleRelease) {
+  auto events = healthy_stream();
+  events.push_back(ev(7, TraceCategory::kContainer, "container.released",
+                      {{"id", 1}, {"node", 0}, {"vcores", 1}, {"mem", 1024}}));
+  const auto violations = check_trace(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("released twice"), std::string::npos);
+}
+
+TEST(TraceCheck, DetectsLaunchWithoutAllocation) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(0, TraceCategory::kContainer, "container.launched",
+                      {{"id", 9}, {"node", 0}}));
+  const auto violations = check_trace(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("launched before allocation"), std::string::npos);
+}
+
+TEST(TraceCheck, DetectsNodeOverAllocation) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(0, TraceCategory::kNode, "node.capacity",
+                      {{"node", 0}, {"vcores", 2}, {"mem", 2048}}));
+  for (int i = 0; i < 3; ++i) {
+    events.push_back(ev(i + 1, TraceCategory::kContainer, "container.allocated",
+                        {{"id", i}, {"node", 0}, {"vcores", 1}, {"mem", 512}}));
+  }
+  const auto violations = check_trace(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("over-allocated"), std::string::npos);
+}
+
+TEST(TraceCheck, DetectsMapEndingWithoutStart) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(0, TraceCategory::kTask, "map.done",
+                      {{"app", 1}, {"job", 0}, {"task", 3}, {"attempt", 0}}));
+  const auto violations = check_trace(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("ended without a start"), std::string::npos);
+}
+
+TEST(TraceCheck, DetectsDoubleStartOfSameAttempt) {
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 2; ++i) {
+    events.push_back(ev(i, TraceCategory::kTask, "map.start",
+                        {{"app", 1}, {"job", 0}, {"task", 0}, {"attempt", 0}}));
+  }
+  const auto violations = check_trace(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("started twice"), std::string::npos);
+}
+
+TEST(TraceCheck, DistinguishesAttemptsAndJobs) {
+  // Same task index, different attempt / different job discriminator:
+  // both must be fine (this is the retry and pool-reuse shape).
+  std::vector<TraceEvent> events;
+  events.push_back(ev(0, TraceCategory::kTask, "map.start",
+                      {{"app", 1}, {"job", 0}, {"task", 0}, {"attempt", 0}}));
+  events.push_back(ev(1, TraceCategory::kTask, "map.failed",
+                      {{"app", 1}, {"job", 0}, {"task", 0}, {"attempt", 0}}));
+  events.push_back(ev(2, TraceCategory::kTask, "map.start",
+                      {{"app", 1}, {"job", 0}, {"task", 0}, {"attempt", 1}}));
+  events.push_back(ev(3, TraceCategory::kTask, "map.done",
+                      {{"app", 1}, {"job", 0}, {"task", 0}, {"attempt", 1}}));
+  events.push_back(ev(4, TraceCategory::kTask, "map.start",
+                      {{"app", 1}, {"job", 99}, {"task", 0}, {"attempt", 0}}));
+  events.push_back(ev(5, TraceCategory::kTask, "map.done",
+                      {{"app", 1}, {"job", 99}, {"task", 0}, {"attempt", 0}}));
+  const auto violations = check_trace(events);
+  EXPECT_TRUE(violations.empty()) << sim::violations_to_string(violations);
+}
+
+TEST(TraceCheck, DetectsShuffleByteLoss) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(0, TraceCategory::kTask, "reduce.start",
+                      {{"app", 1}, {"job", 0}, {"partition", 0}}));
+  events.push_back(ev(1, TraceCategory::kShuffle, "shuffle.fetch",
+                      {{"app", 1}, {"job", 0}, {"partition", 0}, {"map", 0}, {"bytes", 100}}));
+  events.push_back(ev(2, TraceCategory::kTask, "reduce.shuffle_done",
+                      {{"app", 1}, {"job", 0}, {"partition", 0}, {"bytes", 150}}));
+  const auto violations = check_trace(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("shuffle bytes not conserved"), std::string::npos);
+}
+
+TEST(TraceCheck, DetectsBlockReadSizeMismatchAndUnknownBlock) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(0, TraceCategory::kHdfs, "block.create",
+                      {{"block", 1}, {"bytes", 4096}, {"replicas", 3}}));
+  events.push_back(ev(1, TraceCategory::kHdfs, "block.read",
+                      {{"block", 1}, {"reader", 0}, {"replica", 1}, {"bytes", 4000}}));
+  events.push_back(ev(2, TraceCategory::kHdfs, "block.read",
+                      {{"block", 42}, {"reader", 0}, {"replica", 1}, {"bytes", 10}}));
+  const auto violations = check_trace(events);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_NE(violations[0].find("created with"), std::string::npos);
+  EXPECT_NE(violations[1].find("unknown block"), std::string::npos);
+}
+
+TEST(TraceCheck, DetectsFlowByteMismatchAndStrandedFlows) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(0, TraceCategory::kNet, "net.flow",
+                      {{"flow", 1}, {"src", 0}, {"dst", 1}, {"bytes", 1000}}));
+  events.push_back(ev(1, TraceCategory::kNet, "net.flow.done", {{"flow", 1}, {"bytes", 999}}));
+  events.push_back(ev(2, TraceCategory::kNet, "net.flow",
+                      {{"flow", 2}, {"src", 1}, {"dst", 0}, {"bytes", 5}}));
+  auto violations = check_trace(events);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("delivered"), std::string::npos);
+
+  TraceCheckOptions options;
+  options.require_flows_complete = true;
+  violations = check_trace(events, options);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_NE(violations[1].find("never completed"), std::string::npos);
+}
+
+TEST(TraceCheck, StrictModeFlagsUnreleasedContainers) {
+  auto events = healthy_stream();
+  events.push_back(ev(7, TraceCategory::kContainer, "container.allocated",
+                      {{"id", 2}, {"node", 0}, {"vcores", 1}, {"mem", 1024}}));
+  EXPECT_TRUE(check_trace(events).empty());
+  TraceCheckOptions options;
+  options.require_all_released = true;
+  const auto violations = check_trace(events, options);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("never released"), std::string::npos);
+}
+
+// ---- Chrome export ----------------------------------------------------------
+
+TEST(ChromeTrace, PairsLifecycleEventsIntoSlices) {
+  Tracer tracer;
+  tracer.emit(sim::SimTime::from_micros(100), TraceCategory::kTask, "map.start",
+              {{"app", 1}, {"job", 0}, {"task", 0}, {"attempt", 0}, {"node", 2}});
+  tracer.emit(sim::SimTime::from_micros(500), TraceCategory::kTask, "map.done",
+              {{"app", 1}, {"job", 0}, {"task", 0}, {"attempt", 0}, {"node", 2}});
+  tracer.emit(sim::SimTime::from_micros(600), TraceCategory::kApp, "app.finished", {{"app", 1}});
+  const std::string json =
+      sim::chrome_trace_json({{"hadoop", &tracer.events()}});
+  // A duration slice for the map, an instant for app.finished, and the
+  // process-name metadata record.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":400"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("hadoop"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.substr(json.size() - 2), "]\n");
+}
+
+TEST(ChromeTrace, EscapesStringsInJson) {
+  Tracer tracer;
+  tracer.emit(sim::SimTime::from_micros(0), TraceCategory::kHdfs, "file.write",
+              {{"path", "/a\"b\\c\n"}});
+  const std::string json = sim::chrome_trace_json({{"p", &tracer.events()}});
+  EXPECT_NE(json.find("\\\"b\\\\c\\n"), std::string::npos);
+}
+
+// ---- real runs --------------------------------------------------------------
+
+class TracedRun : public ::testing::TestWithParam<int> {};
+
+TEST_P(TracedRun, EveryModeEmitsACheckableTrace) {
+  const harness::RunMode mode = static_cast<harness::RunMode>(GetParam());
+  wl::WordCountParams params;
+  params.num_files = 2;
+  params.bytes_per_file = 512_KB;
+  wl::WordCount wc(params);
+
+  harness::WorldConfig config;
+  harness::World world(config, mode);
+  Tracer tracer;
+  world.attach_tracer(tracer);
+  auto result = world.run(wc);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->succeeded);
+  ASSERT_FALSE(tracer.empty());
+
+  const auto violations = check_trace(tracer.events());
+  EXPECT_TRUE(violations.empty()) << sim::violations_to_string(violations);
+
+  // The vocabulary the tentpole promises is actually spoken.
+  bool saw_alloc = false, saw_launch = false, saw_map = false, saw_reduce = false,
+       saw_block_read = false, saw_capacity = false;
+  for (const TraceEvent& event : tracer.events()) {
+    saw_alloc |= event.name == "container.allocated";
+    saw_launch |= event.name == "container.launched";
+    saw_map |= event.name == "map.done";
+    saw_reduce |= event.name == "reduce.done";
+    saw_block_read |= event.name == "block.read";
+    saw_capacity |= event.name == "node.capacity";
+  }
+  EXPECT_TRUE(saw_alloc);
+  EXPECT_TRUE(saw_launch);
+  EXPECT_TRUE(saw_map);
+  EXPECT_TRUE(saw_reduce);
+  EXPECT_TRUE(saw_block_read);
+  EXPECT_TRUE(saw_capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, TracedRun,
+                         ::testing::Values(static_cast<int>(harness::RunMode::kHadoop),
+                                           static_cast<int>(harness::RunMode::kUber),
+                                           static_cast<int>(harness::RunMode::kDPlus),
+                                           static_cast<int>(harness::RunMode::kUPlus),
+                                           static_cast<int>(harness::RunMode::kMRapidAuto)));
+
+TEST(TracedRun, UntracedRunIsUnaffected) {
+  // Behavioural zero-overhead: attaching a tracer must not perturb the
+  // simulation itself (same seed, same finish time with and without).
+  wl::WordCountParams params;
+  params.num_files = 2;
+  params.bytes_per_file = 512_KB;
+  wl::WordCount wc(params);
+
+  harness::WorldConfig config;
+  harness::World plain(config, harness::RunMode::kHadoop);
+  auto a = plain.run(wc);
+
+  harness::World traced(config, harness::RunMode::kHadoop);
+  Tracer tracer;
+  traced.attach_tracer(tracer);
+  auto b = traced.run(wc);
+
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->profile.finish_time.as_micros(), b->profile.finish_time.as_micros());
+}
+
+TEST(TracedRun, ChromeExportOfARealRunIsWellFormed) {
+  wl::WordCountParams params;
+  params.num_files = 2;
+  params.bytes_per_file = 256_KB;
+  wl::WordCount wc(params);
+
+  harness::WorldConfig config;
+  harness::World world(config, harness::RunMode::kDPlus);
+  Tracer tracer;
+  world.attach_tracer(tracer);
+  ASSERT_TRUE(world.run(wc).has_value());
+
+  const std::string json = sim::chrome_trace_json({{"dplus", &tracer.events()}});
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.substr(json.size() - 2), "]\n");
+  // Every map became a duration slice; the JSON has balanced braces.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  std::int64_t depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+}  // namespace
+}  // namespace mrapid

@@ -18,11 +18,14 @@
 //   --failure-prob P      map-attempt failure injection
 //   --seed S              simulation master seed
 //   --csv                 machine-readable one line per run
+//   --trace FILE          write a Chrome trace_event JSON of every run
+//                         (open in chrome://tracing or Perfetto)
 //   --verbose             simulator INFO logs
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -31,6 +34,7 @@
 #include "common/log.h"
 #include "common/table.h"
 #include "harness/world.h"
+#include "sim/trace.h"
 #include "workloads/pi.h"
 #include "workloads/terasort.h"
 #include "workloads/wordcount.h"
@@ -51,6 +55,7 @@ struct CliOptions {
   double failure_prob = 0.0;
   unsigned long long seed = 0x5EED;
   bool csv = false;
+  std::string trace_path;
   bool verbose = false;
 };
 
@@ -65,7 +70,7 @@ void print_help() {
       "hadoop|uber|dplus|uplus|auto|all]\n"
       "                  [--cluster a3|a2] [--files N] [--size-mb M] [--rows N]\n"
       "                  [--samples N] [--reducers R] [--failure-prob P] [--seed S]\n"
-      "                  [--csv] [--verbose]\n");
+      "                  [--csv] [--trace FILE] [--verbose]\n");
 }
 
 CliOptions parse(int argc, char** argv) {
@@ -101,6 +106,8 @@ CliOptions parse(int argc, char** argv) {
       options.seed = std::strtoull(need_value(i), nullptr, 0);
     } else if (arg == "--csv") {
       options.csv = true;
+    } else if (arg == "--trace") {
+      options.trace_path = need_value(i);
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else {
@@ -176,8 +183,28 @@ int main(int argc, char** argv) {
                "node-local", "retries"});
   table.with_title(options.workload + " on " + options.cluster + " cluster");
 
+  // Tracers live here (stable addresses) so the Chrome export can
+  // reference every run's events after the worlds are gone. Open the
+  // output up front: failing after the simulations have run would
+  // throw away minutes of work over a typo'd path.
+  std::vector<std::unique_ptr<sim::Tracer>> tracers;
+  std::vector<sim::ChromeProcess> trace_processes;
+  std::ofstream trace_out;
+  if (!options.trace_path.empty()) {
+    trace_out.open(options.trace_path);
+    if (!trace_out) {
+      std::fprintf(stderr, "mrapid: cannot open %s for writing\n", options.trace_path.c_str());
+      return 1;
+    }
+  }
+
   for (harness::RunMode mode : modes_for(options.mode)) {
     harness::World world(config, mode);
+    if (!options.trace_path.empty()) {
+      tracers.push_back(std::make_unique<sim::Tracer>(sim::kTraceAll));
+      world.attach_tracer(*tracers.back());
+      trace_processes.push_back({harness::run_mode_name(mode), &tracers.back()->events()});
+    }
     auto result = world.run(*workload, [&](mr::JobSpec& spec) {
       spec.num_reducers = options.reducers;
     });
@@ -206,5 +233,10 @@ int main(int argc, char** argv) {
     }
   }
   if (!options.csv) table.print(std::cout);
+  if (!options.trace_path.empty()) {
+    sim::write_chrome_trace(trace_out, trace_processes);
+    std::fprintf(stderr, "mrapid: wrote %s (load in chrome://tracing or Perfetto)\n",
+                 options.trace_path.c_str());
+  }
   return 0;
 }
