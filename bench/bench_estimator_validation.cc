@@ -4,95 +4,141 @@
 // measured times, and check the *ordering* — the property speculative
 // execution relies on — is predicted correctly.
 
-#include "bench/bench_util.h"
+#include <memory>
+
+#include "bench/figures.h"
 #include "mrapid/decision_maker.h"
 #include "mrapid/framework.h"
 #include "workloads/pi.h"
 #include "workloads/terasort.h"
 #include "workloads/wordcount.h"
 
-using namespace mrapid;
-
+namespace mrapid::bench {
 namespace {
 
 struct Case {
   std::string label;
-  std::unique_ptr<wl::Workload> workload;
+  std::function<std::unique_ptr<wl::Workload>()> make_workload;
   int n_m;
 };
 
-void run_case(Table& table, const std::string& label, wl::Workload& workload, int n_m,
-              int& correct, int& total) {
-  harness::WorldConfig config;
-  config.cluster = cluster::a3_paper_cluster();
-
-  const auto dplus = bench::must_run(config, harness::RunMode::kDPlus, workload);
-  const auto uplus = bench::must_run(config, harness::RunMode::kUPlus, workload);
-  const double t_d_measured = dplus.profile.elapsed_seconds();
-  const double t_u_measured = uplus.profile.elapsed_seconds();
-
-  // Feed the estimator exactly what the profiler would capture.
-  double t_m = 0, s_i = 0, s_o = 0;
-  for (const auto& map : dplus.profile.maps) {
-    t_m += (map.compute_done - map.read_done).as_seconds();
-    s_i += static_cast<double>(map.input_bytes);
-    s_o += static_cast<double>(map.output_bytes);
+std::shared_ptr<std::vector<Case>> build_cases(bool smoke) {
+  auto cases = std::make_shared<std::vector<Case>>();
+  const Bytes wc_bytes = smoke ? 512_KB : 10_MB;
+  for (int files : smoke ? std::vector<int>{2, 4} : std::vector<int>{2, 4, 8, 16}) {
+    cases->push_back({"wordcount " + std::to_string(files) + "x10MB",
+                      [files, wc_bytes]() -> std::unique_ptr<wl::Workload> {
+                        wl::WordCountParams params;
+                        params.num_files = static_cast<std::size_t>(files);
+                        params.bytes_per_file = wc_bytes;
+                        return std::make_unique<wl::WordCount>(params);
+                      },
+                      files});
   }
-  const double n = static_cast<double>(dplus.profile.maps.size());
-  t_m /= n;
-  s_i /= n;
-  s_o /= n;
-
-  harness::World probe(config, harness::RunMode::kDPlus);
-  core::HistoryStore empty;
-  core::DecisionMaker dm(empty,
-                         core::estimator_defaults_for(probe.cluster(), config.yarn));
-  core::DecisionContext context{n_m, 13, 4};  // A3 cluster geometry (16 - 3 pool AMs)
-  const core::Decision decision = dm.decide(t_m, s_i, s_o, context);
-
-  const bool measured_u_wins = t_u_measured <= t_d_measured;
-  const bool predicted_u_wins = decision.winner == mr::ExecutionMode::kUPlus;
-  const bool ordering_ok = measured_u_wins == predicted_u_wins;
-  ++total;
-  if (ordering_ok) ++correct;
-
-  table.add_row({label, Table::num(decision.t_u), Table::num(t_u_measured),
-                 Table::num(decision.t_d), Table::num(t_d_measured),
-                 predicted_u_wins ? "U+" : "D+", measured_u_wins ? "U+" : "D+",
-                 ordering_ok ? "ok" : "WRONG"});
+  for (int rows_k : smoke ? std::vector<int>{10} : std::vector<int>{100, 800}) {
+    cases->push_back({"terasort " + std::to_string(rows_k) + "k",
+                      [rows_k]() -> std::unique_ptr<wl::Workload> {
+                        wl::TeraSortParams params;
+                        params.rows = rows_k * 1000LL;
+                        return std::make_unique<wl::TeraSort>(params);
+                      },
+                      4});
+  }
+  for (int samples_m : smoke ? std::vector<int>{10} : std::vector<int>{100, 1600}) {
+    cases->push_back({"pi " + std::to_string(samples_m) + "m",
+                      [samples_m]() -> std::unique_ptr<wl::Workload> {
+                        wl::PiParams params;
+                        params.total_samples = samples_m * 1000000LL;
+                        return std::make_unique<wl::Pi>(params);
+                      },
+                      4});
+  }
+  return cases;
 }
+
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  auto cases = build_cases(opt.smoke);
+
+  exp::ScenarioSpec spec;
+  spec.title = "Estimator validation — Eq. 2/3 predictions vs simulated runs";
+  std::vector<std::string> labels;
+  for (const Case& c : *cases) labels.push_back(c.label);
+  spec.axes = {exp::label_axis("case", labels)};
+
+  spec.run = [cases](const exp::Trial& trial) {
+    const std::string& label = trial.str("case");
+    const Case* c = nullptr;
+    for (const Case& candidate : *cases) {
+      if (candidate.label == label) c = &candidate;
+    }
+    auto workload = c->make_workload();
+
+    harness::WorldConfig config = a3_config(trial);
+    const auto dplus = exp::run_or_throw(config, harness::RunMode::kDPlus, *workload);
+    const auto uplus = exp::run_or_throw(config, harness::RunMode::kUPlus, *workload);
+    const double t_d_measured = dplus.profile.elapsed_seconds();
+    const double t_u_measured = uplus.profile.elapsed_seconds();
+
+    // Feed the estimator exactly what the profiler would capture.
+    double t_m = 0, s_i = 0, s_o = 0;
+    for (const auto& map : dplus.profile.maps) {
+      t_m += (map.compute_done - map.read_done).as_seconds();
+      s_i += static_cast<double>(map.input_bytes);
+      s_o += static_cast<double>(map.output_bytes);
+    }
+    const double n = static_cast<double>(dplus.profile.maps.size());
+    t_m /= n;
+    s_i /= n;
+    s_o /= n;
+
+    harness::World probe(config, harness::RunMode::kDPlus);
+    core::HistoryStore empty;
+    core::DecisionMaker dm(empty,
+                           core::estimator_defaults_for(probe.cluster(), config.yarn));
+    core::DecisionContext context{c->n_m, 13, 4};  // A3 cluster geometry (16 - 3 pool AMs)
+    const core::Decision decision = dm.decide(t_m, s_i, s_o, context);
+
+    exp::TrialResult result;
+    result.trial = trial;
+    result.ok = true;
+    result.elapsed_seconds = t_u_measured;
+    exp::fill_breakdown(result, uplus.profile);
+    result.set_metric("t_u_est", decision.t_u);
+    result.set_metric("t_u_meas", t_u_measured);
+    result.set_metric("t_d_est", decision.t_d);
+    result.set_metric("t_d_meas", t_d_measured);
+    result.set_note("pred_winner",
+                    decision.winner == mr::ExecutionMode::kUPlus ? "U+" : "D+");
+    result.set_note("real_winner", t_u_measured <= t_d_measured ? "U+" : "D+");
+    return result;
+  };
+
+  spec.render = [](const std::vector<exp::TrialResult>& results, std::ostream& os) {
+    Table table({"case", "t_u est", "t_u meas", "t_d est", "t_d meas", "pred winner",
+                 "real winner", "ordering"});
+    table.with_title("Estimator validation — Eq. 2/3 predictions vs simulated runs");
+    int correct = 0, total = 0;
+    for (const exp::TrialResult& result : results) {
+      if (!result.ok) continue;  // failures are listed by the sink
+      const std::string& pred = *result.note("pred_winner");
+      const std::string& real = *result.note("real_winner");
+      const bool ordering_ok = pred == real;
+      ++total;
+      if (ordering_ok) ++correct;
+      table.add_row({result.trial.str("case"), Table::num(result.metric("t_u_est")),
+                     Table::num(result.metric("t_u_meas")),
+                     Table::num(result.metric("t_d_est")),
+                     Table::num(result.metric("t_d_meas")), pred, real,
+                     ordering_ok ? "ok" : "WRONG"});
+    }
+    table.print(os);
+    os << exp::strprintf("\nmode-ordering predicted correctly: %d/%d\n", correct, total);
+  };
+  return spec;
+}
+
+const exp::Registrar reg("estimator", "Estimator validation — predictions vs simulated runs",
+                         make);
 
 }  // namespace
-
-int main() {
-  Table table({"case", "t_u est", "t_u meas", "t_d est", "t_d meas", "pred winner",
-               "real winner", "ordering"});
-  table.with_title("Estimator validation — Eq. 2/3 predictions vs simulated runs");
-
-  int correct = 0, total = 0;
-
-  for (int files : {2, 4, 8, 16}) {
-    wl::WordCountParams params;
-    params.num_files = static_cast<std::size_t>(files);
-    params.bytes_per_file = 10_MB;
-    wl::WordCount wc(params);
-    run_case(table, "wordcount " + std::to_string(files) + "x10MB", wc, files, correct,
-             total);
-  }
-  for (int rows_k : {100, 800}) {
-    wl::TeraSortParams params;
-    params.rows = rows_k * 1000LL;
-    wl::TeraSort ts(params);
-    run_case(table, "terasort " + std::to_string(rows_k) + "k", ts, 4, correct, total);
-  }
-  for (int samples_m : {100, 1600}) {
-    wl::PiParams params;
-    params.total_samples = samples_m * 1000000LL;
-    wl::Pi pi(params);
-    run_case(table, "pi " + std::to_string(samples_m) + "m", pi, 4, correct, total);
-  }
-
-  table.print(std::cout);
-  std::printf("\nmode-ordering predicted correctly: %d/%d\n", correct, total);
-  return 0;
-}
+}  // namespace mrapid::bench

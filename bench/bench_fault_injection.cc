@@ -5,49 +5,62 @@
 // the most gently, which is an interesting un-measured corollary of
 // the paper's design.
 
-#include "bench/bench_util.h"
+#include "bench/figures.h"
 #include "workloads/wordcount.h"
 
-using namespace mrapid;
+namespace mrapid::bench {
+namespace {
 
-int main() {
-  SeriesReport report("Fault injection — WordCount 8 x 10 MB, A3 cluster (elapsed s)",
-                      "P(map attempt fails)");
-  report.set_baseline("Hadoop");
-
-  Table attempts_table({"failure prob", "mode", "failed attempts", "elapsed (s)"});
-  attempts_table.with_title("Retry accounting");
-
-  for (double prob : {0.0, 0.1, 0.2, 0.4}) {
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  exp::ScenarioSpec spec;
+  spec.title = "Fault injection — WordCount 8 x 10 MB, A3 cluster (elapsed s)";
+  spec.x_label = "P(map attempt fails)";
+  spec.baseline_series = "Hadoop";
+  spec.axes = {exp::num_axis("prob", opt.smoke ? std::vector<double>{0.0, 0.2}
+                                               : std::vector<double>{0.0, 0.1, 0.2, 0.4})};
+  spec.modes = exp::figure_modes();
+  const std::size_t files = opt.smoke ? 4 : 8;
+  const Bytes file_bytes = opt.smoke ? 512_KB : 10_MB;
+  spec.run = [files, file_bytes](const exp::Trial& trial) {
     wl::WordCountParams params;
-    params.num_files = 8;
-    params.bytes_per_file = 10_MB;
+    params.num_files = files;
+    params.bytes_per_file = file_bytes;
     wl::WordCount wc(params);
 
-    harness::WorldConfig config;
-    config.cluster = cluster::a3_paper_cluster();
-    config.mr.faults.map_failure_prob = prob;
+    harness::WorldConfig config = a3_config(trial);
+    config.mr.faults.map_failure_prob = trial.num("prob");
     config.mr.faults.max_attempts = 8;  // keep the sweep failure-free
-    for (harness::RunMode mode : bench::kFigureModes) {
-      const auto result = bench::must_run(config, mode, wc);
-      report.add_point(harness::run_mode_name(mode), prob,
-                       result.profile.elapsed_seconds());
-      attempts_table.add_row({Table::num(prob, 1), harness::run_mode_name(mode),
-                              std::to_string(result.profile.failed_attempts),
-                              Table::num(result.profile.elapsed_seconds())});
-    }
-  }
-  report.print(std::cout);
-  std::printf("\n");
-  attempts_table.print(std::cout);
-
-  auto degradation = [&](const char* series) {
-    return (report.value(series, 0.4) - report.value(series, 0.0)) /
-           report.value(series, 0.0);
+    return exp::run_world_trial(config, *trial.mode, wc, trial);
   };
-  std::printf("\ndegradation 0 -> 0.4 failure rate: Hadoop %+.0f%%, Uber %+.0f%%, "
-              "D+ %+.0f%%, U+ %+.0f%%\n",
-              100 * degradation("Hadoop"), 100 * degradation("Uber"),
-              100 * degradation("D+"), 100 * degradation("U+"));
-  return 0;
+  spec.epilogue = [smoke = opt.smoke](const SeriesReport& report,
+                                      const std::vector<exp::TrialResult>& results,
+                                      std::ostream& os) {
+    Table attempts_table({"failure prob", "mode", "failed attempts", "elapsed (s)"});
+    attempts_table.with_title("Retry accounting");
+    for (const exp::TrialResult& result : results) {
+      if (!result.ok) continue;  // failures are listed by the sink
+      attempts_table.add_row({Table::num(result.trial.num("prob"), 1),
+                              result.trial.mode_name(),
+                              std::to_string(result.failed_attempts),
+                              Table::num(result.elapsed_seconds)});
+    }
+    os << "\n";
+    attempts_table.print(os);
+    if (smoke) return;
+    auto degradation = [&](const char* series) {
+      return (report.value(series, 0.4) - report.value(series, 0.0)) /
+             report.value(series, 0.0);
+    };
+    os << exp::strprintf(
+        "\ndegradation 0 -> 0.4 failure rate: Hadoop %+.0f%%, Uber %+.0f%%, "
+        "D+ %+.0f%%, U+ %+.0f%%\n",
+        100 * degradation("Hadoop"), 100 * degradation("Uber"), 100 * degradation("D+"),
+        100 * degradation("U+"));
+  };
+  return spec;
 }
+
+const exp::Registrar reg("faults", "Fault injection — degradation under task failures", make);
+
+}  // namespace
+}  // namespace mrapid::bench

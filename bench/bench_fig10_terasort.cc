@@ -6,42 +6,49 @@
 //  * U+ is ALWAYS better than D+ for this workload (one container
 //    handles it; quoted 67% at 800k rows).
 
-#include "bench/bench_util.h"
+#include "bench/figures.h"
 #include "workloads/terasort.h"
 
-using namespace mrapid;
+namespace mrapid::bench {
+namespace {
 
-int main() {
-  SeriesReport report("Fig. 10 — TeraSort, 4 blocks, A3 cluster (elapsed s)",
-                      "rows (k)");
-  report.set_baseline("Hadoop");
-
-  for (int rows_k : {100, 200, 400, 800, 1600}) {
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  exp::ScenarioSpec spec;
+  spec.title = "Fig. 10 — TeraSort, 4 blocks, A3 cluster (elapsed s)";
+  spec.x_label = "rows (k)";
+  spec.baseline_series = "Hadoop";
+  spec.axes = {exp::int_axis("rows_k", opt.smoke
+                                           ? std::vector<long long>{10, 20}
+                                           : std::vector<long long>{100, 200, 400, 800, 1600})};
+  spec.modes = exp::figure_modes();
+  spec.run = [](const exp::Trial& trial) {
     wl::TeraSortParams params;
-    params.rows = static_cast<std::int64_t>(rows_k) * 1000;
+    params.rows = static_cast<std::int64_t>(trial.num("rows_k")) * 1000;
     params.blocks = 4;
     wl::TeraSort ts(params);
-
-    harness::WorldConfig config;
-    config.cluster = cluster::a3_paper_cluster();
-    for (harness::RunMode mode : bench::kFigureModes) {
-      report.add_point(harness::run_mode_name(mode), rows_k,
-                       bench::elapsed_for(config, mode, ts));
-    }
+    return exp::run_world_trial(a3_config(trial), *trial.mode, ts, trial);
+  };
+  if (!opt.smoke) {
+    spec.epilogue = [](const SeriesReport& report, const std::vector<exp::TrialResult>&,
+                       std::ostream& os) {
+      const double h100 = report.value("Hadoop", 100), d100 = report.value("D+", 100);
+      os << exp::strprintf("\nlandmarks: D+ vs Hadoop @100k rows: %.1f%% (paper: 59.4%%)\n",
+                           100.0 * (h100 - d100) / h100);
+      os << exp::strprintf("           U+ vs D+     @800k rows: %.1f%% (paper: 67%%)\n",
+                           100.0 * (report.value("D+", 800) - report.value("U+", 800)) /
+                               report.value("D+", 800));
+      bool u_always_wins = true;
+      for (double x : report.xs()) {
+        if (report.value("U+", x) > report.value("D+", x)) u_always_wins = false;
+      }
+      os << exp::strprintf("           U+ always beats D+: %s (paper: yes)\n",
+                           u_always_wins ? "yes" : "no");
+    };
   }
-  report.print(std::cout);
-
-  const double h100 = report.value("Hadoop", 100), d100 = report.value("D+", 100);
-  std::printf("\nlandmarks: D+ vs Hadoop @100k rows: %.1f%% (paper: 59.4%%)\n",
-              100.0 * (h100 - d100) / h100);
-  std::printf("           U+ vs D+     @800k rows: %.1f%% (paper: 67%%)\n",
-              100.0 * (report.value("D+", 800) - report.value("U+", 800)) /
-                  report.value("D+", 800));
-  bool u_always_wins = true;
-  for (double x : report.xs()) {
-    if (report.value("U+", x) > report.value("D+", x)) u_always_wins = false;
-  }
-  std::printf("           U+ always beats D+: %s (paper: yes)\n",
-              u_always_wins ? "yes" : "no");
-  return 0;
+  return spec;
 }
+
+const exp::Registrar reg("fig10", "Fig. 10 — TeraSort vs row count", make);
+
+}  // namespace
+}  // namespace mrapid::bench

@@ -7,42 +7,51 @@
 //  * for MRapid, U+ remains the best choice even at 1600m — MRapid
 //    "alleviates the limitation of the original Uber mode".
 
-#include "bench/bench_util.h"
+#include "bench/figures.h"
 #include "workloads/pi.h"
 
-using namespace mrapid;
+namespace mrapid::bench {
+namespace {
 
-int main() {
-  SeriesReport report("Fig. 11 — PI, A3 cluster (elapsed s)", "samples (m)");
-  report.set_baseline("Hadoop");
-
-  for (int samples_m : {100, 200, 400, 800, 1600}) {
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  exp::ScenarioSpec spec;
+  spec.title = "Fig. 11 — PI, A3 cluster (elapsed s)";
+  spec.x_label = "samples (m)";
+  spec.baseline_series = "Hadoop";
+  spec.axes = {exp::int_axis("samples_m", opt.smoke
+                                              ? std::vector<long long>{10, 20}
+                                              : std::vector<long long>{100, 200, 400, 800, 1600})};
+  spec.modes = exp::figure_modes();
+  spec.run = [](const exp::Trial& trial) {
     wl::PiParams params;
-    params.total_samples = static_cast<std::int64_t>(samples_m) * 1000000;
+    params.total_samples = static_cast<std::int64_t>(trial.num("samples_m")) * 1000000;
     params.num_maps = 4;
     wl::Pi pi(params);
-
-    harness::WorldConfig config;
-    config.cluster = cluster::a3_paper_cluster();
-    for (harness::RunMode mode : bench::kFigureModes) {
-      report.add_point(harness::run_mode_name(mode), samples_m,
-                       bench::elapsed_for(config, mode, pi));
-    }
+    return exp::run_world_trial(a3_config(trial), *trial.mode, pi, trial);
+  };
+  if (!opt.smoke) {
+    spec.epilogue = [](const SeriesReport& report, const std::vector<exp::TrialResult>&,
+                       std::ostream& os) {
+      bool hadoop_beats_uber_beyond_200 = true;
+      for (double x : {400.0, 800.0, 1600.0}) {
+        if (report.value("Hadoop", x) > report.value("Uber", x)) {
+          hadoop_beats_uber_beyond_200 = false;
+        }
+      }
+      bool uplus_best_at_1600 =
+          report.value("U+", 1600) <= report.value("D+", 1600) &&
+          report.value("U+", 1600) <= report.value("Hadoop", 1600);
+      os << exp::strprintf(
+          "\nlandmarks: distributed beats original Uber beyond 200m: %s (paper: yes)\n",
+          hadoop_beats_uber_beyond_200 ? "yes" : "no");
+      os << exp::strprintf("           U+ still the best at 1600m: %s (paper: yes)\n",
+                           uplus_best_at_1600 ? "yes" : "no");
+    };
   }
-  report.print(std::cout);
-
-  bool hadoop_beats_uber_beyond_200 = true;
-  for (double x : {400.0, 800.0, 1600.0}) {
-    if (report.value("Hadoop", x) > report.value("Uber", x)) {
-      hadoop_beats_uber_beyond_200 = false;
-    }
-  }
-  bool uplus_best_at_1600 =
-      report.value("U+", 1600) <= report.value("D+", 1600) &&
-      report.value("U+", 1600) <= report.value("Hadoop", 1600);
-  std::printf("\nlandmarks: distributed beats original Uber beyond 200m: %s (paper: yes)\n",
-              hadoop_beats_uber_beyond_200 ? "yes" : "no");
-  std::printf("           U+ still the best at 1600m: %s (paper: yes)\n",
-              uplus_best_at_1600 ? "yes" : "no");
-  return 0;
+  return spec;
 }
+
+const exp::Registrar reg("fig11", "Fig. 11 — PI vs sample count", make);
+
+}  // namespace
+}  // namespace mrapid::bench

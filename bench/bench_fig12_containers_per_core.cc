@@ -5,45 +5,57 @@
 // picks relatively idle nodes), but the original Hadoop gets much
 // worse at 2 containers/core because greedy packing overloads nodes.
 
-#include "bench/bench_util.h"
+#include "bench/figures.h"
 #include "workloads/wordcount.h"
 
-using namespace mrapid;
+namespace mrapid::bench {
+namespace {
 
-int main() {
-  SeriesReport report("Fig. 12 — WordCount 4 x 10 MB, A2 cluster (elapsed s)",
-                      "containers/core");
-  report.set_baseline("Hadoop");
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  exp::ScenarioSpec spec;
+  spec.title = "Fig. 12 — WordCount 4 x 10 MB, A2 cluster (elapsed s)";
+  spec.x_label = "containers/core";
+  spec.baseline_series = "Hadoop";
+  spec.axes = {exp::int_axis("cpc", {1, 2})};
+  spec.modes = exp::figure_modes();
+  const Bytes file_bytes = opt.smoke ? 512_KB : 10_MB;
+  spec.run = [file_bytes](const exp::Trial& trial) {
+    wl::WordCountParams params;
+    params.num_files = 4;
+    params.bytes_per_file = file_bytes;
+    wl::WordCount wc(params);
 
-  wl::WordCountParams params;
-  params.num_files = 4;
-  params.bytes_per_file = 10_MB;
-  wl::WordCount wc(params);
-
-  for (int cpc : {1, 2}) {
     harness::WorldConfig config;
     config.cluster = cluster::a2_paper_cluster();
-    config.yarn.containers_per_core = cpc;
+    config.seed = trial.seed;
+    config.yarn.containers_per_core = static_cast<int>(trial.num("cpc"));
     // A2 nodes have 3.5 GB: containers are sized down (a common A2
     // tuning) so the vcore knob — not memory — is what binds.
     config.yarn.task_container = {1, 512};
     config.yarn.am_container = {1, 768};
     config.yarn.nm_memory_reserve_mb = 512;
-    for (harness::RunMode mode : bench::kFigureModes) {
-      report.add_point(harness::run_mode_name(mode), cpc,
-                       bench::elapsed_for(config, mode, wc));
-    }
-  }
-  report.print(std::cout);
-
-  auto swing = [&](const char* series) {
-    const double a = report.value(series, 1);
-    const double b = report.value(series, 2);
-    return 100.0 * std::abs(b - a) / a;
+    return exp::run_world_trial(config, *trial.mode, wc, trial);
   };
-  std::printf("\nlandmarks: Hadoop swing 1->2 cpc: %.1f%%  (paper: large)\n",
-              swing("Hadoop"));
-  std::printf("           D+ swing     1->2 cpc: %.1f%%  (paper: small)\n", swing("D+"));
-  std::printf("           U+ swing     1->2 cpc: %.1f%%  (paper: smallest)\n", swing("U+"));
-  return 0;
+  if (!opt.smoke) {
+    spec.epilogue = [](const SeriesReport& report, const std::vector<exp::TrialResult>&,
+                       std::ostream& os) {
+      auto swing = [&](const char* series) {
+        const double a = report.value(series, 1);
+        const double b = report.value(series, 2);
+        return 100.0 * std::abs(b - a) / a;
+      };
+      os << exp::strprintf("\nlandmarks: Hadoop swing 1->2 cpc: %.1f%%  (paper: large)\n",
+                           swing("Hadoop"));
+      os << exp::strprintf("           D+ swing     1->2 cpc: %.1f%%  (paper: small)\n",
+                           swing("D+"));
+      os << exp::strprintf("           U+ swing     1->2 cpc: %.1f%%  (paper: smallest)\n",
+                           swing("U+"));
+    };
+  }
+  return spec;
 }
+
+const exp::Registrar reg("fig12", "Fig. 12 — sensitivity to containers per core", make);
+
+}  // namespace
+}  // namespace mrapid::bench

@@ -7,44 +7,58 @@
 //  * D+ prefers A3 for few files but A2 once the file count grows
 //    (more spindles/NICs reduce I/O contention).
 
-#include "bench/bench_util.h"
+#include "bench/figures.h"
 #include "workloads/wordcount.h"
 
-using namespace mrapid;
+namespace mrapid::bench {
+namespace {
 
-int main() {
-  SeriesReport report("Fig. 13 — WordCount 10 MB files, equal-cost clusters (elapsed s)",
-                      "files");
-
-  for (int files : {1, 4, 8, 16}) {
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  exp::ScenarioSpec spec;
+  spec.title = "Fig. 13 — WordCount 10 MB files, equal-cost clusters (elapsed s)";
+  spec.x_axis = "files";
+  spec.axes = {exp::int_axis("files", opt.smoke ? std::vector<long long>{1, 2}
+                                                : std::vector<long long>{1, 4, 8, 16}),
+               exp::label_axis("cluster", {"A3x5", "A2x10"})};
+  spec.modes = {harness::RunMode::kDPlus, harness::RunMode::kUPlus};
+  const Bytes file_bytes = opt.smoke ? 512_KB : 10_MB;
+  spec.run = [file_bytes](const exp::Trial& trial) {
     wl::WordCountParams params;
-    params.num_files = static_cast<std::size_t>(files);
-    params.bytes_per_file = 10_MB;
+    params.num_files = static_cast<std::size_t>(trial.num("files"));
+    params.bytes_per_file = file_bytes;
     wl::WordCount wc(params);
 
-    for (bool a3 : {true, false}) {
-      harness::WorldConfig config;
-      config.cluster = a3 ? cluster::fig13_a3_cluster() : cluster::fig13_a2_cluster();
-      const std::string suffix = a3 ? "/A3x5" : "/A2x10";
-      for (harness::RunMode mode :
-           {harness::RunMode::kDPlus, harness::RunMode::kUPlus}) {
-        report.add_point(std::string(harness::run_mode_name(mode)) + suffix, files,
-                         bench::elapsed_for(config, mode, wc));
+    harness::WorldConfig config;
+    config.cluster = trial.str("cluster") == "A3x5" ? cluster::fig13_a3_cluster()
+                                                    : cluster::fig13_a2_cluster();
+    config.seed = trial.seed;
+    return exp::run_world_trial(config, *trial.mode, wc, trial);
+  };
+  spec.series = [](const exp::Trial& trial) {
+    return trial.mode_name() + "/" + trial.str("cluster");
+  };
+  if (!opt.smoke) {
+    spec.epilogue = [](const SeriesReport& report, const std::vector<exp::TrialResult>&,
+                       std::ostream& os) {
+      bool uplus_prefers_a3 = true;
+      for (double x : report.xs()) {
+        if (report.value("U+/A3x5", x) > report.value("U+/A2x10", x)) {
+          uplus_prefers_a3 = false;
+        }
       }
-    }
+      const bool dplus_flips =
+          report.value("D+/A3x5", 1) <= report.value("D+/A2x10", 1) &&
+          report.value("D+/A2x10", 16) <= report.value("D+/A3x5", 16);
+      os << exp::strprintf("\nlandmarks: U+ always prefers A3: %s (paper: yes)\n",
+                           uplus_prefers_a3 ? "yes" : "no");
+      os << exp::strprintf("           D+ prefers A3 when few files, A2 at 16: %s (paper: yes)\n",
+                           dplus_flips ? "yes" : "no");
+    };
   }
-  report.print(std::cout);
-
-  bool uplus_prefers_a3 = true;
-  for (double x : report.xs()) {
-    if (report.value("U+/A3x5", x) > report.value("U+/A2x10", x)) uplus_prefers_a3 = false;
-  }
-  const bool dplus_flips =
-      report.value("D+/A3x5", 1) <= report.value("D+/A2x10", 1) &&
-      report.value("D+/A2x10", 16) <= report.value("D+/A3x5", 16);
-  std::printf("\nlandmarks: U+ always prefers A3: %s (paper: yes)\n",
-              uplus_prefers_a3 ? "yes" : "no");
-  std::printf("           D+ prefers A3 when few files, A2 at 16: %s (paper: yes)\n",
-              dplus_flips ? "yes" : "no");
-  return 0;
+  return spec;
 }
+
+const exp::Registrar reg("fig13", "Fig. 13 — equal-cost cluster shapes", make);
+
+}  // namespace
+}  // namespace mrapid::bench

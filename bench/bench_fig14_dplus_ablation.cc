@@ -11,78 +11,93 @@
 // framework (AM pool) 31%, locality awareness 13%, reduced
 // communication 6%.
 
+#include <algorithm>
 #include <map>
 
-#include "bench/bench_util.h"
+#include "bench/figures.h"
 #include "workloads/wordcount.h"
 
-using namespace mrapid;
-
+namespace mrapid::bench {
 namespace {
 
-double run_dplus(harness::WorldConfig config, wl::WordCount& wc) {
-  return bench::elapsed_for(config, harness::RunMode::kDPlus, wc);
+constexpr const char* kHadoopVariant = "hadoop baseline";
+constexpr const char* kFullVariant = "full D+";
+
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  exp::ScenarioSpec spec;
+  spec.title = "Fig. 14 — D+ optimization contributions (WordCount 8 x 10 MB, 5 nodes)";
+  spec.axes = {exp::label_axis(
+      "variant", {kHadoopVariant, kFullVariant, "scheduler (spread)",
+                  "submission framework (AM pool)", "locality awareness",
+                  "reducing communication"})};
+  const std::size_t files = opt.smoke ? 4 : 8;
+  const Bytes file_bytes = opt.smoke ? 512_KB : 10_MB;
+  spec.run = [files, file_bytes](const exp::Trial& trial) {
+    wl::WordCountParams params;
+    params.num_files = files;
+    params.bytes_per_file = file_bytes;
+    wl::WordCount wc(params);
+
+    harness::WorldConfig config = a3_config(trial);  // 5 nodes total
+    const std::string& variant = trial.str("variant");
+    harness::RunMode mode = harness::RunMode::kDPlus;
+    if (variant == kHadoopVariant) {
+      mode = harness::RunMode::kHadoop;
+    } else if (variant == "scheduler (spread)") {
+      config.dplus.balanced_spread = false;
+    } else if (variant == "submission framework (AM pool)") {
+      config.framework.use_pool = false;
+    } else if (variant == "locality awareness") {
+      config.dplus.locality_aware = false;
+    } else if (variant == "reducing communication") {
+      config.dplus.immediate_response = false;   // wait for NM heartbeats
+      config.framework.push_completion = false;  // client polls
+    }
+    return exp::run_world_trial(config, mode, wc, trial);
+  };
+  spec.render = [](const std::vector<exp::TrialResult>& results, std::ostream& os) {
+    double t_hadoop = 0.0, t_full = 0.0;
+    std::map<std::string, double> without;  // sorted, as the old binary printed
+    for (const exp::TrialResult& result : results) {
+      if (!result.ok) return;  // failures are listed by the sink
+      const std::string& variant = result.trial.str("variant");
+      if (variant == kHadoopVariant) {
+        t_hadoop = result.elapsed_seconds;
+      } else if (variant == kFullVariant) {
+        t_full = result.elapsed_seconds;
+      } else {
+        without[variant] = result.elapsed_seconds;
+      }
+    }
+
+    double total_contribution = 0;
+    for (const auto& [name, t] : without) {
+      total_contribution += std::max(0.0, t - t_full);
+    }
+
+    Table table({"technique", "time without it (s)", "contribution (s)", "share",
+                 "paper share"});
+    table.with_title("Fig. 14 — D+ optimization contributions (WordCount 8 x 10 MB, 5 nodes)");
+    const std::map<std::string, const char*> paper = {
+        {"scheduler (spread)", "50%"},
+        {"submission framework (AM pool)", "31%"},
+        {"locality awareness", "13%"},
+        {"reducing communication", "6%"},
+    };
+    for (const auto& [name, t] : without) {
+      const double contribution = std::max(0.0, t - t_full);
+      table.add_row({name, Table::num(t), Table::num(contribution),
+                     Table::pct(total_contribution > 0 ? contribution / total_contribution : 0),
+                     paper.at(name)});
+    }
+    os << exp::strprintf("Hadoop baseline: %.2fs | full D+: %.2fs | improvement: %.1f%%\n\n",
+                         t_hadoop, t_full, 100.0 * (t_hadoop - t_full) / t_hadoop);
+    table.print(os);
+  };
+  return spec;
 }
+
+const exp::Registrar reg("fig14", "Fig. 14 — D+ technique ablation", make);
 
 }  // namespace
-
-int main() {
-  wl::WordCountParams params;
-  params.num_files = 8;
-  params.bytes_per_file = 10_MB;
-  wl::WordCount wc(params);
-
-  harness::WorldConfig base;
-  base.cluster = cluster::a3_paper_cluster();  // 5 nodes total
-
-  const double t_hadoop = bench::elapsed_for(base, harness::RunMode::kHadoop, wc);
-  const double t_full = run_dplus(base, wc);
-
-  std::map<std::string, double> without;
-  {
-    harness::WorldConfig config = base;
-    config.dplus.balanced_spread = false;
-    without["scheduler (spread)"] = run_dplus(config, wc);
-  }
-  {
-    harness::WorldConfig config = base;
-    config.framework.use_pool = false;
-    without["submission framework (AM pool)"] = run_dplus(config, wc);
-  }
-  {
-    harness::WorldConfig config = base;
-    config.dplus.locality_aware = false;
-    without["locality awareness"] = run_dplus(config, wc);
-  }
-  {
-    harness::WorldConfig config = base;
-    config.dplus.immediate_response = false;  // wait for NM heartbeats
-    config.framework.push_completion = false;  // client polls
-    without["reducing communication"] = run_dplus(config, wc);
-  }
-
-  double total_contribution = 0;
-  for (const auto& [name, t] : without) {
-    total_contribution += std::max(0.0, t - t_full);
-  }
-
-  Table table({"technique", "time without it (s)", "contribution (s)", "share",
-               "paper share"});
-  table.with_title("Fig. 14 — D+ optimization contributions (WordCount 8 x 10 MB, 5 nodes)");
-  const std::map<std::string, const char*> paper = {
-      {"scheduler (spread)", "50%"},
-      {"submission framework (AM pool)", "31%"},
-      {"locality awareness", "13%"},
-      {"reducing communication", "6%"},
-  };
-  for (const auto& [name, t] : without) {
-    const double contribution = std::max(0.0, t - t_full);
-    table.add_row({name, Table::num(t), Table::num(contribution),
-                   Table::pct(total_contribution > 0 ? contribution / total_contribution : 0),
-                   paper.at(name)});
-  }
-  std::printf("Hadoop baseline: %.2fs | full D+: %.2fs | improvement: %.1f%%\n\n",
-              t_hadoop, t_full, 100.0 * (t_hadoop - t_full) / t_hadoop);
-  table.print(std::cout);
-  return 0;
-}
+}  // namespace mrapid::bench

@@ -6,78 +6,96 @@
 // 23%, storing intermediate data in memory 9%, reducing communication
 // 4%.
 
+#include <algorithm>
 #include <map>
 
-#include "bench/bench_util.h"
+#include "bench/figures.h"
 #include "workloads/wordcount.h"
 
-using namespace mrapid;
-
+namespace mrapid::bench {
 namespace {
 
-double run_uplus(const harness::WorldConfig& config, wl::WordCount& wc,
-                 bool parallel, bool cache) {
-  harness::World world(config, harness::RunMode::kUPlus);
-  auto result = world.run(wc, [&](mr::JobSpec& spec) {
-    spec.uber_options_locked = true;
-    spec.uber.parallel = parallel;
-    spec.uber.cache_in_memory = cache;
-  });
-  if (!result || !result->succeeded) {
-    std::fprintf(stderr, "FATAL: U+ ablation run failed\n");
-    std::abort();
-  }
-  return result->profile.elapsed_seconds();
+constexpr const char* kUberVariant = "uber baseline";
+constexpr const char* kFullVariant = "full U+";
+
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  exp::ScenarioSpec spec;
+  spec.title = "Fig. 15 — U+ optimization contributions (WordCount 8 x 10 MB, 5 nodes)";
+  spec.axes = {exp::label_axis(
+      "variant", {kUberVariant, kFullVariant, "running tasks in parallel",
+                  "storing intermediate data in memory", "submission framework (AM pool)",
+                  "reducing communication"})};
+  const std::size_t files = opt.smoke ? 4 : 8;
+  const Bytes file_bytes = opt.smoke ? 512_KB : 10_MB;
+  spec.run = [files, file_bytes](const exp::Trial& trial) {
+    wl::WordCountParams params;
+    params.num_files = files;
+    params.bytes_per_file = file_bytes;
+    wl::WordCount wc(params);
+
+    harness::WorldConfig config = a3_config(trial);
+    const std::string& variant = trial.str("variant");
+    if (variant == kUberVariant) {
+      return exp::run_world_trial(config, harness::RunMode::kUber, wc, trial);
+    }
+    bool parallel = true, cache = true;
+    if (variant == "running tasks in parallel") {
+      parallel = false;
+    } else if (variant == "storing intermediate data in memory") {
+      cache = false;
+    } else if (variant == "submission framework (AM pool)") {
+      config.framework.use_pool = false;
+    } else if (variant == "reducing communication") {
+      config.framework.push_completion = false;
+    }
+    return exp::run_world_trial(config, harness::RunMode::kUPlus, wc, trial,
+                                [parallel, cache](mr::JobSpec& spec) {
+                                  spec.uber_options_locked = true;
+                                  spec.uber.parallel = parallel;
+                                  spec.uber.cache_in_memory = cache;
+                                });
+  };
+  spec.render = [](const std::vector<exp::TrialResult>& results, std::ostream& os) {
+    double t_uber = 0.0, t_full = 0.0;
+    std::map<std::string, double> without;  // sorted, as the old binary printed
+    for (const exp::TrialResult& result : results) {
+      if (!result.ok) return;  // failures are listed by the sink
+      const std::string& variant = result.trial.str("variant");
+      if (variant == kUberVariant) {
+        t_uber = result.elapsed_seconds;
+      } else if (variant == kFullVariant) {
+        t_full = result.elapsed_seconds;
+      } else {
+        without[variant] = result.elapsed_seconds;
+      }
+    }
+
+    double total_contribution = 0;
+    for (const auto& [name, t] : without) total_contribution += std::max(0.0, t - t_full);
+
+    Table table({"technique", "time without it (s)", "contribution (s)", "share",
+                 "paper share"});
+    table.with_title("Fig. 15 — U+ optimization contributions (WordCount 8 x 10 MB, 5 nodes)");
+    const std::map<std::string, const char*> paper = {
+        {"running tasks in parallel", "64%"},
+        {"submission framework (AM pool)", "23%"},
+        {"storing intermediate data in memory", "9%"},
+        {"reducing communication", "4%"},
+    };
+    for (const auto& [name, t] : without) {
+      const double contribution = std::max(0.0, t - t_full);
+      table.add_row({name, Table::num(t), Table::num(contribution),
+                     Table::pct(total_contribution > 0 ? contribution / total_contribution : 0),
+                     paper.at(name)});
+    }
+    os << exp::strprintf("Uber baseline: %.2fs | full U+: %.2fs | improvement: %.1f%%\n\n",
+                         t_uber, t_full, 100.0 * (t_uber - t_full) / t_uber);
+    table.print(os);
+  };
+  return spec;
 }
+
+const exp::Registrar reg("fig15", "Fig. 15 — U+ technique ablation", make);
 
 }  // namespace
-
-int main() {
-  wl::WordCountParams params;
-  params.num_files = 8;
-  params.bytes_per_file = 10_MB;
-  wl::WordCount wc(params);
-
-  harness::WorldConfig base;
-  base.cluster = cluster::a3_paper_cluster();
-
-  const double t_uber = bench::elapsed_for(base, harness::RunMode::kUber, wc);
-  const double t_full = run_uplus(base, wc, /*parallel=*/true, /*cache=*/true);
-
-  std::map<std::string, double> without;
-  without["running tasks in parallel"] = run_uplus(base, wc, false, true);
-  without["storing intermediate data in memory"] = run_uplus(base, wc, true, false);
-  {
-    harness::WorldConfig config = base;
-    config.framework.use_pool = false;
-    without["submission framework (AM pool)"] = run_uplus(config, wc, true, true);
-  }
-  {
-    harness::WorldConfig config = base;
-    config.framework.push_completion = false;
-    without["reducing communication"] = run_uplus(config, wc, true, true);
-  }
-
-  double total_contribution = 0;
-  for (const auto& [name, t] : without) total_contribution += std::max(0.0, t - t_full);
-
-  Table table({"technique", "time without it (s)", "contribution (s)", "share",
-               "paper share"});
-  table.with_title("Fig. 15 — U+ optimization contributions (WordCount 8 x 10 MB, 5 nodes)");
-  const std::map<std::string, const char*> paper = {
-      {"running tasks in parallel", "64%"},
-      {"submission framework (AM pool)", "23%"},
-      {"storing intermediate data in memory", "9%"},
-      {"reducing communication", "4%"},
-  };
-  for (const auto& [name, t] : without) {
-    const double contribution = std::max(0.0, t - t_full);
-    table.add_row({name, Table::num(t), Table::num(contribution),
-                   Table::pct(total_contribution > 0 ? contribution / total_contribution : 0),
-                   paper.at(name)});
-  }
-  std::printf("Uber baseline: %.2fs | full U+: %.2fs | improvement: %.1f%%\n\n", t_uber,
-              t_full, 100.0 * (t_uber - t_full) / t_uber);
-  table.print(std::cout);
-  return 0;
-}
+}  // namespace mrapid::bench

@@ -2,46 +2,51 @@
 // file size fixed at 10 MB, number of files varied 1..16. Series:
 // original Hadoop (distributed), original Uber, MRapid D+, MRapid U+.
 //
-// Paper landmarks this bench should reproduce in shape:
+// Paper landmarks this experiment should reproduce in shape:
 //  * D+ beats Hadoop at every point (36% quoted at 8 files);
 //  * U+ beats Uber at every point (59% quoted at 4 files);
 //  * D+ and U+ cross around 8 files — beyond that U+ degrades (it
 //    exhausts the in-memory cache and has only one node), though it
 //    stays ahead of original Uber.
 
-#include "bench/bench_util.h"
+#include "bench/figures.h"
 #include "workloads/wordcount.h"
 
-using namespace mrapid;
+namespace mrapid::bench {
+namespace {
 
-int main() {
-  SeriesReport report("Fig. 7 — WordCount, 10 MB files, A3 cluster (elapsed s)",
-                      "files");
-  report.set_baseline("Hadoop");
-
-  for (int files : {1, 2, 4, 8, 16}) {
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  exp::ScenarioSpec spec;
+  spec.title = "Fig. 7 — WordCount, 10 MB files, A3 cluster (elapsed s)";
+  spec.baseline_series = "Hadoop";
+  spec.axes = {exp::int_axis("files", opt.smoke ? std::vector<long long>{1, 2}
+                                                : std::vector<long long>{1, 2, 4, 8, 16})};
+  spec.modes = exp::figure_modes();
+  const Bytes file_bytes = opt.smoke ? 512_KB : 10_MB;
+  spec.run = [file_bytes](const exp::Trial& trial) {
     wl::WordCountParams params;
-    params.num_files = static_cast<std::size_t>(files);
-    params.bytes_per_file = 10_MB;
+    params.num_files = static_cast<std::size_t>(trial.num("files"));
+    params.bytes_per_file = file_bytes;
     wl::WordCount wc(params);
-
-    harness::WorldConfig config;
-    config.cluster = cluster::a3_paper_cluster();
-    for (harness::RunMode mode : bench::kFigureModes) {
-      report.add_point(harness::run_mode_name(mode), files,
-                       bench::elapsed_for(config, mode, wc));
-    }
+    return exp::run_world_trial(a3_config(trial), *trial.mode, wc, trial);
+  };
+  if (!opt.smoke) {
+    spec.epilogue = [](const SeriesReport& report, const std::vector<exp::TrialResult>&,
+                       std::ostream& os) {
+      const double d8 = report.value("D+", 8), h8 = report.value("Hadoop", 8);
+      const double u4 = report.value("U+", 4), ub4 = report.value("Uber", 4);
+      os << exp::strprintf("\nlandmarks: D+ vs Hadoop @8 files: %.1f%% (paper: 36.4%%)\n",
+                           100.0 * (h8 - d8) / h8);
+      os << exp::strprintf("           U+ vs Uber   @4 files: %.1f%% (paper: 59.3%%)\n",
+                           100.0 * (ub4 - u4) / ub4);
+      os << exp::strprintf("           U+ slower than D+ @16 files: %s (paper: yes)\n",
+                           report.value("U+", 16) > report.value("D+", 16) ? "yes" : "no");
+    };
   }
-  report.print(std::cout);
-
-  // Landmark checks, echoed so regressions are visible in bench logs.
-  const double d8 = report.value("D+", 8), h8 = report.value("Hadoop", 8);
-  const double u4 = report.value("U+", 4), ub4 = report.value("Uber", 4);
-  std::printf("\nlandmarks: D+ vs Hadoop @8 files: %.1f%% (paper: 36.4%%)\n",
-              100.0 * (h8 - d8) / h8);
-  std::printf("           U+ vs Uber   @4 files: %.1f%% (paper: 59.3%%)\n",
-              100.0 * (ub4 - u4) / ub4);
-  std::printf("           U+ slower than D+ @16 files: %s (paper: yes)\n",
-              report.value("U+", 16) > report.value("D+", 16) ? "yes" : "no");
-  return 0;
+  return spec;
 }
+
+const exp::Registrar reg("fig7", "Fig. 7 — WordCount vs number of files", make);
+
+}  // namespace
+}  // namespace mrapid::bench

@@ -6,41 +6,48 @@
 //  * at 40 MB, D+ is also ~11% faster than U+ (the crossover: larger
 //    inputs favour the whole cluster over one container).
 
-#include "bench/bench_util.h"
+#include "bench/figures.h"
 #include "workloads/wordcount.h"
 
-using namespace mrapid;
+namespace mrapid::bench {
+namespace {
 
-int main() {
-  SeriesReport report("Fig. 8 — WordCount, 4 files, A3 cluster (elapsed s)",
-                      "file MB");
-  report.set_baseline("Hadoop");
-
-  for (int mb : {5, 10, 20, 40}) {
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  exp::ScenarioSpec spec;
+  spec.title = "Fig. 8 — WordCount, 4 files, A3 cluster (elapsed s)";
+  spec.x_label = "file MB";
+  spec.baseline_series = "Hadoop";
+  spec.axes = {exp::int_axis("file_mb", opt.smoke ? std::vector<long long>{1, 2}
+                                                  : std::vector<long long>{5, 10, 20, 40})};
+  spec.modes = exp::figure_modes();
+  const std::size_t files = opt.smoke ? 2 : 4;
+  spec.run = [files](const exp::Trial& trial) {
     wl::WordCountParams params;
-    params.num_files = 4;
-    params.bytes_per_file = megabytes(mb);
+    params.num_files = files;
+    params.bytes_per_file = megabytes(trial.num("file_mb"));
     wl::WordCount wc(params);
-
-    harness::WorldConfig config;
-    config.cluster = cluster::a3_paper_cluster();
-    for (harness::RunMode mode : bench::kFigureModes) {
-      report.add_point(harness::run_mode_name(mode), mb,
-                       bench::elapsed_for(config, mode, wc));
-    }
+    return exp::run_world_trial(a3_config(trial), *trial.mode, wc, trial);
+  };
+  if (!opt.smoke) {
+    spec.epilogue = [](const SeriesReport& report, const std::vector<exp::TrialResult>&,
+                       std::ostream& os) {
+      const double d40 = report.value("D+", 40);
+      const double h40 = report.value("Hadoop", 40);
+      const double u40 = report.value("U+", 40);
+      const double d5 = report.value("D+", 5);
+      const double h5 = report.value("Hadoop", 5);
+      os << exp::strprintf("\nlandmarks: D+ vs Hadoop @40MB: %.1f%% (paper: 43.4%%)\n",
+                           100.0 * (h40 - d40) / h40);
+      os << exp::strprintf("           D+ vs U+     @40MB: %.1f%% (paper: 11.3%%, D+ ahead)\n",
+                           100.0 * (u40 - d40) / u40);
+      os << exp::strprintf("           D+ gain grows with size: %s (paper: yes)\n",
+                           (h40 - d40) / h40 > (h5 - d5) / h5 ? "yes" : "no");
+    };
   }
-  report.print(std::cout);
-
-  const double d40 = report.value("D+", 40);
-  const double h40 = report.value("Hadoop", 40);
-  const double u40 = report.value("U+", 40);
-  const double d5 = report.value("D+", 5);
-  const double h5 = report.value("Hadoop", 5);
-  std::printf("\nlandmarks: D+ vs Hadoop @40MB: %.1f%% (paper: 43.4%%)\n",
-              100.0 * (h40 - d40) / h40);
-  std::printf("           D+ vs U+     @40MB: %.1f%% (paper: 11.3%%, D+ ahead)\n",
-              100.0 * (u40 - d40) / u40);
-  std::printf("           D+ gain grows with size: %s (paper: yes)\n",
-              (h40 - d40) / h40 > (h5 - d5) / h5 ? "yes" : "no");
-  return 0;
+  return spec;
 }
+
+const exp::Registrar reg("fig8", "Fig. 8 — WordCount vs file size", make);
+
+}  // namespace
+}  // namespace mrapid::bench

@@ -6,38 +6,45 @@
 //    Hadoop;
 //  * U+ best at 4 files too, up to ~89% over original Uber.
 
-#include "bench/bench_util.h"
+#include "bench/figures.h"
 #include "workloads/wordcount.h"
 
-using namespace mrapid;
+namespace mrapid::bench {
+namespace {
 
-int main() {
-  SeriesReport report("Fig. 9 — WordCount, 60 MB total, A3 cluster (elapsed s)",
-                      "files");
-  report.set_baseline("Hadoop");
-
-  for (int files : {2, 3, 4}) {
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  exp::ScenarioSpec spec;
+  spec.title = "Fig. 9 — WordCount, 60 MB total, A3 cluster (elapsed s)";
+  spec.baseline_series = "Hadoop";
+  spec.axes = {exp::int_axis("files", {2, 3, 4})};
+  spec.modes = exp::figure_modes();
+  const Bytes total = opt.smoke ? 1_MB : 60_MB;
+  spec.run = [total](const exp::Trial& trial) {
+    const auto files = static_cast<std::size_t>(trial.num("files"));
     wl::WordCountParams params;
-    params.num_files = static_cast<std::size_t>(files);
-    params.bytes_per_file = 60_MB / files;
+    params.num_files = files;
+    params.bytes_per_file = total / files;
     wl::WordCount wc(params);
-
-    harness::WorldConfig config;
-    config.cluster = cluster::a3_paper_cluster();
-    for (harness::RunMode mode : bench::kFigureModes) {
-      report.add_point(harness::run_mode_name(mode), files,
-                       bench::elapsed_for(config, mode, wc));
-    }
+    return exp::run_world_trial(a3_config(trial), *trial.mode, wc, trial);
+  };
+  if (!opt.smoke) {
+    spec.epilogue = [](const SeriesReport& report, const std::vector<exp::TrialResult>&,
+                       std::ostream& os) {
+      const double h4 = report.value("Hadoop", 4), d4 = report.value("D+", 4);
+      const double ub4 = report.value("Uber", 4), u4 = report.value("U+", 4);
+      os << exp::strprintf("\nlandmarks: D+ vs Hadoop @4 files: %.1f%% (paper: 79.4%%)\n",
+                           100.0 * (h4 - d4) / h4);
+      os << exp::strprintf("           U+ vs Uber   @4 files: %.1f%% (paper: 88.9%%)\n",
+                           100.0 * (ub4 - u4) / ub4);
+      os << exp::strprintf("           D+ best at 4 files: %s (paper: yes)\n",
+                           d4 <= report.value("D+", 2) && d4 <= report.value("D+", 3) ? "yes"
+                                                                                      : "no");
+    };
   }
-  report.print(std::cout);
-
-  const double h4 = report.value("Hadoop", 4), d4 = report.value("D+", 4);
-  const double ub4 = report.value("Uber", 4), u4 = report.value("U+", 4);
-  std::printf("\nlandmarks: D+ vs Hadoop @4 files: %.1f%% (paper: 79.4%%)\n",
-              100.0 * (h4 - d4) / h4);
-  std::printf("           U+ vs Uber   @4 files: %.1f%% (paper: 88.9%%)\n",
-              100.0 * (ub4 - u4) / ub4);
-  std::printf("           D+ best at 4 files: %s (paper: yes)\n",
-              d4 <= report.value("D+", 2) && d4 <= report.value("D+", 3) ? "yes" : "no");
-  return 0;
+  return spec;
 }
+
+const exp::Registrar reg("fig9", "Fig. 9 — WordCount, fixed 60 MB total input", make);
+
+}  // namespace
+}  // namespace mrapid::bench

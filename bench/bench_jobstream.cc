@@ -4,88 +4,119 @@
 // and contending for the same cluster. Reports per-job latency
 // statistics and stream makespan.
 
-#include "bench/bench_util.h"
+#include "bench/figures.h"
 #include "common/stats.h"
 #include "workloads/jobstream.h"
 
-using namespace mrapid;
-
+namespace mrapid::bench {
 namespace {
 
-struct StreamOutcome {
-  Summary latency;
-  Percentiles latency_pct;
-};
+constexpr const char* kHadoopSystem = "stock Hadoop";
+constexpr const char* kMRapidSystem = "MRapid (auto)";
 
-StreamOutcome replay(harness::RunMode mode, const std::vector<wl::StreamedJob>& jobs) {
-  harness::WorldConfig config;
-  config.cluster = cluster::a3_paper_cluster();
-  harness::World world(config, mode);
-  world.boot();
-  auto& sim = world.simulation();
-  const sim::SimTime start = sim.now();
-
-  StreamOutcome outcome;
-  int completed = 0;
-  for (const auto& job : jobs) {
-    sim.schedule_at(start + sim::SimDuration::seconds(job.submit_offset_seconds),
-                    [&world, &outcome, &completed, &job, mode] {
-                      mr::JobSpec spec = job.workload->make_spec(world.hdfs());
-                      spec.name = job.label;
-                      auto on_complete = [&outcome, &completed](const mr::JobResult& result) {
-                        if (!result.succeeded) std::abort();
-                        ++completed;
-                        outcome.latency.add(result.profile.elapsed_seconds());
-                        outcome.latency_pct.add(result.profile.elapsed_seconds());
-                      };
-                      if (mode == harness::RunMode::kMRapidAuto) {
-                        world.framework().submit(spec, on_complete);
-                      } else {
-                        world.client().submit(spec, harness::to_execution_mode(mode),
-                                              on_complete);
-                      }
-                    },
-                    "stream:submit");
-  }
-  sim.run_until(start + sim::SimDuration::seconds(7200));
-  if (completed != static_cast<int>(jobs.size())) {
-    std::fprintf(stderr, "FATAL: stream wedged (%d/%zu done) under %s\n", completed,
-                 jobs.size(), harness::run_mode_name(mode));
-    std::abort();
-  }
-  return outcome;
+wl::JobStreamParams stream_params(bool smoke) {
+  wl::JobStreamParams params;
+  params.jobs = smoke ? 4 : 12;
+  params.mean_interarrival_seconds = 6.0;
+  return params;
 }
+
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  exp::ScenarioSpec spec;
+  spec.title = "Stream replay: 12 concurrent short jobs, A3 cluster";
+  spec.axes = {exp::label_axis("system", {kHadoopSystem, kMRapidSystem})};
+  const bool smoke = opt.smoke;
+
+  spec.run = [smoke](const exp::Trial& trial) {
+    const auto jobs = make_job_stream(stream_params(smoke));
+    const harness::RunMode mode = trial.str("system") == kHadoopSystem
+                                      ? harness::RunMode::kHadoop
+                                      : harness::RunMode::kMRapidAuto;
+
+    harness::WorldConfig config = a3_config(trial);
+    harness::World world(config, mode);
+    world.boot();
+    auto& sim = world.simulation();
+    const sim::SimTime start = sim.now();
+
+    Summary latency;
+    Percentiles latency_pct;
+    int completed = 0;
+    for (const auto& job : jobs) {
+      sim.schedule_at(start + sim::SimDuration::seconds(job.submit_offset_seconds),
+                      [&world, &latency, &latency_pct, &completed, &job, mode] {
+                        mr::JobSpec spec = job.workload->make_spec(world.hdfs());
+                        spec.name = job.label;
+                        auto on_complete = [&latency, &latency_pct,
+                                            &completed](const mr::JobResult& result) {
+                          if (!result.succeeded) {
+                            throw exp::TrialFailure("stream job failed");
+                          }
+                          ++completed;
+                          latency.add(result.profile.elapsed_seconds());
+                          latency_pct.add(result.profile.elapsed_seconds());
+                        };
+                        if (mode == harness::RunMode::kMRapidAuto) {
+                          world.framework().submit(spec, on_complete);
+                        } else {
+                          world.client().submit(spec, harness::to_execution_mode(mode),
+                                                on_complete);
+                        }
+                      },
+                      "stream:submit");
+    }
+    sim.run_until(start + sim::SimDuration::seconds(7200));
+    if (completed != static_cast<int>(jobs.size())) {
+      throw exp::TrialFailure(exp::strprintf("stream wedged (%d/%zu done) under %s",
+                                             completed, jobs.size(),
+                                             harness::run_mode_name(mode)));
+    }
+
+    exp::TrialResult result;
+    result.trial = trial;
+    result.ok = true;
+    result.elapsed_seconds = latency.mean();
+    result.set_metric("mean_latency_s", latency.mean());
+    result.set_metric("p50_s", latency_pct.median());
+    result.set_metric("p90_s", latency_pct.quantile(0.9));
+    result.set_metric("max_s", latency.max());
+    return result;
+  };
+
+  spec.render = [smoke](const std::vector<exp::TrialResult>& results, std::ostream& os) {
+    // The stream is generated from a fixed seed, so rebuilding it here
+    // reproduces exactly what the trials replayed.
+    const auto jobs = make_job_stream(stream_params(smoke));
+    Table mix({"#", "job", "arrives at (s)"});
+    mix.with_title("Generated short-job stream (seed 2017)");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      mix.add_row({std::to_string(i), jobs[i].label,
+                   Table::num(jobs[i].submit_offset_seconds, 1)});
+    }
+    mix.print(os);
+
+    Table table({"system", "mean latency (s)", "p50 (s)", "p90 (s)", "max (s)"});
+    table.with_title("Stream replay: 12 concurrent short jobs, A3 cluster");
+    double hadoop_mean = 0, mrapid_mean = 0;
+    for (const exp::TrialResult& result : results) {
+      if (!result.ok) continue;  // failures are listed by the sink
+      table.add_row({result.trial.str("system"), Table::num(result.metric("mean_latency_s")),
+                     Table::num(result.metric("p50_s")), Table::num(result.metric("p90_s")),
+                     Table::num(result.metric("max_s"))});
+      (result.trial.str("system") == kHadoopSystem ? hadoop_mean : mrapid_mean) =
+          result.metric("mean_latency_s");
+    }
+    table.print(os);
+    if (hadoop_mean > 0 && mrapid_mean > 0) {
+      os << exp::strprintf("\nmean short-job latency improvement: %.1f%%\n",
+                           100.0 * (hadoop_mean - mrapid_mean) / hadoop_mean);
+    }
+  };
+  return spec;
+}
+
+const exp::Registrar reg("jobstream", "Short-job stream replay — latency under contention",
+                         make);
 
 }  // namespace
-
-int main() {
-  wl::JobStreamParams params;
-  params.jobs = 12;
-  params.mean_interarrival_seconds = 6.0;
-  const auto jobs = make_job_stream(params);
-
-  Table mix({"#", "job", "arrives at (s)"});
-  mix.with_title("Generated short-job stream (seed 2017)");
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    mix.add_row({std::to_string(i), jobs[i].label,
-                 Table::num(jobs[i].submit_offset_seconds, 1)});
-  }
-  mix.print(std::cout);
-
-  Table table({"system", "mean latency (s)", "p50 (s)", "p90 (s)", "max (s)"});
-  table.with_title("Stream replay: 12 concurrent short jobs, A3 cluster");
-  double hadoop_mean = 0, mrapid_mean = 0;
-  for (harness::RunMode mode :
-       {harness::RunMode::kHadoop, harness::RunMode::kMRapidAuto}) {
-    const auto outcome = replay(mode, jobs);
-    table.add_row({mode == harness::RunMode::kHadoop ? "stock Hadoop" : "MRapid (auto)",
-                   Table::num(outcome.latency.mean()), Table::num(outcome.latency_pct.median()),
-                   Table::num(outcome.latency_pct.quantile(0.9)),
-                   Table::num(outcome.latency.max())});
-    (mode == harness::RunMode::kHadoop ? hadoop_mean : mrapid_mean) = outcome.latency.mean();
-  }
-  table.print(std::cout);
-  std::printf("\nmean short-job latency improvement: %.1f%%\n",
-              100.0 * (hadoop_mean - mrapid_mean) / hadoop_mean);
-  return 0;
-}
+}  // namespace mrapid::bench

@@ -2,13 +2,17 @@
 // event queue throughput, fluid bandwidth re-planning, the network
 // waterfill, Zipf text generation, and the WordCount tokenizer. These
 // guard the *wall-clock* cost of running the figure benches.
+//
+// Registered as an on-request experiment ("micro"): wall-clock output
+// cannot be byte-identical across runs, so it only executes when
+// --filter names it explicitly.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/figures.h"
 #include "cluster/azure.h"
 #include "cluster/cluster.h"
 #include "common/rng.h"
-#include "harness/world.h"
 #include "sim/bandwidth.h"
 #include "sim/simulation.h"
 #include "workloads/textgen.h"
@@ -121,4 +125,32 @@ BENCHMARK(BM_FullShortJobSimulation)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace mrapid::bench {
+namespace {
+
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  exp::ScenarioSpec spec;
+  spec.title = "Micro-benchmarks — simulator hot paths (wall clock)";
+  const bool smoke = opt.smoke;
+  spec.render = [smoke](const std::vector<exp::TrialResult>&, std::ostream& os) {
+    if (smoke) {
+      os << "(micro-benchmarks skipped under --smoke: wall-clock timings)\n";
+      return;
+    }
+    // google-benchmark writes to stdout itself; its timings are
+    // inherently non-deterministic, which is why this experiment only
+    // runs when named explicitly.
+    int argc = 1;
+    char arg0[] = "mrapid_bench";
+    char* argv[] = {arg0, nullptr};
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  };
+  return spec;
+}
+
+const exp::Registrar reg("micro", "google-benchmark micro-benchmarks (wall clock)", make,
+                         /*only_on_request=*/true);
+
+}  // namespace
+}  // namespace mrapid::bench

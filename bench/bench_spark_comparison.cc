@@ -4,41 +4,50 @@
 // cost structure; this bench pits it against stock Hadoop and the
 // MRapid modes across the Fig. 7 sweep.
 
-#include "bench/bench_util.h"
+#include <algorithm>
+
+#include "bench/figures.h"
 #include "workloads/wordcount.h"
 
-using namespace mrapid;
+namespace mrapid::bench {
+namespace {
 
-int main() {
-  SeriesReport report("Spark-on-YARN vs MRapid — WordCount 10 MB files, A3 cluster (s)",
-                      "files");
-  report.set_baseline("Hadoop");
-
-  for (int files : {1, 2, 4, 8, 16}) {
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  exp::ScenarioSpec spec;
+  spec.title = "Spark-on-YARN vs MRapid — WordCount 10 MB files, A3 cluster (s)";
+  spec.baseline_series = "Hadoop";
+  spec.axes = {exp::int_axis("files", opt.smoke ? std::vector<long long>{1, 2}
+                                                : std::vector<long long>{1, 2, 4, 8, 16})};
+  spec.modes = {harness::RunMode::kHadoop, harness::RunMode::kSpark,
+                harness::RunMode::kDPlus, harness::RunMode::kUPlus};
+  const Bytes file_bytes = opt.smoke ? 512_KB : 10_MB;
+  spec.run = [file_bytes](const exp::Trial& trial) {
     wl::WordCountParams params;
-    params.num_files = static_cast<std::size_t>(files);
-    params.bytes_per_file = 10_MB;
+    params.num_files = static_cast<std::size_t>(trial.num("files"));
+    params.bytes_per_file = file_bytes;
     wl::WordCount wc(params);
-
-    harness::WorldConfig config;
-    config.cluster = cluster::a3_paper_cluster();
-    for (harness::RunMode mode :
-         {harness::RunMode::kHadoop, harness::RunMode::kSpark, harness::RunMode::kDPlus,
-          harness::RunMode::kUPlus}) {
-      report.add_point(harness::run_mode_name(mode), files,
-                       bench::elapsed_for(config, mode, wc));
-    }
+    return exp::run_world_trial(a3_config(trial), *trial.mode, wc, trial);
+  };
+  if (!opt.smoke) {
+    spec.epilogue = [](const SeriesReport& report, const std::vector<exp::TrialResult>&,
+                       std::ostream& os) {
+      bool mrapid_beats_spark_everywhere = true;
+      for (double x : report.xs()) {
+        const double best_mrapid = std::min(report.value("D+", x), report.value("U+", x));
+        if (best_mrapid > report.value("Spark", x)) mrapid_beats_spark_everywhere = false;
+      }
+      os << exp::strprintf(
+          "\nlandmarks: best MRapid mode beats Spark at every size: %s (paper: yes)\n",
+          mrapid_beats_spark_everywhere ? "yes" : "no");
+      os << exp::strprintf(
+          "           Spark's fixed setup (driver + executors): ~%.1fs of its %.1fs\n",
+          report.value("Spark", 1) - 1.0, report.value("Spark", 1));
+    };
   }
-  report.print(std::cout);
-
-  bool mrapid_beats_spark_everywhere = true;
-  for (double x : report.xs()) {
-    const double best_mrapid = std::min(report.value("D+", x), report.value("U+", x));
-    if (best_mrapid > report.value("Spark", x)) mrapid_beats_spark_everywhere = false;
-  }
-  std::printf("\nlandmarks: best MRapid mode beats Spark at every size: %s (paper: yes)\n",
-              mrapid_beats_spark_everywhere ? "yes" : "no");
-  std::printf("           Spark's fixed setup (driver + executors): ~%.1fs of its %.1fs\n",
-              report.value("Spark", 1) - 1.0, report.value("Spark", 1));
-  return 0;
+  return spec;
 }
+
+const exp::Registrar reg("spark", "Spark-on-YARN comparison across the Fig. 7 sweep", make);
+
+}  // namespace
+}  // namespace mrapid::bench

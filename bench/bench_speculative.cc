@@ -9,86 +9,130 @@
 //   * the first MRapid submission (speculative, both modes race);
 //   * the second submission (history pre-decision).
 
-#include "bench/bench_util.h"
+#include <algorithm>
+#include <memory>
+
+#include "bench/figures.h"
 #include "mrapid/framework.h"
 #include "workloads/pi.h"
 #include "workloads/terasort.h"
 #include "workloads/wordcount.h"
 
-using namespace mrapid;
-
+namespace mrapid::bench {
 namespace {
 
-void run_case(Table& table, const std::string& label, wl::Workload& workload) {
-  harness::WorldConfig config;
-  config.cluster = cluster::a3_paper_cluster();
+struct Case {
+  std::string label;
+  std::function<std::unique_ptr<wl::Workload>()> make_workload;
+};
 
-  const double t_hadoop = bench::elapsed_for(config, harness::RunMode::kHadoop, workload);
-  const double t_d = bench::elapsed_for(config, harness::RunMode::kDPlus, workload);
-  const double t_u = bench::elapsed_for(config, harness::RunMode::kUPlus, workload);
-  const double oracle = std::min(t_d, t_u);
-
-  // One world: first (speculative) then second (history) submission.
-  harness::World world(config, harness::RunMode::kMRapidAuto);
-  auto first = world.run(workload);
-  if (!first || !first->succeeded) {
-    std::fprintf(stderr, "FATAL: speculative run failed\n");
-    std::abort();
-  }
-  const double t_first = first->profile.elapsed_seconds();
-  const auto* record = world.framework().history().find(workload.signature());
-  const char* winner = record && record->last_winner
-                           ? mr::mode_name(*record->last_winner)
-                           : "?";
-
-  std::optional<mr::JobResult> second;
-  world.framework().submit(workload.make_spec(world.hdfs()), [&](const mr::JobResult& r) {
-    second = r;
-    world.simulation().stop();
-  });
-  world.simulation().run_until(world.simulation().now() + sim::SimDuration::seconds(600));
-  const double t_second = second ? second->profile.elapsed_seconds() : -1;
-
-  table.add_row({label, Table::num(t_hadoop), Table::num(oracle), Table::num(t_first),
-                 Table::pct((t_first - oracle) / oracle), Table::num(t_second), winner});
+std::shared_ptr<std::vector<Case>> build_cases(bool smoke) {
+  auto cases = std::make_shared<std::vector<Case>>();
+  const Bytes wc_bytes = smoke ? 512_KB : 10_MB;
+  auto wordcount = [wc_bytes](std::size_t files) {
+    return [files, wc_bytes]() -> std::unique_ptr<wl::Workload> {
+      wl::WordCountParams params;
+      params.num_files = files;
+      params.bytes_per_file = wc_bytes;
+      return std::make_unique<wl::WordCount>(params);
+    };
+  };
+  cases->push_back({"wordcount 4x10MB", wordcount(4)});
+  if (!smoke) cases->push_back({"wordcount 16x10MB", wordcount(16)});
+  const std::int64_t rows = smoke ? 10000 : 400000;
+  cases->push_back({smoke ? "terasort 10k" : "terasort 400k",
+                    [rows]() -> std::unique_ptr<wl::Workload> {
+                      wl::TeraSortParams params;
+                      params.rows = rows;
+                      return std::make_unique<wl::TeraSort>(params);
+                    }});
+  const std::int64_t samples = smoke ? 10000000 : 400000000;
+  cases->push_back({smoke ? "pi 10m" : "pi 400m",
+                    [samples]() -> std::unique_ptr<wl::Workload> {
+                      wl::PiParams params;
+                      params.total_samples = samples;
+                      return std::make_unique<wl::Pi>(params);
+                    }});
+  return cases;
 }
+
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  auto cases = build_cases(opt.smoke);
+
+  exp::ScenarioSpec spec;
+  spec.title = "Speculative execution: racing D+ and U+, then learning from history";
+  std::vector<std::string> labels;
+  for (const Case& c : *cases) labels.push_back(c.label);
+  spec.axes = {exp::label_axis("workload", labels)};
+
+  spec.run = [cases](const exp::Trial& trial) {
+    const Case* c = nullptr;
+    for (const Case& candidate : *cases) {
+      if (candidate.label == trial.str("workload")) c = &candidate;
+    }
+    auto workload = c->make_workload();
+
+    harness::WorldConfig config = a3_config(trial);
+    const double t_hadoop =
+        exp::elapsed_or_throw(config, harness::RunMode::kHadoop, *workload);
+    const double t_d = exp::elapsed_or_throw(config, harness::RunMode::kDPlus, *workload);
+    const double t_u = exp::elapsed_or_throw(config, harness::RunMode::kUPlus, *workload);
+    const double oracle = std::min(t_d, t_u);
+
+    // One world: first (speculative) then second (history) submission.
+    harness::World world(config, harness::RunMode::kMRapidAuto);
+    auto first = world.run(*workload);
+    if (!first || !first->succeeded) throw exp::TrialFailure("speculative run failed");
+    const double t_first = first->profile.elapsed_seconds();
+    const auto* record = world.framework().history().find(workload->signature());
+    const char* winner = record && record->last_winner
+                             ? mr::mode_name(*record->last_winner)
+                             : "?";
+
+    std::optional<mr::JobResult> second;
+    world.framework().submit(workload->make_spec(world.hdfs()),
+                             [&](const mr::JobResult& r) {
+                               second = r;
+                               world.simulation().stop();
+                             });
+    world.simulation().run_until(world.simulation().now() + sim::SimDuration::seconds(600));
+    const double t_second = second ? second->profile.elapsed_seconds() : -1;
+
+    exp::TrialResult result;
+    result.trial = trial;
+    result.ok = true;
+    result.elapsed_seconds = t_first;
+    exp::fill_breakdown(result, first->profile);
+    result.set_metric("t_hadoop", t_hadoop);
+    result.set_metric("oracle", oracle);
+    result.set_metric("t_first", t_first);
+    result.set_metric("t_second", t_second);
+    result.set_note("learned_winner", winner);
+    return result;
+  };
+
+  spec.render = [](const std::vector<exp::TrialResult>& results, std::ostream& os) {
+    Table table({"workload", "Hadoop (s)", "oracle best (s)", "1st MRapid (s)",
+                 "speculation overhead", "2nd MRapid (s)", "learned winner"});
+    table.with_title("Speculative execution: racing D+ and U+, then learning from history");
+    for (const exp::TrialResult& result : results) {
+      if (!result.ok) continue;  // failures are listed by the sink
+      const double oracle = result.metric("oracle");
+      const double t_first = result.metric("t_first");
+      table.add_row({result.trial.str("workload"), Table::num(result.metric("t_hadoop")),
+                     Table::num(oracle), Table::num(t_first),
+                     Table::pct((t_first - oracle) / oracle),
+                     Table::num(result.metric("t_second")),
+                     *result.note("learned_winner")});
+    }
+    table.print(os);
+    os << "\n(the paper's claim: 1st MRapid beats Hadoop despite racing both modes;\n"
+          " 2nd MRapid run matches the oracle via the history pre-decision)\n";
+  };
+  return spec;
+}
+
+const exp::Registrar reg("speculative", "Speculative execution and history learning", make);
 
 }  // namespace
-
-int main() {
-  Table table({"workload", "Hadoop (s)", "oracle best (s)", "1st MRapid (s)",
-               "speculation overhead", "2nd MRapid (s)", "learned winner"});
-  table.with_title("Speculative execution: racing D+ and U+, then learning from history");
-
-  {
-    wl::WordCountParams params;
-    params.num_files = 4;
-    params.bytes_per_file = 10_MB;
-    wl::WordCount wc(params);
-    run_case(table, "wordcount 4x10MB", wc);
-  }
-  {
-    wl::WordCountParams params;
-    params.num_files = 16;
-    params.bytes_per_file = 10_MB;
-    wl::WordCount wc(params);
-    run_case(table, "wordcount 16x10MB", wc);
-  }
-  {
-    wl::TeraSortParams params;
-    params.rows = 400000;
-    wl::TeraSort ts(params);
-    run_case(table, "terasort 400k", ts);
-  }
-  {
-    wl::PiParams params;
-    params.total_samples = 400000000;
-    wl::Pi pi(params);
-    run_case(table, "pi 400m", pi);
-  }
-
-  table.print(std::cout);
-  std::printf("\n(the paper's claim: 1st MRapid beats Hadoop despite racing both modes;\n"
-              " 2nd MRapid run matches the oracle via the history pre-decision)\n");
-  return 0;
-}
+}  // namespace mrapid::bench

@@ -3,55 +3,68 @@
 // Not a measurement — this is the configuration record every other
 // bench builds on, printed so results are interpretable.
 
-#include "bench/bench_util.h"
+#include "bench/figures.h"
+#include "common/units.h"
 #include "mapreduce/job.h"
 #include "yarn/config.h"
 
-using namespace mrapid;
+namespace mrapid::bench {
+namespace {
 
-int main() {
-  Table instances({"Instance", "Cores", "Memory", "Disk rd/wr", "NIC", "Price"});
-  instances.with_title("Table II — Microsoft Azure instance types (as modelled)");
-  auto row = [&](const char* name, const cluster::NodeSpec& spec, double price) {
-    instances.add_row({name, std::to_string(spec.cores), format_bytes(spec.memory),
-                       format_rate(spec.disk_read) + " / " + format_rate(spec.disk_write),
-                       format_rate(spec.nic), "$" + Table::num(price) + "/hr"});
+exp::ScenarioSpec make(const exp::SweepOptions&) {
+  exp::ScenarioSpec spec;
+  spec.title = "Table II — Azure instance types and calibration constants";
+  // Pure configuration record: no trial body, just the render.
+  spec.render = [](const std::vector<exp::TrialResult>&, std::ostream& os) {
+    Table instances({"Instance", "Cores", "Memory", "Disk rd/wr", "NIC", "Price"});
+    instances.with_title("Table II — Microsoft Azure instance types (as modelled)");
+    auto row = [&](const char* name, const cluster::NodeSpec& spec, double price) {
+      instances.add_row({name, std::to_string(spec.cores), format_bytes(spec.memory),
+                         format_rate(spec.disk_read) + " / " + format_rate(spec.disk_write),
+                         format_rate(spec.nic), "$" + Table::num(price) + "/hr"});
+    };
+    row("A1", cluster::azure_a1(), cluster::AzurePricing::a1);
+    row("A2", cluster::azure_a2(), cluster::AzurePricing::a2);
+    row("A3", cluster::azure_a3(), cluster::AzurePricing::a3);
+    instances.print(os);
+
+    const yarn::YarnConfig yarn;
+    const mr::MRConfig mr_config;
+    Table constants({"constant", "value", "source"});
+    constants.with_title("Hadoop 2.2-era runtime constants");
+    constants.add_row({"NM heartbeat", "1 s", "yarn.resourcemanager.nodemanagers.heartbeat"});
+    constants.add_row({"AM heartbeat", "1 s", "yarn.app.mapreduce.am.scheduler.heartbeat"});
+    constants.add_row({"container launch t^l",
+                       Table::num(yarn.container_launch.as_seconds(), 1) + " s",
+                       "JVM + localization"});
+    constants.add_row({"AM init", Table::num(yarn.am_init.as_seconds(), 1) + " s",
+                       "splits/conf download + job model"});
+    constants.add_row({"map container", yarn.task_container.to_string(),
+                       "mapreduce.map.memory.mb"});
+    constants.add_row({"AM container", yarn.am_container.to_string(),
+                       "yarn.app.mapreduce.am.resource.mb"});
+    constants.add_row({"sort buffer", format_bytes(mr_config.sort_buffer),
+                       "mapreduce.task.io.sort.mb"});
+    constants.add_row({"spill percent", Table::num(mr_config.spill_percent, 2),
+                       "mapreduce.map.sort.spill.percent"});
+    constants.add_row({"reduce slowstart", Table::num(mr_config.reduce_slowstart, 2),
+                       "mapreduce.job.reduce.slowstart.completedmaps"});
+    constants.add_row({"client poll", Table::num(mr_config.client_poll.as_seconds(), 1) + " s",
+                       "mapreduce.client.progressmonitor.pollinterval"});
+    constants.add_row({"HDFS block", format_bytes(hdfs::HdfsConfig{}.block_size),
+                       "dfs.blocksize"});
+    constants.add_row({"HDFS replication", std::to_string(hdfs::HdfsConfig{}.replication),
+                       "dfs.replication"});
+    constants.add_row({"U+ cache budget",
+                       format_bytes(mr::UberOptions{}.memory_cache_budget),
+                       "MRapid in-memory intermediate cache"});
+    constants.add_row({"AM pool size", "3", "MRapid proxy default"});
+    constants.print(os);
   };
-  row("A1", cluster::azure_a1(), cluster::AzurePricing::a1);
-  row("A2", cluster::azure_a2(), cluster::AzurePricing::a2);
-  row("A3", cluster::azure_a3(), cluster::AzurePricing::a3);
-  instances.print(std::cout);
-
-  const yarn::YarnConfig yarn;
-  const mr::MRConfig mr_config;
-  Table constants({"constant", "value", "source"});
-  constants.with_title("Hadoop 2.2-era runtime constants");
-  constants.add_row({"NM heartbeat", "1 s", "yarn.resourcemanager.nodemanagers.heartbeat"});
-  constants.add_row({"AM heartbeat", "1 s", "yarn.app.mapreduce.am.scheduler.heartbeat"});
-  constants.add_row({"container launch t^l",
-                     Table::num(yarn.container_launch.as_seconds(), 1) + " s",
-                     "JVM + localization"});
-  constants.add_row({"AM init", Table::num(yarn.am_init.as_seconds(), 1) + " s",
-                     "splits/conf download + job model"});
-  constants.add_row({"map container", yarn.task_container.to_string(),
-                     "mapreduce.map.memory.mb"});
-  constants.add_row({"AM container", yarn.am_container.to_string(),
-                     "yarn.app.mapreduce.am.resource.mb"});
-  constants.add_row({"sort buffer", format_bytes(mr_config.sort_buffer),
-                     "mapreduce.task.io.sort.mb"});
-  constants.add_row({"spill percent", Table::num(mr_config.spill_percent, 2),
-                     "mapreduce.map.sort.spill.percent"});
-  constants.add_row({"reduce slowstart", Table::num(mr_config.reduce_slowstart, 2),
-                     "mapreduce.job.reduce.slowstart.completedmaps"});
-  constants.add_row({"client poll", Table::num(mr_config.client_poll.as_seconds(), 1) + " s",
-                     "mapreduce.client.progressmonitor.pollinterval"});
-  constants.add_row({"HDFS block", format_bytes(hdfs::HdfsConfig{}.block_size), "dfs.blocksize"});
-  constants.add_row({"HDFS replication", std::to_string(hdfs::HdfsConfig{}.replication),
-                     "dfs.replication"});
-  constants.add_row({"U+ cache budget",
-                     format_bytes(mr::UberOptions{}.memory_cache_budget),
-                     "MRapid in-memory intermediate cache"});
-  constants.add_row({"AM pool size", "3", "MRapid proxy default"});
-  constants.print(std::cout);
-  return 0;
+  return spec;
 }
+
+const exp::Registrar reg("table2", "Table II — modelled Azure instances and constants", make);
+
+}  // namespace
+}  // namespace mrapid::bench

@@ -1,0 +1,27 @@
+#pragma once
+
+// Shared bits for the registered paper experiments (bench/*.cc). Each
+// former bench binary is now one registration against
+// exp::ExperimentRegistry, compiled into the single `mrapid_bench`
+// driver. Registrations build a ScenarioSpec whose trial bodies run
+// fresh worlds; --smoke shrinks geometries to CI size.
+
+#include "exp/registry.h"
+#include "exp/runner.h"
+#include "exp/scenario.h"
+#include "exp/sink.h"
+#include "exp/workload_factory.h"
+#include "harness/world.h"
+
+namespace mrapid::bench {
+
+// WorldConfig on the paper's A3 cluster (1 NN + 4 DN), seeded from the
+// trial so --seed sweeps the whole figure.
+inline harness::WorldConfig a3_config(const exp::Trial& trial) {
+  harness::WorldConfig config;
+  config.cluster = cluster::a3_paper_cluster();
+  config.seed = trial.seed;
+  return config;
+}
+
+}  // namespace mrapid::bench

@@ -1,0 +1,114 @@
+// mrapid_bench — the single driver for every registered experiment
+// (one registration per former bench binary; see bench/*.cc).
+//
+//   mrapid_bench --list                  what's available
+//   mrapid_bench                         run the full figure suite
+//   mrapid_bench --filter fig9           one figure
+//   mrapid_bench --jobs 8                trials across 8 worker threads
+//   mrapid_bench --json out.json         machine-readable results
+//   mrapid_bench --smoke --jobs 2        tiny CI-sized geometries
+//
+// Parallel runs are byte-identical to serial ones: trials land in a
+// results vector by index and all rendering happens after the sweep.
+// A failed trial (deadline, failed job, thrown error) is recorded in
+// the results and turns the exit code non-zero — it no longer aborts
+// the whole sweep.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "common/table.h"
+#include "exp/cli.h"
+#include "exp/registry.h"
+#include "exp/runner.h"
+#include "exp/sink.h"
+
+using namespace mrapid;
+
+int main(int argc, char** argv) {
+  bool list = false, smoke = false, verbose = false;
+  std::string filter, json_path;
+  std::size_t jobs = 1;
+  std::uint64_t seed = 0;
+  bool seed_flagged = false;
+
+  exp::ArgParser parser(
+      "mrapid_bench",
+      "Runs the registered paper/extension experiments. Without --filter, every\n"
+      "default experiment runs (wall-clock micro-benchmarks only run when named).");
+  parser.add_flag("list", &list, "list registered experiments and exit");
+  parser.add_string("filter", &filter, "run experiments whose name contains this substring");
+  parser.add_size("jobs", &jobs, "worker threads for independent trials (0 = all cores; default 1)");
+  parser.add_string("json", &json_path, "also write machine-readable results to this file");
+  parser.add_flag("smoke", &smoke, "tiny CI-sized geometries (fast, not paper-scale)");
+  parser.add_uint64("seed", &seed, "override the simulation master seed for every trial");
+  parser.add_flag("verbose", &verbose, "simulator INFO logs (per-trial threshold)");
+  // add_uint64 cannot distinguish "--seed 0" from "not given"; scan argv.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--seed") seed_flagged = true;
+  }
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+
+  const auto& registry = exp::ExperimentRegistry::instance();
+  const auto selected = registry.select(filter);
+
+  if (list) {
+    const auto listed = filter.empty() ? registry.all() : selected;
+    Table table({"experiment", "description"});
+    table.with_title("Registered experiments (" + std::to_string(listed.size()) + ")");
+    for (const exp::ExperimentDef* def : listed) {
+      std::string name = def->name;
+      if (def->only_on_request) name += " (on request)";
+      table.add_row({name, def->description});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "mrapid_bench: no experiment matches '%s' (try --list)\n",
+                 filter.c_str());
+    return 2;
+  }
+
+  exp::SweepOptions options;
+  options.smoke = smoke;
+  options.jobs = jobs;
+  if (seed_flagged) options.seed = seed;
+  options.log_level = verbose ? LogLevel::kInfo : LogLevel::kWarn;
+
+  std::ofstream json_out;
+  if (!json_path.empty()) {
+    // Open up front: failing after the sweeps have run would throw
+    // away minutes of work over a typo'd path.
+    json_out.open(json_path);
+    if (!json_out) {
+      std::fprintf(stderr, "mrapid_bench: cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+  }
+
+  std::vector<exp::ExperimentRun> runs;
+  std::size_t failed_trials = 0;
+  const exp::SweepRunner runner(options);
+  for (const exp::ExperimentDef* def : selected) {
+    exp::ExperimentRun run;
+    run.name = def->name;
+    run.spec = def->make(options);
+    std::cout << "\n=== " << def->name << " — " << def->description << " ===\n";
+    run.results = runner.run(run.spec);
+    exp::render_report(run, std::cout);
+    failed_trials += run.failed_count();
+    runs.push_back(std::move(run));
+  }
+
+  if (!json_path.empty()) {
+    exp::write_json(json_out, runs, options);
+    std::fprintf(stderr, "mrapid_bench: wrote %s\n", json_path.c_str());
+  }
+  if (failed_trials > 0) {
+    std::fprintf(stderr, "mrapid_bench: %zu trial(s) failed\n", failed_trials);
+    return 1;
+  }
+  return 0;
+}

@@ -30,6 +30,11 @@ run_config() {
   cmake --build "$dir" -j "$JOBS"
   echo "=== [$name] ctest ==="
   (cd "$dir" && ctest --output-on-failure -j "$JOBS" "${CTEST_ARGS[@]}")
+  echo "=== [$name] bench smoke ==="
+  # The experiment driver end to end: every registered experiment on
+  # CI-sized geometries, trials across 2 workers, JSON sink exercised.
+  # A failed trial turns this non-zero.
+  "$dir/bench/mrapid_bench" --smoke --jobs 2 --json /tmp/smoke.json > /dev/null
 }
 
 run_config release build-release -DCMAKE_BUILD_TYPE=Release -DMRAPID_WERROR=ON

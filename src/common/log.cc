@@ -17,7 +17,11 @@ const char* level_tag(LogLevel level) {
   return "???";
 }
 
+// The sink is shared; the stamp and threshold are per thread (one
+// simulation per worker thread — see the header).
 std::mutex g_log_mutex;
+thread_local std::optional<LogLevel> t_threshold;
+thread_local std::function<double()> t_now_seconds;
 }  // namespace
 
 Logger& Logger::instance() {
@@ -25,9 +29,16 @@ Logger& Logger::instance() {
   return logger;
 }
 
+std::optional<LogLevel> Logger::set_thread_threshold(std::optional<LogLevel> threshold) {
+  std::optional<LogLevel> previous = t_threshold;
+  t_threshold = threshold;
+  return previous;
+}
+
+std::optional<LogLevel> Logger::thread_threshold() { return t_threshold; }
+
 void Logger::set_time_source(std::function<double()> now_seconds) {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
-  now_seconds_ = std::move(now_seconds);
+  t_now_seconds = std::move(now_seconds);
 }
 
 void Logger::log(LogLevel level, const char* subsystem, const char* fmt, ...) {
@@ -38,8 +49,8 @@ void Logger::log(LogLevel level, const char* subsystem, const char* fmt, ...) {
   va_end(args);
 
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  if (now_seconds_) {
-    std::fprintf(stderr, "[%10.3fs] %s %-10s %s\n", now_seconds_(), level_tag(level), subsystem,
+  if (t_now_seconds) {
+    std::fprintf(stderr, "[%10.3fs] %s %-10s %s\n", t_now_seconds(), level_tag(level), subsystem,
                  message);
   } else {
     std::fprintf(stderr, "[   wall   ] %s %-10s %s\n", level_tag(level), subsystem, message);

@@ -6,9 +6,22 @@
 // every line is stamped with the *simulated* clock, which makes traces
 // directly comparable with the paper's timelines. Logging defaults to
 // Warn so tests and benches stay quiet; examples turn on Info/Debug.
+//
+// Parallel trials (common/thread_pool.h runs one simulation per worker
+// thread) need two properties the plain singleton cannot give:
+//   * the time source is *thread-local* — each worker's simulation
+//     stamps its own lines, and a dying world on one thread cannot
+//     leave another thread reading a dangling clock;
+//   * the severity threshold can be overridden *per run* (via
+//     harness::WorldConfig::log_level) without touching the global
+//     level other threads read.
+// The sink itself stays a single mutex-guarded stderr stream so lines
+// from concurrent trials never interleave mid-line.
 
+#include <atomic>
 #include <cstdarg>
 #include <functional>
+#include <optional>
 #include <string>
 
 namespace mrapid {
@@ -19,22 +32,44 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+
+  // Per-thread severity override; nullopt falls back to the global
+  // level. Returns the previous override so scopes can nest.
+  static std::optional<LogLevel> set_thread_threshold(std::optional<LogLevel> threshold);
+  static std::optional<LogLevel> thread_threshold();
 
   // Installed by Simulation so log lines carry simulated seconds.
+  // Thread-local: each worker thread's simulation owns its own stamp.
   // Pass nullptr to clear.
   void set_time_source(std::function<double()> now_seconds);
 
   void log(LogLevel level, const char* subsystem, const char* fmt, ...)
       __attribute__((format(printf, 4, 5)));
 
-  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+  bool enabled(LogLevel level) const {
+    const LogLevel threshold = thread_threshold().value_or(this->level());
+    return level >= threshold && threshold != LogLevel::kOff;
+  }
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
-  std::function<double()> now_seconds_;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+};
+
+// RAII per-thread threshold override (used around each sweep trial).
+class ScopedLogThreshold {
+ public:
+  explicit ScopedLogThreshold(std::optional<LogLevel> threshold)
+      : previous_(Logger::set_thread_threshold(threshold)) {}
+  ~ScopedLogThreshold() { Logger::set_thread_threshold(previous_); }
+
+  ScopedLogThreshold(const ScopedLogThreshold&) = delete;
+  ScopedLogThreshold& operator=(const ScopedLogThreshold&) = delete;
+
+ private:
+  std::optional<LogLevel> previous_;
 };
 
 #define MRAPID_LOG(level, subsystem, ...)                               \

@@ -45,7 +45,18 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(submit([&fn, i] { fn(i); }));
   }
-  for (auto& f : futures) f.get();
+  // Wait for *every* task before surfacing any failure: bailing on the
+  // first throw would leave workers still running fn, whose captured
+  // state lives in the caller's frame. The lowest-index exception wins.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace mrapid

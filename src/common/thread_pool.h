@@ -43,6 +43,8 @@ class ThreadPool {
   }
 
   // Apply fn(i) for i in [0, n) across the pool and wait for all.
+  // If any invocation throws, every index still runs to completion and
+  // the first (lowest-index) exception is rethrown to the caller.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

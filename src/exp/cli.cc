@@ -1,0 +1,137 @@
+#include "exp/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace mrapid::exp {
+
+namespace {
+
+template <typename T, typename Parse>
+std::function<bool(const std::string&)> numeric_apply(T* out, Parse parse) {
+  return [out, parse](const std::string& text) {
+    try {
+      std::size_t used = 0;
+      T value = parse(text, &used);
+      if (used != text.size()) return false;
+      *out = value;
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+}
+
+}  // namespace
+
+void ArgParser::add_option(Option option) {
+  options_.push_back(std::move(option));
+}
+
+const ArgParser::Option* ArgParser::find(const std::string& name) const {
+  for (const auto& option : options_) {
+    if (option.name == name) return &option;
+  }
+  return nullptr;
+}
+
+void ArgParser::add_string(const std::string& name, std::string* out, const std::string& help) {
+  add_option({name, help, true, [out](const std::string& v) {
+                *out = v;
+                return true;
+              }});
+}
+
+void ArgParser::add_int(const std::string& name, int* out, const std::string& help) {
+  add_option({name, help, true, numeric_apply(out, [](const std::string& s, std::size_t* used) {
+                return std::stoi(s, used, 0);
+              })});
+}
+
+void ArgParser::add_int64(const std::string& name, long long* out, const std::string& help) {
+  add_option({name, help, true, numeric_apply(out, [](const std::string& s, std::size_t* used) {
+                return std::stoll(s, used, 0);
+              })});
+}
+
+void ArgParser::add_uint64(const std::string& name, std::uint64_t* out, const std::string& help) {
+  add_option({name, help, true, numeric_apply(out, [](const std::string& s, std::size_t* used) {
+                return static_cast<std::uint64_t>(std::stoull(s, used, 0));
+              })});
+}
+
+void ArgParser::add_size(const std::string& name, std::size_t* out, const std::string& help) {
+  add_option({name, help, true, numeric_apply(out, [](const std::string& s, std::size_t* used) {
+                return static_cast<std::size_t>(std::stoull(s, used, 0));
+              })});
+}
+
+void ArgParser::add_double(const std::string& name, double* out, const std::string& help) {
+  add_option({name, help, true, numeric_apply(out, [](const std::string& s, std::size_t* used) {
+                return std::stod(s, used);
+              })});
+}
+
+void ArgParser::add_flag(const std::string& name, bool* out, const std::string& help) {
+  add_option({name, help, false, [out](const std::string&) {
+                *out = true;
+                return true;
+              }});
+}
+
+bool ArgParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(std::cout);
+      exit_code_ = 0;
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "%s: unexpected argument '%s' (run with --help for usage)\n",
+                   program_.c_str(), arg.c_str());
+      exit_code_ = 2;
+      return false;
+    }
+    const Option* option = find(arg.substr(2));
+    if (!option) {
+      std::fprintf(stderr, "%s: unknown flag %s (run with --help for usage)\n",
+                   program_.c_str(), arg.c_str());
+      exit_code_ = 2;
+      return false;
+    }
+    std::string value;
+    if (option->takes_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", program_.c_str(), arg.c_str());
+        exit_code_ = 2;
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!option->apply(value)) {
+      std::fprintf(stderr, "%s: bad value '%s' for %s\n", program_.c_str(), value.c_str(),
+                   arg.c_str());
+      exit_code_ = 2;
+      return false;
+    }
+  }
+  return true;
+}
+
+void ArgParser::print_help(std::ostream& os) const {
+  os << "usage: " << program_;
+  for (const auto& option : options_) {
+    os << " [--" << option.name << (option.takes_value ? " V" : "") << "]";
+  }
+  os << "\n\n" << summary_ << "\n\n";
+  for (const auto& option : options_) {
+    std::string left = "  --" + option.name + (option.takes_value ? " VALUE" : "");
+    if (left.size() < 26) left.resize(26, ' ');
+    os << left << " " << option.help << "\n";
+  }
+}
+
+}  // namespace mrapid::exp

@@ -1,0 +1,59 @@
+#pragma once
+
+// The shared flag-parsing layer for the simulator front ends
+// (tools/mrapid_sim.cpp and bench/mrapid_bench.cc). Space-separated
+// `--flag value` style, auto-generated --help, exit code 2 on usage
+// errors — the behaviour the old hand-rolled parsers implemented
+// twice.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mrapid::exp {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string summary)
+      : program_(std::move(program)), summary_(std::move(summary)) {}
+
+  // Value flags: `--name VALUE`. The target keeps its prior value as
+  // the default shown in --help.
+  void add_string(const std::string& name, std::string* out, const std::string& help);
+  void add_int(const std::string& name, int* out, const std::string& help);
+  void add_int64(const std::string& name, long long* out, const std::string& help);
+  void add_uint64(const std::string& name, std::uint64_t* out, const std::string& help);
+  void add_size(const std::string& name, std::size_t* out, const std::string& help);
+  void add_double(const std::string& name, double* out, const std::string& help);
+  // Boolean switch: `--name` sets *out = true.
+  void add_flag(const std::string& name, bool* out, const std::string& help);
+
+  // Returns true when parsing succeeded and the program should
+  // continue; false on --help (exit_code 0) or a usage error
+  // (message on stderr, exit_code 2).
+  bool parse(int argc, char** argv);
+  int exit_code() const { return exit_code_; }
+
+  void print_help(std::ostream& os) const;
+
+ private:
+  struct Option {
+    std::string name;  // without the leading "--"
+    std::string help;
+    bool takes_value = false;
+    // Returns false when the value does not parse.
+    std::function<bool(const std::string&)> apply;
+  };
+
+  void add_option(Option option);
+  const Option* find(const std::string& name) const;
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Option> options_;
+  int exit_code_ = 0;
+};
+
+}  // namespace mrapid::exp

@@ -1,0 +1,62 @@
+#pragma once
+
+// Minimal streaming JSON writer for the bench result sink. Handles
+// commas, indentation, string escaping and deterministic number
+// formatting (%.9g, NaN/Inf -> null) — everything the BENCH_*.json
+// trajectory needs, and nothing the container doesn't already have.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrapid::exp {
+
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent_width = 2) : os_(os), indent_(indent_width) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Inside an object: names the next value / container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(unsigned long long v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(unsigned long v) { return value(static_cast<unsigned long long>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<unsigned long long>(v)); }
+  JsonWriter& value(long v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& null();
+
+  // key + scalar in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+ private:
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_;
+  int depth_ = 0;
+  // Whether the current container already holds a value (needs a
+  // comma) and whether a key was just written (value goes inline).
+  std::vector<bool> has_items_{false};
+  bool after_key_ = false;
+};
+
+}  // namespace mrapid::exp

@@ -1,0 +1,80 @@
+#include "exp/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace mrapid::exp {
+
+namespace {
+
+// Natural ordering so fig7 < fig10 (plain lexicographic puts fig10
+// first). Digit runs compare numerically, everything else bytewise.
+bool natural_less(const std::string& a, const std::string& b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (std::isdigit(static_cast<unsigned char>(a[i])) &&
+        std::isdigit(static_cast<unsigned char>(b[j]))) {
+      std::size_t ia = i, jb = j;
+      while (ia < a.size() && std::isdigit(static_cast<unsigned char>(a[ia]))) ++ia;
+      while (jb < b.size() && std::isdigit(static_cast<unsigned char>(b[jb]))) ++jb;
+      const std::string na = a.substr(i, ia - i), nb = b.substr(j, jb - j);
+      const long long va = std::stoll(na), vb = std::stoll(nb);
+      if (va != vb) return va < vb;
+      i = ia;
+      j = jb;
+    } else {
+      if (a[i] != b[j]) return a[i] < b[j];
+      ++i;
+      ++j;
+    }
+  }
+  return a.size() - i < b.size() - j;
+}
+
+}  // namespace
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  static ExperimentRegistry registry;
+  return registry;
+}
+
+void ExperimentRegistry::add(ExperimentDef def) {
+  if (find(def.name)) {
+    throw std::invalid_argument("duplicate experiment name '" + def.name + "'");
+  }
+  experiments_.push_back(std::move(def));
+}
+
+const ExperimentDef* ExperimentRegistry::find(const std::string& name) const {
+  for (const auto& def : experiments_) {
+    if (def.name == name) return &def;
+  }
+  return nullptr;
+}
+
+std::vector<const ExperimentDef*> ExperimentRegistry::select(const std::string& filter) const {
+  std::vector<const ExperimentDef*> out;
+  for (const auto& def : experiments_) {
+    if (filter.empty()) {
+      if (!def.only_on_request) out.push_back(&def);
+    } else if (def.name.find(filter) != std::string::npos) {
+      out.push_back(&def);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const ExperimentDef* a, const ExperimentDef* b) {
+    return natural_less(a->name, b->name);
+  });
+  return out;
+}
+
+std::vector<const ExperimentDef*> ExperimentRegistry::all() const {
+  std::vector<const ExperimentDef*> out;
+  for (const auto& def : experiments_) out.push_back(&def);
+  std::sort(out.begin(), out.end(), [](const ExperimentDef* a, const ExperimentDef* b) {
+    return natural_less(a->name, b->name);
+  });
+  return out;
+}
+
+}  // namespace mrapid::exp

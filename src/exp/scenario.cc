@@ -1,0 +1,169 @@
+#include "exp/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace mrapid::exp {
+
+namespace {
+
+// Compact numeric label: integers print without a decimal point so
+// axis values read like the paper's ("4", not "4.00"); non-integers
+// keep two decimals ("0.1" -> "0.10" is fine for probabilities).
+std::string num_label(double v) {
+  if (v == static_cast<long long>(v)) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return Table::num(v);
+}
+
+}  // namespace
+
+SweepAxis num_axis(std::string name, const std::vector<double>& values) {
+  SweepAxis axis{std::move(name), {}};
+  axis.values.reserve(values.size());
+  for (double v : values) axis.values.push_back({num_label(v), v});
+  return axis;
+}
+
+SweepAxis int_axis(std::string name, const std::vector<long long>& values) {
+  SweepAxis axis{std::move(name), {}};
+  axis.values.reserve(values.size());
+  for (long long v : values) {
+    axis.values.push_back({std::to_string(v), static_cast<double>(v)});
+  }
+  return axis;
+}
+
+SweepAxis label_axis(std::string name, const std::vector<std::string>& labels) {
+  SweepAxis axis{std::move(name), {}};
+  axis.values.reserve(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    axis.values.push_back({labels[i], static_cast<double>(i)});
+  }
+  return axis;
+}
+
+const AxisValue* Trial::find(std::string_view axis) const {
+  for (const auto& [name, value] : params) {
+    if (name == axis) return &value;
+  }
+  return nullptr;
+}
+
+const AxisValue& Trial::param(std::string_view axis) const {
+  const AxisValue* value = find(axis);
+  if (!value) throw std::out_of_range("trial has no axis '" + std::string(axis) + "'");
+  return *value;
+}
+
+std::string Trial::mode_name() const {
+  return mode ? harness::run_mode_name(*mode) : std::string();
+}
+
+std::string Trial::label() const {
+  std::string out;
+  for (const auto& [name, value] : params) {
+    if (!out.empty()) out += ' ';
+    out += name + "=" + value.label;
+  }
+  if (mode) {
+    if (!out.empty()) out += ' ';
+    out += "mode=" + mode_name();
+  }
+  return out.empty() ? "(single trial)" : out;
+}
+
+void TrialResult::set_metric(std::string name, double value) {
+  for (auto& [n, v] : metrics) {
+    if (n == name) {
+      v = value;
+      return;
+    }
+  }
+  metrics.emplace_back(std::move(name), value);
+}
+
+double TrialResult::metric(std::string_view name) const {
+  for (const auto& [n, v] : metrics) {
+    if (n == name) return v;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+void TrialResult::set_note(std::string name, std::string value) {
+  for (auto& [n, v] : notes) {
+    if (n == name) {
+      v = std::move(value);
+      return;
+    }
+  }
+  notes.emplace_back(std::move(name), std::move(value));
+}
+
+const std::string* TrialResult::note(std::string_view name) const {
+  for (const auto& [n, v] : notes) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+std::vector<Trial> expand_trials(const ScenarioSpec& spec,
+                                 std::optional<std::uint64_t> seed_override) {
+  std::vector<std::uint64_t> seeds =
+      seed_override ? std::vector<std::uint64_t>{*seed_override} : spec.seeds;
+  if (seeds.empty()) seeds = {harness::WorldConfig{}.seed};
+
+  std::vector<Trial> trials;
+  // Odometer over the axes (first axis outermost), matching the nested
+  // loops the hand-rolled benches used.
+  std::vector<std::size_t> at(spec.axes.size(), 0);
+  for (;;) {
+    Trial base;
+    base.params.reserve(spec.axes.size());
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+      base.params.emplace_back(spec.axes[a].name, spec.axes[a].values[at[a]]);
+    }
+    const std::size_t mode_count = spec.modes.empty() ? 1 : spec.modes.size();
+    for (std::size_t m = 0; m < mode_count; ++m) {
+      for (std::uint64_t seed : seeds) {
+        Trial trial = base;
+        trial.index = trials.size();
+        trial.seed = seed;
+        if (!spec.modes.empty()) trial.mode = spec.modes[m];
+        trials.push_back(std::move(trial));
+      }
+    }
+    // Advance the odometer, innermost (last) axis fastest.
+    std::size_t a = spec.axes.size();
+    while (a > 0) {
+      --a;
+      if (++at[a] < spec.axes[a].values.size()) break;
+      at[a] = 0;
+      if (a == 0) return trials;
+    }
+    if (spec.axes.empty()) return trials;
+  }
+}
+
+std::string series_name(const ScenarioSpec& spec, const Trial& trial) {
+  if (spec.series) return spec.series(trial);
+  return trial.mode_name();
+}
+
+std::string strprintf(const char* fmt, ...) {
+  char buffer[2048];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  if (n < 0) return {};
+  return std::string(buffer, std::min<std::size_t>(static_cast<std::size_t>(n),
+                                                   sizeof(buffer) - 1));
+}
+
+}  // namespace mrapid::exp

@@ -1,0 +1,58 @@
+#include "exp/workload_factory.h"
+
+#include <stdexcept>
+
+#include "workloads/pi.h"
+#include "workloads/terasort.h"
+#include "workloads/wordcount.h"
+
+namespace mrapid::exp {
+
+std::unique_ptr<wl::Workload> make_workload(const WorkloadChoice& choice) {
+  if (choice.files < 1 || choice.size_mb < 1 || choice.rows < 1 || choice.samples < 1) {
+    throw std::invalid_argument("workload sizes must be positive");
+  }
+  if (choice.kind == "wordcount") {
+    wl::WordCountParams params;
+    params.num_files = static_cast<std::size_t>(choice.files);
+    params.bytes_per_file = megabytes(choice.size_mb);
+    params.seed = choice.text_seed;
+    return std::make_unique<wl::WordCount>(params);
+  }
+  if (choice.kind == "terasort") {
+    wl::TeraSortParams params;
+    params.rows = choice.rows;
+    return std::make_unique<wl::TeraSort>(params);
+  }
+  if (choice.kind == "pi") {
+    wl::PiParams params;
+    params.total_samples = choice.samples;
+    return std::make_unique<wl::Pi>(params);
+  }
+  throw std::invalid_argument("unknown workload '" + choice.kind + "'");
+}
+
+cluster::ClusterConfig cluster_by_name(const std::string& name) {
+  if (name == "a3") return cluster::a3_paper_cluster();
+  if (name == "a2") return cluster::a2_paper_cluster();
+  throw std::invalid_argument("unknown cluster '" + name + "'");
+}
+
+const std::vector<harness::RunMode>& figure_modes() {
+  static const std::vector<harness::RunMode> modes = {
+      harness::RunMode::kHadoop, harness::RunMode::kUber, harness::RunMode::kDPlus,
+      harness::RunMode::kUPlus};
+  return modes;
+}
+
+std::vector<harness::RunMode> run_modes_by_name(const std::string& name) {
+  if (name == "all") return figure_modes();
+  if (name == "hadoop") return {harness::RunMode::kHadoop};
+  if (name == "uber") return {harness::RunMode::kUber};
+  if (name == "dplus") return {harness::RunMode::kDPlus};
+  if (name == "uplus") return {harness::RunMode::kUPlus};
+  if (name == "auto") return {harness::RunMode::kMRapidAuto};
+  throw std::invalid_argument("unknown mode '" + name + "'");
+}
+
+}  // namespace mrapid::exp

@@ -1,0 +1,44 @@
+#pragma once
+
+// Scenario-construction helpers shared by the CLI and the registered
+// experiments: build a workload from a (kind, geometry) choice, look
+// up the paper clusters and run modes by name. Previously a private
+// copy inside tools/mrapid_sim.cpp.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/azure.h"
+#include "harness/world.h"
+#include "workloads/workload.h"
+
+namespace mrapid::exp {
+
+struct WorkloadChoice {
+  std::string kind = "wordcount";  // wordcount | terasort | pi
+  int files = 4;                   // wordcount geometry
+  int size_mb = 10;
+  long long rows = 400000;         // terasort
+  long long samples = 400000000;   // pi
+  // Corpus seed for wordcount; the CLI historically reuses the
+  // simulation master seed here.
+  std::uint64_t text_seed = 0x5EED;
+};
+
+// Throws std::invalid_argument on an unknown kind.
+std::unique_ptr<wl::Workload> make_workload(const WorkloadChoice& choice);
+
+// "a3" | "a2" (the paper's clusters); throws std::invalid_argument.
+cluster::ClusterConfig cluster_by_name(const std::string& name);
+
+// "hadoop" | "uber" | "dplus" | "uplus" | "auto" | "all"; throws
+// std::invalid_argument. "all" expands to the four figure modes.
+std::vector<harness::RunMode> run_modes_by_name(const std::string& name);
+
+// The four series every per-figure comparison plots: Hadoop, Uber,
+// D+, U+.
+const std::vector<harness::RunMode>& figure_modes();
+
+}  // namespace mrapid::exp

@@ -36,6 +36,9 @@ mr::ExecutionMode to_execution_mode(RunMode mode) {
 }
 
 World::World(const WorldConfig& config, RunMode mode) : config_(config), mode_(mode) {
+  if (config.log_level) {
+    saved_log_threshold_ = Logger::set_thread_threshold(config.log_level);
+  }
   sim_ = std::make_unique<sim::Simulation>(config.seed);
   cluster_ = std::make_unique<cluster::Cluster>(*sim_, config.cluster);
   hdfs_ = std::make_unique<hdfs::Hdfs>(*cluster_, config.hdfs);
@@ -58,6 +61,10 @@ World::World(const WorldConfig& config, RunMode mode) : config_(config), mode_(m
   }
   framework_ = std::make_unique<core::MRapidFramework>(*cluster_, *hdfs_, *rm_, *client_,
                                                        framework_options);
+}
+
+World::~World() {
+  if (saved_log_threshold_) Logger::set_thread_threshold(*saved_log_threshold_);
 }
 
 void World::boot() {

@@ -14,6 +14,7 @@
 
 #include "cluster/azure.h"
 #include "cluster/cluster.h"
+#include "common/log.h"
 #include "hdfs/hdfs.h"
 #include "mapreduce/job_client.h"
 #include "mrapid/dplus_scheduler.h"
@@ -51,6 +52,10 @@ struct WorldConfig {
   // Upper bound on one run's simulated time (guards against wedged
   // runs in tests/benches).
   sim::SimDuration deadline = sim::SimDuration::seconds(3600);
+  // Per-run log severity threshold. When set, this world's thread logs
+  // at the given level for the world's lifetime (parallel sweep trials
+  // each pick their own level); nullopt uses the global Logger level.
+  std::optional<LogLevel> log_level;
 };
 
 // A fully wired world. Exposed (rather than hidden inside a function)
@@ -58,6 +63,7 @@ struct WorldConfig {
 class World {
  public:
   World(const WorldConfig& config, RunMode mode);
+  ~World();
 
   sim::Simulation& simulation() { return *sim_; }
   cluster::Cluster& cluster() { return *cluster_; }
@@ -90,6 +96,7 @@ class World {
  private:
   WorldConfig config_;
   RunMode mode_;
+  std::optional<std::optional<LogLevel>> saved_log_threshold_;  // set when config.log_level is
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<cluster::Cluster> cluster_;
   std::unique_ptr<hdfs::Hdfs> hdfs_;

@@ -7,6 +7,8 @@
 namespace mrapid::sim {
 
 Simulation::Simulation(std::uint64_t master_seed) : master_seed_(master_seed) {
+  // The time source is thread-local (common/log.h): worlds running in
+  // parallel sweep workers each stamp their own thread's log lines.
   Logger::instance().set_time_source([this] { return now_.as_seconds(); });
 }
 

@@ -1,13 +1,15 @@
 // Unit tests for src/common: units, RNG streams, statistics, tables,
-// and the thread pool.
+// the thread pool, and the logger's per-thread severity threshold.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -300,6 +302,57 @@ TEST(ThreadPool, ManyTasksAllComplete) {
 TEST(ThreadPool, SizeDefaultsToHardware) {
   ThreadPool pool;
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(16);
+  try {
+    pool.parallel_for(16, [&](std::size_t i) {
+      hits[i].fetch_add(1);
+      if (i == 3 || i == 11) {
+        throw std::runtime_error("boom-" + std::to_string(i));
+      }
+    });
+    FAIL() << "parallel_for swallowed the worker exception";
+  } catch (const std::runtime_error& e) {
+    // The lowest-index failure wins, deterministically.
+    EXPECT_STREQ(e.what(), "boom-3");
+  }
+  // Every index still ran: the pool waits for all workers before
+  // rethrowing, so no task is abandoned mid-flight.
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ---- logger per-thread threshold ------------------------------------
+
+TEST(Logger, ThreadThresholdOverridesGlobalLevel) {
+  ASSERT_FALSE(Logger::thread_threshold().has_value());
+  const auto previous = Logger::set_thread_threshold(LogLevel::kError);
+  EXPECT_FALSE(previous.has_value());
+  EXPECT_EQ(Logger::thread_threshold(), LogLevel::kError);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+  Logger::set_thread_threshold(previous);
+  EXPECT_FALSE(Logger::thread_threshold().has_value());
+}
+
+TEST(Logger, ThreadThresholdIsPerThread) {
+  const auto previous = Logger::set_thread_threshold(LogLevel::kError);
+  std::optional<LogLevel> seen_on_worker = LogLevel::kError;
+  std::thread worker([&] { seen_on_worker = Logger::thread_threshold(); });
+  worker.join();
+  Logger::set_thread_threshold(previous);
+  EXPECT_FALSE(seen_on_worker.has_value());
+}
+
+TEST(Logger, ScopedThresholdRestoresOnExit) {
+  {
+    ScopedLogThreshold guard(LogLevel::kOff);
+    EXPECT_EQ(Logger::thread_threshold(), LogLevel::kOff);
+    EXPECT_FALSE(Logger::instance().enabled(LogLevel::kError));
+  }
+  EXPECT_FALSE(Logger::thread_threshold().has_value());
 }
 
 }  // namespace

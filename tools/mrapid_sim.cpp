@@ -21,167 +21,86 @@
 //   --trace FILE          write a Chrome trace_event JSON of every run
 //                         (open in chrome://tracing or Perfetto)
 //   --verbose             simulator INFO logs
+//
+// Scenario construction (workload/cluster/mode lookup) and flag
+// parsing are shared with mrapid_bench via the exp layer.
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "common/log.h"
 #include "common/table.h"
+#include "exp/cli.h"
+#include "exp/workload_factory.h"
 #include "harness/world.h"
 #include "sim/trace.h"
-#include "workloads/pi.h"
-#include "workloads/terasort.h"
-#include "workloads/wordcount.h"
 
 using namespace mrapid;
 
-namespace {
-
-struct CliOptions {
-  std::string workload = "wordcount";
-  std::string mode = "all";
-  std::string cluster = "a3";
-  int files = 4;
-  int size_mb = 10;
-  long long rows = 400000;
-  long long samples = 400000000;
-  int reducers = 1;
-  double failure_prob = 0.0;
-  unsigned long long seed = 0x5EED;
-  bool csv = false;
-  std::string trace_path;
-  bool verbose = false;
-};
-
-[[noreturn]] void usage_error(const std::string& message) {
-  std::fprintf(stderr, "mrapid: %s\n(run with --help for usage)\n", message.c_str());
-  std::exit(2);
-}
-
-void print_help() {
-  std::printf(
-      "usage: mrapid [--workload wordcount|terasort|pi] [--mode "
-      "hadoop|uber|dplus|uplus|auto|all]\n"
-      "                  [--cluster a3|a2] [--files N] [--size-mb M] [--rows N]\n"
-      "                  [--samples N] [--reducers R] [--failure-prob P] [--seed S]\n"
-      "                  [--csv] [--trace FILE] [--verbose]\n");
-}
-
-CliOptions parse(int argc, char** argv) {
-  CliOptions options;
-  auto need_value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
-      print_help();
-      std::exit(0);
-    } else if (arg == "--workload") {
-      options.workload = need_value(i);
-    } else if (arg == "--mode") {
-      options.mode = need_value(i);
-    } else if (arg == "--cluster") {
-      options.cluster = need_value(i);
-    } else if (arg == "--files") {
-      options.files = std::atoi(need_value(i));
-    } else if (arg == "--size-mb") {
-      options.size_mb = std::atoi(need_value(i));
-    } else if (arg == "--rows") {
-      options.rows = std::atoll(need_value(i));
-    } else if (arg == "--samples") {
-      options.samples = std::atoll(need_value(i));
-    } else if (arg == "--reducers") {
-      options.reducers = std::atoi(need_value(i));
-    } else if (arg == "--failure-prob") {
-      options.failure_prob = std::atof(need_value(i));
-    } else if (arg == "--seed") {
-      options.seed = std::strtoull(need_value(i), nullptr, 0);
-    } else if (arg == "--csv") {
-      options.csv = true;
-    } else if (arg == "--trace") {
-      options.trace_path = need_value(i);
-    } else if (arg == "--verbose") {
-      options.verbose = true;
-    } else {
-      usage_error("unknown flag " + arg);
-    }
-  }
-  if (options.files < 1 || options.size_mb < 1 || options.rows < 1 || options.samples < 1 ||
-      options.reducers < 0) {
-    usage_error("sizes must be positive");
-  }
-  return options;
-}
-
-std::unique_ptr<wl::Workload> make_workload(const CliOptions& options) {
-  if (options.workload == "wordcount") {
-    wl::WordCountParams params;
-    params.num_files = static_cast<std::size_t>(options.files);
-    params.bytes_per_file = megabytes(options.size_mb);
-    params.seed = options.seed;
-    return std::make_unique<wl::WordCount>(params);
-  }
-  if (options.workload == "terasort") {
-    wl::TeraSortParams params;
-    params.rows = options.rows;
-    return std::make_unique<wl::TeraSort>(params);
-  }
-  if (options.workload == "pi") {
-    wl::PiParams params;
-    params.total_samples = options.samples;
-    return std::make_unique<wl::Pi>(params);
-  }
-  usage_error("unknown workload " + options.workload);
-}
-
-std::vector<harness::RunMode> modes_for(const std::string& mode) {
-  static const std::map<std::string, harness::RunMode> kModes = {
-      {"hadoop", harness::RunMode::kHadoop}, {"uber", harness::RunMode::kUber},
-      {"dplus", harness::RunMode::kDPlus},   {"uplus", harness::RunMode::kUPlus},
-      {"auto", harness::RunMode::kMRapidAuto}};
-  if (mode == "all") {
-    return {harness::RunMode::kHadoop, harness::RunMode::kUber, harness::RunMode::kDPlus,
-            harness::RunMode::kUPlus};
-  }
-  auto it = kModes.find(mode);
-  if (it == kModes.end()) usage_error("unknown mode " + mode);
-  return {it->second};
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const CliOptions options = parse(argc, argv);
-  if (options.verbose) Logger::instance().set_level(LogLevel::kInfo);
+  std::string workload_name = "wordcount", mode = "all", cluster = "a3", trace_path;
+  int files = 4, size_mb = 10, reducers = 1;
+  long long rows = 400000, samples = 400000000;
+  double failure_prob = 0.0;
+  std::uint64_t seed = 0x5EED;
+  bool csv = false, verbose = false;
+
+  exp::ArgParser parser("mrapid",
+                        "Runs one workload on a paper cluster in any execution mode and\n"
+                        "prints the phase breakdown.");
+  parser.add_string("workload", &workload_name, "wordcount | terasort | pi");
+  parser.add_string("mode", &mode, "hadoop | uber | dplus | uplus | auto | all");
+  parser.add_string("cluster", &cluster, "a3 | a2 (paper clusters)");
+  parser.add_int("files", &files, "wordcount: number of input files");
+  parser.add_int("size-mb", &size_mb, "wordcount: MB per file");
+  parser.add_int64("rows", &rows, "terasort: 100-byte rows");
+  parser.add_int64("samples", &samples, "pi: quasi-Monte-Carlo samples");
+  parser.add_int("reducers", &reducers, "reducer count");
+  parser.add_double("failure-prob", &failure_prob, "map-attempt failure injection");
+  parser.add_uint64("seed", &seed, "simulation master seed");
+  parser.add_flag("csv", &csv, "machine-readable one line per run");
+  parser.add_string("trace", &trace_path,
+                    "write a Chrome trace_event JSON of every run to this file");
+  parser.add_flag("verbose", &verbose, "simulator INFO logs");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  if (files < 1 || size_mb < 1 || rows < 1 || samples < 1 || reducers < 0) {
+    std::fprintf(stderr, "mrapid: sizes must be positive\n(run with --help for usage)\n");
+    return 2;
+  }
 
   harness::WorldConfig config;
-  if (options.cluster == "a3") {
-    config.cluster = cluster::a3_paper_cluster();
-  } else if (options.cluster == "a2") {
-    config.cluster = cluster::a2_paper_cluster();
-  } else {
-    usage_error("unknown cluster " + options.cluster);
+  std::unique_ptr<wl::Workload> workload;
+  std::vector<harness::RunMode> modes;
+  try {
+    config.cluster = exp::cluster_by_name(cluster);
+    exp::WorkloadChoice choice;
+    choice.kind = workload_name;
+    choice.files = files;
+    choice.size_mb = size_mb;
+    choice.rows = rows;
+    choice.samples = samples;
+    choice.text_seed = seed;  // the CLI reuses the sim seed for the corpus
+    workload = exp::make_workload(choice);
+    modes = exp::run_modes_by_name(mode);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "mrapid: %s\n(run with --help for usage)\n", e.what());
+    return 2;
   }
-  config.seed = options.seed;
-  config.mr.faults.map_failure_prob = options.failure_prob;
+  config.seed = seed;
+  config.mr.faults.map_failure_prob = failure_prob;
+  if (verbose) config.log_level = LogLevel::kInfo;
 
-  auto workload = make_workload(options);
-
-  if (options.csv) {
+  if (csv) {
     std::printf("workload,mode,reducers,elapsed_s,am_setup_s,map_phase_s,shuffled_mb,"
                 "node_local,maps,failed_attempts\n");
   }
   Table table({"mode", "elapsed (s)", "AM setup (s)", "map phase (s)", "shuffled",
                "node-local", "retries"});
-  table.with_title(options.workload + " on " + options.cluster + " cluster");
+  table.with_title(workload_name + " on " + cluster + " cluster");
 
   // Tracers live here (stable addresses) so the Chrome export can
   // reference every run's events after the worlds are gone. Open the
@@ -190,53 +109,53 @@ int main(int argc, char** argv) {
   std::vector<std::unique_ptr<sim::Tracer>> tracers;
   std::vector<sim::ChromeProcess> trace_processes;
   std::ofstream trace_out;
-  if (!options.trace_path.empty()) {
-    trace_out.open(options.trace_path);
+  if (!trace_path.empty()) {
+    trace_out.open(trace_path);
     if (!trace_out) {
-      std::fprintf(stderr, "mrapid: cannot open %s for writing\n", options.trace_path.c_str());
+      std::fprintf(stderr, "mrapid: cannot open %s for writing\n", trace_path.c_str());
       return 1;
     }
   }
 
-  for (harness::RunMode mode : modes_for(options.mode)) {
-    harness::World world(config, mode);
-    if (!options.trace_path.empty()) {
+  for (harness::RunMode run_mode : modes) {
+    harness::World world(config, run_mode);
+    if (!trace_path.empty()) {
       tracers.push_back(std::make_unique<sim::Tracer>(sim::kTraceAll));
       world.attach_tracer(*tracers.back());
-      trace_processes.push_back({harness::run_mode_name(mode), &tracers.back()->events()});
+      trace_processes.push_back({harness::run_mode_name(run_mode), &tracers.back()->events()});
     }
     auto result = world.run(*workload, [&](mr::JobSpec& spec) {
-      spec.num_reducers = options.reducers;
+      spec.num_reducers = reducers;
     });
     if (!result.has_value()) {
       std::fprintf(stderr, "mrapid: %s run hit the simulation deadline\n",
-                   harness::run_mode_name(mode));
+                   harness::run_mode_name(run_mode));
       return 1;
     }
     if (!result->succeeded) {
       std::fprintf(stderr, "mrapid: %s run FAILED (retries exhausted)\n",
-                   harness::run_mode_name(mode));
+                   harness::run_mode_name(run_mode));
       return 1;
     }
     const mr::JobProfile& p = result->profile;
-    if (options.csv) {
-      std::printf("%s,%s,%d,%.3f,%.3f,%.3f,%.2f,%zu,%zu,%zu\n", options.workload.c_str(),
-                  harness::run_mode_name(mode), options.reducers, p.elapsed_seconds(),
+    if (csv) {
+      std::printf("%s,%s,%d,%.3f,%.3f,%.3f,%.2f,%zu,%zu,%zu\n", workload_name.c_str(),
+                  harness::run_mode_name(run_mode), reducers, p.elapsed_seconds(),
                   p.am_setup_seconds(), p.map_phase_seconds(), to_mb(p.shuffled_bytes),
                   p.node_local_maps, p.maps.size(), p.failed_attempts);
     } else {
-      table.add_row({harness::run_mode_name(mode), Table::num(p.elapsed_seconds()),
+      table.add_row({harness::run_mode_name(run_mode), Table::num(p.elapsed_seconds()),
                      Table::num(p.am_setup_seconds()), Table::num(p.map_phase_seconds()),
                      format_bytes(p.shuffled_bytes),
                      std::to_string(p.node_local_maps) + "/" + std::to_string(p.maps.size()),
                      std::to_string(p.failed_attempts)});
     }
   }
-  if (!options.csv) table.print(std::cout);
-  if (!options.trace_path.empty()) {
+  if (!csv) table.print(std::cout);
+  if (!trace_path.empty()) {
     sim::write_chrome_trace(trace_out, trace_processes);
     std::fprintf(stderr, "mrapid: wrote %s (load in chrome://tracing or Perfetto)\n",
-                 options.trace_path.c_str());
+                 trace_path.c_str());
   }
   return 0;
 }
