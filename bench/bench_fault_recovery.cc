@@ -1,0 +1,157 @@
+// Extension experiment (beyond the paper): what does recovering from a
+// node-level fault cost each execution mode? Two injected scenarios —
+// a node crash under the busiest map node, and an AM kill mid-job —
+// are compared against a clean run of the same (seed, workload). The
+// distributed modes recover through YARN (liveness expiry, container
+// write-off, map requeue, AM re-execution); the pool modes recover by
+// evicting the dead slot and resubmitting through the AM pool. See
+// docs/FAULTS.md for the fault model.
+//
+// Injection points are probed, not guessed: each faulted trial first
+// runs the same configuration cleanly, reads where and when map work
+// happened from the trace, and aims the fault there — the simulation
+// is deterministic, so the faulty run matches the clean one up to the
+// injection instant.
+
+#include <cstdint>
+#include <map>
+
+#include "bench/figures.h"
+#include "sim/trace.h"
+#include "workloads/wordcount.h"
+
+namespace mrapid::bench {
+namespace {
+
+// Where and when the clean run did its map work, boot-relative (the
+// FaultInjector arms at boot end, so FaultSpec times are too).
+struct Probe {
+  std::int64_t span_us = 0;  // boot end -> client completion
+  cluster::NodeId map_node = cluster::kInvalidNode;
+  std::int64_t first_map_us = 0;
+};
+
+Probe probe_clean(const harness::WorldConfig& config, harness::RunMode mode,
+                  wl::WordCount& wc) {
+  harness::World world(config, mode);
+  sim::Tracer tracer;
+  world.attach_tracer(tracer);
+  world.boot();
+  const std::int64_t boot_end_us = world.simulation().now().as_micros();
+  auto result = world.run(wc);
+  if (!result.has_value() || !result->succeeded) {
+    throw exp::TrialFailure("fault_recovery probe run failed");
+  }
+  Probe probe;
+  probe.span_us = world.simulation().now().as_micros() - boot_end_us;
+
+  std::map<std::int64_t, int> counts;
+  std::map<std::int64_t, std::int64_t> first_start;
+  for (const auto& event : tracer.events()) {
+    if (event.name != "map.start") continue;
+    const std::int64_t node = event.arg_or("node", -1);
+    ++counts[node];
+    first_start.emplace(node, event.time_us);
+  }
+  int best = -1;
+  for (const auto& [node, count] : counts) {
+    if (count > best) {
+      best = count;
+      probe.map_node = static_cast<cluster::NodeId>(node);
+      probe.first_map_us = first_start[node] - boot_end_us;
+    }
+  }
+  if (probe.map_node == cluster::kInvalidNode) {
+    throw exp::TrialFailure("fault_recovery probe saw no map.start events");
+  }
+  return probe;
+}
+
+harness::FaultSpec aim(const std::string& fault, const Probe& probe) {
+  harness::FaultSpec spec;
+  spec.node = probe.map_node;
+  if (fault == "crash") {
+    spec.kind = harness::FaultKind::kNodeCrash;
+    spec.at = sim::SimDuration::micros(probe.first_map_us + 50'000);
+  } else {
+    spec.kind = harness::FaultKind::kAmKill;
+    spec.at = sim::SimDuration::micros(probe.span_us / 2);
+  }
+  return spec;
+}
+
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  exp::ScenarioSpec spec;
+  spec.title = "Fault recovery — WordCount, A3 cluster, injected node faults (elapsed s)";
+  spec.x_label = "injected fault";
+  spec.baseline_series = "Hadoop";
+  spec.axes = {exp::label_axis("fault", {"none", "crash", "amkill"})};
+  spec.modes = exp::figure_modes();
+  const std::size_t files = opt.smoke ? 4 : 6;
+  const Bytes file_bytes = opt.smoke ? 512_KB : 2_MB;
+  spec.run = [files, file_bytes](const exp::Trial& trial) {
+    wl::WordCountParams params;
+    params.num_files = files;
+    params.bytes_per_file = file_bytes;
+    wl::WordCount wc(params);
+
+    harness::WorldConfig config = a3_config(trial);
+    // Short liveness expiry so crash -> expiry -> requeue -> completion
+    // fits comfortably inside the trial deadline.
+    config.yarn.nm_expiry = sim::SimDuration::seconds(3.0);
+
+    exp::TrialResult result;
+    result.trial = trial;
+    try {
+      const std::string& fault = trial.str("fault");
+      if (fault != "none") {
+        config.faults.events.push_back(
+            aim(fault, probe_clean(config, *trial.mode, wc)));
+      }
+      const mr::JobResult run = exp::run_or_throw(config, *trial.mode, wc);
+      result.ok = true;
+      exp::fill_breakdown(result, run.profile);
+      result.set_metric("lost_containers",
+                        static_cast<double>(run.profile.lost_containers));
+      result.set_metric("am_restarts", run.profile.am_restarts);
+    } catch (const std::exception& e) {
+      result.ok = false;
+      result.error = e.what();
+    }
+    return result;
+  };
+  spec.epilogue = [](const SeriesReport& report,
+                     const std::vector<exp::TrialResult>& results, std::ostream& os) {
+    Table accounting({"fault", "mode", "elapsed (s)", "lost containers", "AM restarts"});
+    accounting.with_title("Recovery accounting");
+    for (const exp::TrialResult& result : results) {
+      if (!result.ok) continue;  // failures are listed by the sink
+      accounting.add_row({result.trial.str("fault"), result.trial.mode_name(),
+                          Table::num(result.elapsed_seconds),
+                          Table::num(result.metric("lost_containers"), 0),
+                          Table::num(result.metric("am_restarts"), 0)});
+    }
+    os << "\n";
+    accounting.print(os);
+
+    // label_axis x coordinates are position indices: none=0 crash=1 amkill=2.
+    Table overhead({"mode", "clean (s)", "crash overhead", "AM-kill overhead"});
+    overhead.with_title("Recovery overhead vs clean run");
+    for (const char* mode : {"Hadoop", "Uber", "D+", "U+"}) {
+      const double clean = report.value(mode, 0);
+      overhead.add_row(
+          {mode, Table::num(clean),
+           exp::strprintf("%+.0f%%", 100 * (report.value(mode, 1) - clean) / clean),
+           exp::strprintf("%+.0f%%", 100 * (report.value(mode, 2) - clean) / clean)});
+    }
+    os << "\n";
+    overhead.print(os);
+  };
+  return spec;
+}
+
+const exp::Registrar reg("fault_recovery",
+                         "Fault recovery — per-mode cost of node crash and AM kill", make);
+
+}  // namespace
+}  // namespace mrapid::bench

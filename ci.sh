@@ -35,6 +35,11 @@ run_config() {
   # CI-sized geometries, trials across 2 workers, JSON sink exercised.
   # A failed trial turns this non-zero.
   "$dir/bench/mrapid_bench" --smoke --jobs 2 --json /tmp/smoke.json > /dev/null
+  # The fault-recovery experiment once more in isolation: exercises the
+  # --filter path and keeps its recovery-overhead JSON as its own
+  # artifact (per-mode crash/AM-kill cost, lost containers, restarts).
+  "$dir/bench/mrapid_bench" --filter fault_recovery --smoke --jobs 2 \
+    --json /tmp/smoke_fault.json > /dev/null
 }
 
 run_config release build-release -DCMAKE_BUILD_TYPE=Release -DMRAPID_WERROR=ON

@@ -18,4 +18,21 @@ Node::Node(sim::Simulation& sim, NodeId id, RackId rack, std::string name, const
            // differently under co-scheduling), passed at start().
            Rate{1e6}) {}
 
+void Node::apply_slowdown(double factor) {
+  clear_slowdown();
+  if (factor <= 1.0) return;
+  slowdown_ = factor;
+  disk_read_.set_capacity(Rate{spec_.disk_read.bytes_per_sec / factor});
+  disk_write_.set_capacity(Rate{spec_.disk_write.bytes_per_sec / factor});
+  cpu_.set_capacity(Rate{static_cast<double>(spec_.cores) * 1e6 / factor});
+}
+
+void Node::clear_slowdown() {
+  if (slowdown_ <= 1.0) return;
+  slowdown_ = 1.0;
+  disk_read_.set_capacity(spec_.disk_read);
+  disk_write_.set_capacity(spec_.disk_write);
+  cpu_.set_capacity(Rate{static_cast<double>(spec_.cores) * 1e6});
+}
+
 }  // namespace mrapid::cluster

@@ -54,6 +54,20 @@ class Node {
   const sim::ResourcePool& cores() const { return cores_; }
   const sim::ResourcePool& memory_mb() const { return memory_mb_; }
 
+  // ---- fault state ---------------------------------------------------
+  // A down node stops producing task results; the YARN layer notices
+  // via missed heartbeats and expires it (see yarn::ResourceManager).
+  bool is_down() const { return down_; }
+  void set_down(bool down) { down_ = down; }
+
+  // Straggler injection: divide disk and CPU rates by `factor` (> 1);
+  // in-flight transfers keep their progress and continue at the new
+  // shared rate. clear_slowdown() restores the spec rates. Per-node
+  // NIC degradation is not modelled (links belong to the Network).
+  void apply_slowdown(double factor);
+  void clear_slowdown();
+  bool slowed() const { return slowdown_ > 1.0; }
+
  private:
   NodeId id_;
   RackId rack_;
@@ -64,6 +78,8 @@ class Node {
   sim::BandwidthResource disk_read_;
   sim::BandwidthResource disk_write_;
   sim::BandwidthResource cpu_;
+  bool down_ = false;
+  double slowdown_ = 1.0;
 };
 
 }  // namespace mrapid::cluster

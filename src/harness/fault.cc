@@ -1,0 +1,143 @@
+#include "harness/fault.h"
+
+#include <cassert>
+
+#include "common/log.h"
+#include "sim/trace.h"
+
+namespace mrapid::harness {
+
+namespace {
+// A kAmKill fired before any AM is up retries at this cadence until a
+// victim exists (bounded so an idle world can still drain).
+constexpr double kAmKillRetrySeconds = 1.0;
+constexpr int kAmKillMaxRetries = 30;
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash: return "crash";
+    case FaultKind::kHeartbeatLoss: return "hbloss";
+    case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kAmKill: return "amkill";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(cluster::Cluster& cluster, yarn::ResourceManager& rm,
+                             FaultPlan plan)
+    : cluster_(cluster), rm_(rm), sim_(cluster.simulation()), plan_(std::move(plan)) {}
+
+void FaultInjector::arm() {
+  assert(!armed_);
+  armed_ = true;
+
+  std::vector<FaultSpec> expanded = plan_.events;
+  // Per-worker probability draws, in worker order, from the dedicated
+  // stream. The draws are unconditional: a zero-rate plan consumes the
+  // same "faults.plan" sequence as any other, and no other stream is
+  // touched either way.
+  RngStream& rng = sim_.rng("faults.plan");
+  const std::int64_t window_us = std::max<std::int64_t>(1, plan_.window.as_micros());
+  for (cluster::NodeId node : cluster_.workers()) {
+    if (rng.next_double() < plan_.node_crash_prob) {
+      FaultSpec spec;
+      spec.kind = FaultKind::kNodeCrash;
+      spec.node = node;
+      spec.at = sim::SimDuration::micros(rng.next_int(0, window_us - 1));
+      expanded.push_back(spec);
+    }
+    if (rng.next_double() < plan_.heartbeat_loss_prob) {
+      FaultSpec spec;
+      spec.kind = FaultKind::kHeartbeatLoss;
+      spec.node = node;
+      spec.at = sim::SimDuration::micros(rng.next_int(0, window_us - 1));
+      spec.duration = plan_.loss_duration;
+      expanded.push_back(spec);
+    }
+    if (rng.next_double() < plan_.straggler_prob) {
+      FaultSpec spec;
+      spec.kind = FaultKind::kStraggler;
+      spec.node = node;
+      spec.at = sim::SimDuration::micros(rng.next_int(0, window_us - 1));
+      spec.duration = plan_.loss_duration;
+      spec.slowdown = plan_.straggler_slowdown;
+      expanded.push_back(spec);
+    }
+  }
+
+  for (const FaultSpec& spec : expanded) {
+    sim_.schedule_after(spec.at, [this, spec] { fire(spec); }, "fault:inject");
+  }
+}
+
+void FaultInjector::fire(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kNodeCrash: crash_node(spec.node); return;
+    case FaultKind::kHeartbeatLoss: heartbeat_loss(spec.node, spec.duration); return;
+    case FaultKind::kStraggler: straggle(spec.node, spec.slowdown, spec.duration); return;
+    case FaultKind::kAmKill: am_kill(0); return;
+  }
+}
+
+void FaultInjector::crash_node(cluster::NodeId node) {
+  if (node == cluster::kInvalidNode || cluster_.node(node).is_down()) return;
+  MRAPID_TRACE(sim_, sim::TraceCategory::kFault, "fault.node_crash", {"node", node});
+  LOG_WARN("fault", "node %d crashed at %.2fs", node, sim_.now().as_seconds());
+  ++injected_;
+  // Order matters: the node goes dark first (task phases see is_down()
+  // at their next boundary), then the NM stops heartbeating, which
+  // leads the RM to expire the node after nm_expiry.
+  cluster_.node(node).set_down(true);
+  rm_.node_manager(node).crash();
+}
+
+void FaultInjector::heartbeat_loss(cluster::NodeId node, sim::SimDuration duration) {
+  if (node == cluster::kInvalidNode || cluster_.node(node).is_down()) return;
+  MRAPID_TRACE(sim_, sim::TraceCategory::kFault, "fault.heartbeat_loss", {"node", node},
+               {"duration_us", duration.as_micros()});
+  LOG_WARN("fault", "node %d heartbeats paused for %.1fs", node, duration.as_seconds());
+  ++injected_;
+  rm_.node_manager(node).pause_heartbeats(duration);
+}
+
+void FaultInjector::straggle(cluster::NodeId node, double slowdown, sim::SimDuration duration) {
+  if (node == cluster::kInvalidNode || cluster_.node(node).is_down()) return;
+  MRAPID_TRACE(sim_, sim::TraceCategory::kFault, "fault.straggler", {"node", node},
+               {"slowdown_pct", static_cast<std::int64_t>(slowdown * 100)},
+               {"duration_us", duration.as_micros()});
+  LOG_WARN("fault", "node %d degraded %.1fx for %.1fs", node, slowdown, duration.as_seconds());
+  ++injected_;
+  cluster_.node(node).apply_slowdown(slowdown);
+  sim_.schedule_after(duration, [this, node] {
+    if (cluster_.node(node).is_down() || !cluster_.node(node).slowed()) return;
+    cluster_.node(node).clear_slowdown();
+    MRAPID_TRACE(sim_, sim::TraceCategory::kFault, "fault.straggler_end", {"node", node});
+  }, "fault:straggler-end");
+}
+
+void FaultInjector::am_kill(int tries) {
+  std::vector<yarn::Container> victims =
+      victims_ ? victims_() : rm_.running_am_containers();
+  if (victims.empty()) {
+    if (tries >= kAmKillMaxRetries) {
+      LOG_WARN("fault", "am-kill gave up: no AM container ever appeared");
+      return;
+    }
+    sim_.schedule_after(sim::SimDuration::seconds(kAmKillRetrySeconds),
+                        [this, tries] { am_kill(tries + 1); }, "fault:am-kill-retry");
+    return;
+  }
+  RngStream& rng = sim_.rng("faults.plan");
+  const auto pick = static_cast<std::size_t>(
+      rng.next_int(0, static_cast<std::int64_t>(victims.size()) - 1));
+  const yarn::Container victim = victims[pick];
+  MRAPID_TRACE(sim_, sim::TraceCategory::kFault, "fault.am_kill", {"id", victim.id},
+               {"app", victim.app}, {"node", victim.node});
+  LOG_WARN("fault", "killing AM container %lld (app %d) on node %d",
+           static_cast<long long>(victim.id), victim.app, victim.node);
+  ++injected_;
+  rm_.kill_container(victim);
+}
+
+}  // namespace mrapid::harness

@@ -1,0 +1,112 @@
+#pragma once
+
+// Deterministic node-level fault injection.
+//
+// A FaultPlan is declared per scenario (and expanded like any other
+// sweep axis): explicit FaultSpec events plus optional probabilistic
+// expansion over the worker fleet. All randomness comes from the
+// dedicated "faults.plan" RNG stream, so (a) the same (seed, plan)
+// always injects the same faults and (b) an *armed but empty* plan
+// leaves every other stream — and therefore the whole trace —
+// byte-identical to a faults-disabled run.
+//
+// Fault classes:
+//   kNodeCrash     — the node dies permanently: its fluid resources
+//                    stop, the NM falls silent, the RM expires it and
+//                    requeues its containers.
+//   kHeartbeatLoss — the NM stops heartbeating for `duration` but the
+//                    node keeps computing; past nm_expiry the RM writes
+//                    its containers off and the node later rejoins.
+//   kStraggler     — disk and CPU degrade by `slowdown`x for
+//                    `duration` (an ATLAS-style slow node); nothing
+//                    crashes, work just drags.
+//   kAmKill        — one running ApplicationMaster container is killed
+//                    (AM re-execution for client-submitted jobs, slot
+//                    eviction + resubmission for pool-managed ones).
+
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "sim/simulation.h"
+#include "yarn/resource_manager.h"
+
+namespace mrapid::harness {
+
+enum class FaultKind { kNodeCrash, kHeartbeatLoss, kStraggler, kAmKill };
+
+const char* fault_kind_name(FaultKind kind);
+
+// One scheduled injection. `at` is measured from arm() (the instant
+// the world finished booting).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNodeCrash;
+  cluster::NodeId node = cluster::kInvalidNode;  // ignored for kAmKill
+  sim::SimDuration at = sim::SimDuration::seconds(1.0);
+  // kHeartbeatLoss / kStraggler only: how long the condition lasts.
+  sim::SimDuration duration = sim::SimDuration::seconds(15.0);
+  double slowdown = 4.0;  // kStraggler only
+};
+
+struct FaultPlan {
+  // Explicit, fully specified injections.
+  std::vector<FaultSpec> events;
+
+  // Probabilistic expansion: every worker is considered independently
+  // for each class, times drawn uniformly in [0, window). The draws
+  // happen whenever the plan is armed — even at probability zero — so
+  // trace bytes never depend on the probability values alone.
+  double node_crash_prob = 0.0;
+  double heartbeat_loss_prob = 0.0;
+  double straggler_prob = 0.0;
+  double straggler_slowdown = 4.0;
+  sim::SimDuration window = sim::SimDuration::seconds(60.0);
+  sim::SimDuration loss_duration = sim::SimDuration::seconds(15.0);
+
+  // Arm the injector (and the RM's liveness tracking) even when the
+  // plan injects nothing — the zero-rate determinism check.
+  bool enable = false;
+
+  bool active() const {
+    return enable || !events.empty() || node_crash_prob > 0.0 || heartbeat_loss_prob > 0.0 ||
+           straggler_prob > 0.0;
+  }
+};
+
+// Owns nothing but the plan; schedules injections against the world's
+// simulation and pokes the cluster/RM when they fire. Every injection
+// and recovery milestone is emitted through sim::Tracer (kFault).
+class FaultInjector {
+ public:
+  // Returns the AM containers a kAmKill may target. Pool modes supply
+  // the framework's active jobs; otherwise the RM's running AMs serve.
+  using AmVictimProvider = std::function<std::vector<yarn::Container>()>;
+
+  FaultInjector(cluster::Cluster& cluster, yarn::ResourceManager& rm, FaultPlan plan);
+
+  void set_am_victims(AmVictimProvider provider) { victims_ = std::move(provider); }
+
+  // Expands the probabilistic part of the plan and schedules every
+  // injection relative to the current sim time. Call once, after boot.
+  void arm();
+
+  const FaultPlan& plan() const { return plan_; }
+  int injected() const { return injected_; }
+
+ private:
+  void fire(const FaultSpec& spec);
+  void crash_node(cluster::NodeId node);
+  void heartbeat_loss(cluster::NodeId node, sim::SimDuration duration);
+  void straggle(cluster::NodeId node, double slowdown, sim::SimDuration duration);
+  void am_kill(int tries);
+
+  cluster::Cluster& cluster_;
+  yarn::ResourceManager& rm_;
+  sim::Simulation& sim_;
+  FaultPlan plan_;
+  AmVictimProvider victims_;
+  bool armed_ = false;
+  int injected_ = 0;
+};
+
+}  // namespace mrapid::harness

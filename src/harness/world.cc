@@ -51,7 +51,11 @@ World::World(const WorldConfig& config, RunMode mode) : config_(config), mode_(m
   } else {
     scheduler = std::make_unique<yarn::HadoopCapacityScheduler>();
   }
-  rm_ = std::make_unique<yarn::ResourceManager>(*cluster_, std::move(scheduler), config.yarn);
+  // An active fault plan needs the RM to watch NM liveness; without one
+  // the monitor stays off so faultless runs are untouched.
+  yarn::YarnConfig yarn_config = config.yarn;
+  if (config.faults.active()) yarn_config.track_liveness = true;
+  rm_ = std::make_unique<yarn::ResourceManager>(*cluster_, std::move(scheduler), yarn_config);
   client_ = std::make_unique<mr::JobClient>(*cluster_, *hdfs_, *rm_, config.mr);
 
   core::FrameworkOptions framework_options = config.framework;
@@ -61,6 +65,15 @@ World::World(const WorldConfig& config, RunMode mode) : config_(config), mode_(m
   }
   framework_ = std::make_unique<core::MRapidFramework>(*cluster_, *hdfs_, *rm_, *client_,
                                                        framework_options);
+
+  if (config.faults.active()) {
+    injector_ = std::make_unique<FaultInjector>(*cluster_, *rm_, config.faults);
+    if (is_mrapid_mode(mode) && config.framework.use_pool) {
+      // Pool modes: AM kills target the AMs of jobs the framework is
+      // actually running, not the idle reserve slots.
+      injector_->set_am_victims([this] { return framework_->active_am_containers(); });
+    }
+  }
 }
 
 World::~World() {
@@ -79,11 +92,15 @@ void World::boot() {
     });
     if (!framework_->options().use_pool) {
       sim_->run_until(sim_->now() + sim::SimDuration::millis(1));
+      if (injector_) injector_->arm();
       return;
     }
     sim_->run_until(sim_->now() + sim::SimDuration::seconds(120));
     assert(pool_ready && "AM pool failed to warm up");
   }
+  // Arm after the system is up so injection times are measured from
+  // readiness, not from the cold start.
+  if (injector_) injector_->arm();
 }
 
 std::optional<mr::JobResult> World::run(wl::Workload& workload) {

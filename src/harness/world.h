@@ -15,6 +15,7 @@
 #include "cluster/azure.h"
 #include "cluster/cluster.h"
 #include "common/log.h"
+#include "harness/fault.h"
 #include "hdfs/hdfs.h"
 #include "mapreduce/job_client.h"
 #include "mrapid/dplus_scheduler.h"
@@ -48,6 +49,9 @@ struct WorldConfig {
   core::DPlusOptions dplus;
   core::FrameworkOptions framework;
   spark::SparkConfig spark;
+  // Fault injection; an active plan also switches on the RM's node
+  // liveness tracking (heartbeat expiry, requeue, blacklisting).
+  FaultPlan faults;
   std::uint64_t seed = 0x5EED;
   // Upper bound on one run's simulated time (guards against wedged
   // runs in tests/benches).
@@ -71,6 +75,8 @@ class World {
   yarn::ResourceManager& rm() { return *rm_; }
   mr::JobClient& client() { return *client_; }
   core::MRapidFramework& framework() { return *framework_; }
+  // Null unless the config's FaultPlan is active.
+  FaultInjector* faults() { return injector_.get(); }
   RunMode mode() const { return mode_; }
   const WorldConfig& config() const { return config_; }
 
@@ -103,6 +109,7 @@ class World {
   std::unique_ptr<yarn::ResourceManager> rm_;
   std::unique_ptr<mr::JobClient> client_;
   std::unique_ptr<core::MRapidFramework> framework_;
+  std::unique_ptr<FaultInjector> injector_;
   std::vector<std::shared_ptr<spark::SparkApp>> spark_apps_;  // keep alive
   bool booted_ = false;
 };

@@ -1,6 +1,7 @@
 #include "mapreduce/am_base.h"
 
 #include "common/log.h"
+#include "sim/trace.h"
 
 namespace mrapid::mr {
 
@@ -30,6 +31,17 @@ void AmBase::kill() {
   } else {
     rm_.finish_application(app_id_);
   }
+}
+
+void AmBase::abandon() {
+  if (finished_ || *killed_) return;
+  MRAPID_TRACE(sim_, sim::TraceCategory::kApp, "job.abandoned", {"app", app_id_});
+  // Route through kill() for the container/ask cleanup, but suppress
+  // finish_application: the app record survives for AM re-execution.
+  const bool was_pool = managed_by_pool_;
+  managed_by_pool_ = true;
+  kill();
+  managed_by_pool_ = was_pool;
 }
 
 void AmBase::complete(bool success, std::vector<std::shared_ptr<const void>> reduce_results) {

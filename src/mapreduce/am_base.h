@@ -39,6 +39,11 @@ class AmBase {
   // unregisters from the RM. Idempotent.
   virtual void kill();
 
+  // Terminate this attempt *without* unregistering the application:
+  // the AM container died and the RM is re-executing the AM, so the
+  // app record must survive for the next attempt. Idempotent.
+  void abandon();
+
   bool finished() const { return finished_; }
   bool was_killed() const { return *killed_; }
   yarn::AppId app_id() const { return app_id_; }

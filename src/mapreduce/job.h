@@ -194,6 +194,11 @@ struct JobProfile {
   std::size_t off_rack_maps = 0;
   std::size_t failed_attempts = 0;
 
+  // Fault recovery: containers lost with their node (crash/expiry/AM
+  // kill) and AM re-executions this job survived.
+  std::size_t lost_containers = 0;
+  int am_restarts = 0;
+
   // Containers launched per node — the imbalance signature of the
   // baseline scheduler.
   std::vector<std::pair<cluster::NodeId, int>> containers_per_node;

@@ -72,35 +72,83 @@ std::shared_ptr<AmBase> JobClient::submit(const JobSpec& spec, ExecutionMode mod
   // The client observes completion at its next 1 s status poll, not
   // the instant the AM unregisters.
   const sim::SimTime submit_time = sim_.now();
-  auto wrapped = [this, submit_time, cb = std::move(on_complete)](const JobResult& result) {
+
+  // One submission may run several AM attempts (the RM re-executes the
+  // AM when its container dies with a node); the shared state tracks
+  // the current attempt so RM callbacks always reach the live AM.
+  struct Submission {
+    std::shared_ptr<AmBase> am;
+    int restarts = 0;                 // AM re-executions so far
+    std::size_t lost_containers = 0;  // accumulated over abandoned attempts
+    bool started = false;
+    bool reported = false;
+  };
+  auto sub = std::make_shared<Submission>();
+
+  auto shared_cb = std::make_shared<AmBase::CompletionCallback>(std::move(on_complete));
+  AmBase::CompletionCallback wrapped = [this, submit_time, sub,
+                                        shared_cb](const JobResult& result) {
+    if (sub->reported) return;  // only the final attempt reports
+    sub->reported = true;
+    JobResult adjusted_result = result;
+    adjusted_result.profile.am_restarts = sub->restarts;
+    adjusted_result.profile.lost_containers += sub->lost_containers;
     const std::int64_t poll_us = config_.client_poll.as_micros();
     const std::int64_t elapsed_us = (sim_.now() - submit_time).as_micros();
     const std::int64_t aligned_us = ((elapsed_us + poll_us - 1) / poll_us) * poll_us;
     const sim::SimTime seen = submit_time + sim::SimDuration::micros(aligned_us);
-    sim_.schedule_at(seen, [seen, cb, result]() mutable {
-      JobResult adjusted_result = result;
+    sim_.schedule_at(seen, [seen, shared_cb, adjusted_result]() mutable {
       adjusted_result.profile.client_done_time = seen;
-      cb(adjusted_result);
+      (*shared_cb)(adjusted_result);
     }, "client:poll-complete");
   };
 
-  auto am = make_app_master(adjusted, mode, std::move(wrapped));
+  auto am = make_app_master(adjusted, mode, wrapped);
   am->set_submit_time(submit_time);
+  sub->am = am;
 
   // Step 1: job-id RPC; step 2: upload jar + conf; step 3: submit.
   const cluster::NodeId client_node = cluster_.master();
-  sim_.schedule_after(rm_.config().rpc_latency, [this, am, staging_dir, client_node] {
-    if (am->was_killed()) return;  // killed during the submission RPC
-    upload_job_files(staging_dir, client_node, [this, am] {
-      if (am->was_killed()) return;
+  sim_.schedule_after(rm_.config().rpc_latency, [this, sub, adjusted, mode, wrapped, submit_time,
+                                                 staging_dir, client_node] {
+    if (sub->am->was_killed()) return;  // killed during the submission RPC
+    upload_job_files(staging_dir, client_node, [this, sub, adjusted, mode, wrapped, submit_time] {
+      if (sub->am->was_killed()) return;
       const yarn::AppId app = rm_.submit_application(
-          am->spec().name, [am](const yarn::Container& container) {
-            if (!am->was_killed()) am->start(container);
+          sub->am->spec().name,
+          [this, sub, adjusted, mode, wrapped, submit_time](const yarn::Container& container) {
+            if (!sub->started) {
+              sub->started = true;
+              if (!sub->am->was_killed()) sub->am->start(container);
+              return;
+            }
+            // AM re-execution: the previous attempt died with its
+            // container. Task state died with it, so a fresh AM reruns
+            // the whole job under the same application (new attempt
+            // output paths avoid HDFS collisions with the old one).
+            ++sub->restarts;
+            sub->lost_containers += sub->am->live_profile().lost_containers;
+            JobSpec retry = adjusted;
+            retry.output_path += "_am" + std::to_string(sub->restarts);
+            auto fresh = make_app_master(retry, mode, wrapped);
+            fresh->set_submit_time(submit_time);
+            fresh->set_app_id(sub->am->app_id());
+            sub->am = fresh;
+            fresh->start(container);
           });
-      am->set_app_id(app);
+      sub->am->set_app_id(app);
+      rm_.set_am_lost_handler(app, [sub] { sub->am->abandon(); });
+      rm_.set_am_failure_handler(app, [sub, wrapped] {
+        // AM attempt budget exhausted: the RM already unregistered the
+        // app; report a clean failure to the client.
+        JobResult result;
+        result.succeeded = false;
+        result.profile = sub->am->live_profile();
+        wrapped(result);
+      });
       // A kill that raced the submission would have missed the app id;
       // reconcile so the AM container is reclaimed.
-      if (am->was_killed()) rm_.finish_application(app);
+      if (sub->am->was_killed()) rm_.finish_application(app);
     });
   }, "client:submit");
   return am;

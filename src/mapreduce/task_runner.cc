@@ -42,6 +42,10 @@ void run_map_task(const TaskEnv& env_in, const JobSpec& spec, const InputSplit& 
   TaskEnv env = env_in;
   const JobLogic* logic = spec.logic;
 
+  // A dead node runs nothing: an attempt dispatched onto it (an uber
+  // AM keeps dispatching until the RM expires its node) never starts.
+  if (env.is_killed() || env.cluster.node(node).is_down()) return;
+
   auto state = std::make_shared<MapTaskResult>();
   state->profile.index = static_cast<int>(split.index_in_job);
   state->profile.attempt = attempt;
@@ -57,7 +61,7 @@ void run_map_task(const TaskEnv& env_in, const JobSpec& spec, const InputSplit& 
   // container launch itself).
   env.hdfs.read_block(split.block_id, node, [env, logic, split, node, options, state,
                                              done = std::move(done)]() mutable {
-    if (env.is_killed()) return;
+    if (env.is_killed() || env.cluster.node(node).is_down()) return;
     state->profile.read_done = env.sim.now();
 
     // Phase 3: the map function — real computation, timed as fluid
@@ -75,7 +79,7 @@ void run_map_task(const TaskEnv& env_in, const JobSpec& spec, const InputSplit& 
       env.cluster.node(node).cpu().start(
           partial, logic->compute_contention(),
           [env, state, done = std::move(done)](sim::SimDuration) mutable {
-            if (env.is_killed()) return;
+            if (env.is_killed() || env.cluster.node(state->profile.node).is_down()) return;
             state->failed = true;
             state->outcome = MapOutcome{};  // crashed: nothing produced
             state->profile.output_bytes = 0;
@@ -94,11 +98,11 @@ void run_map_task(const TaskEnv& env_in, const JobSpec& spec, const InputSplit& 
     env.cluster.node(node).cpu().start(work, logic->compute_contention(),
                                        [env, node, options, state,
                                         done = std::move(done)](sim::SimDuration) mutable {
-      if (env.is_killed()) return;
+      if (env.is_killed() || env.cluster.node(node).is_down()) return;
       state->profile.compute_done = env.sim.now();
 
       auto finish = [env, state, done = std::move(done)]() mutable {
-        if (env.is_killed()) return;
+        if (env.is_killed() || env.cluster.node(state->profile.node).is_down()) return;
         state->profile.end = env.sim.now();
         MRAPID_TRACE(env.sim, sim::TraceCategory::kTask, "map.done", {"app", env.app},
                      {"job", env.job}, {"task", state->profile.index},
@@ -131,7 +135,7 @@ void run_map_task(const TaskEnv& env_in, const JobSpec& spec, const InputSplit& 
       auto& disk_write = env.cluster.node(node).disk_write();
       disk_write.start(out, [env, node, out, state, finish = std::move(finish)](
                                 sim::SimDuration) mutable {
-        if (env.is_killed()) return;
+        if (env.is_killed() || env.cluster.node(node).is_down()) return;
         if (state->profile.spills <= 1) {
           finish();
           return;
@@ -140,7 +144,7 @@ void run_map_task(const TaskEnv& env_in, const JobSpec& spec, const InputSplit& 
         // file (s^o/d^o + s^o/d^i in the paper's notation).
         auto after_read = [env, node, out, finish = std::move(finish)](
                               sim::SimDuration) mutable {
-          if (env.is_killed()) return;
+          if (env.is_killed() || env.cluster.node(node).is_down()) return;
           env.cluster.node(node).disk_write().start(
               out, [finish = std::move(finish)](sim::SimDuration) mutable { finish(); });
         };
@@ -152,25 +156,35 @@ void run_map_task(const TaskEnv& env_in, const JobSpec& spec, const InputSplit& 
 
 ReduceRunner::ReduceRunner(const TaskEnv& env, const JobSpec& spec, int partition,
                            std::string output_path, NodeId node, int total_maps,
-                           DoneCallback done)
+                           DoneCallback done, int attempt)
     : env_(env),
       spec_(spec),
       partition_(partition),
       output_path_(std::move(output_path)),
       node_(node),
       total_maps_(total_maps),
-      done_(std::move(done)) {
+      done_(std::move(done)),
+      attempt_(attempt) {
   outcomes_.resize(static_cast<std::size_t>(total_maps));
+  fetch_state_.resize(static_cast<std::size_t>(total_maps), FetchState::kNone);
   profile_.index = partition;
+  profile_.attempt = attempt;
   profile_.node = node;
 }
 
 void ReduceRunner::start() {
   assert(!started_);
   started_ = true;
+  if (halted()) return;  // a dead node runs nothing
   profile_.start = env_.sim.now();
-  MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.start", {"app", env_.app},
-               {"job", env_.job}, {"partition", partition_}, {"node", node_});
+  if (attempt_ > 0) {
+    MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.start", {"app", env_.app},
+                 {"job", env_.job}, {"partition", partition_}, {"node", node_},
+                 {"attempt", attempt_});
+  } else {
+    MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.start", {"app", env_.app},
+                 {"job", env_.job}, {"partition", partition_}, {"node", node_});
+  }
   std::vector<MapTaskResult> backlog;
   backlog.swap(pending_);
   for (const auto& result : backlog) fetch(result);
@@ -178,7 +192,7 @@ void ReduceRunner::start() {
 }
 
 void ReduceRunner::on_map_output(const MapTaskResult& result) {
-  if (env_.is_killed()) return;
+  if (halted()) return;
   if (!started_) {
     pending_.push_back(result);
     return;
@@ -187,20 +201,41 @@ void ReduceRunner::on_map_output(const MapTaskResult& result) {
 }
 
 void ReduceRunner::fetch(const MapTaskResult& result) {
+  if (halted()) return;
   const NodeId src = result.profile.node;
+  const int index = result.profile.index;
+  if (fetch_state_[static_cast<std::size_t>(index)] != FetchState::kNone) return;
+  if (env_.cluster.node(src).is_down()) {
+    // The map's output died with its node before we could move it.
+    // Report upward (the AM re-runs the map); the fetch slot stays
+    // open for the re-announcement.
+    if (fetch_failed_) {
+      env_.sim.schedule_now([this, index] {
+        if (!halted() && fetch_failed_) fetch_failed_(index);
+      }, "shuffle:fetch-failed");
+    }
+    return;
+  }
+  fetch_state_[static_cast<std::size_t>(index)] = FetchState::kInflight;
   // This runner only moves its own partition's shard of the output.
   MapOutcome shard = std::move(
       spec_.logic->partition_map_output(result.outcome, std::max(1, spec_.num_reducers))
           .at(static_cast<std::size_t>(partition_)));
   const Bytes bytes = shard.output_bytes;
-  const int index = result.profile.index;
   outcomes_[static_cast<std::size_t>(index)] = std::move(shard);
-  MRAPID_TRACE(env_.sim, sim::TraceCategory::kShuffle, "shuffle.fetch", {"app", env_.app},
-               {"job", env_.job}, {"partition", partition_}, {"map", index}, {"bytes", bytes},
-               {"src", src}, {"dst", node_});
+  if (attempt_ > 0) {
+    MRAPID_TRACE(env_.sim, sim::TraceCategory::kShuffle, "shuffle.fetch", {"app", env_.app},
+                 {"job", env_.job}, {"partition", partition_}, {"map", index}, {"bytes", bytes},
+                 {"src", src}, {"dst", node_}, {"attempt", attempt_});
+  } else {
+    MRAPID_TRACE(env_.sim, sim::TraceCategory::kShuffle, "shuffle.fetch", {"app", env_.app},
+                 {"job", env_.job}, {"partition", partition_}, {"map", index}, {"bytes", bytes},
+                 {"src", src}, {"dst", node_});
+  }
 
-  auto complete = [this, bytes] {
-    if (env_.is_killed()) return;
+  auto complete = [this, bytes, index] {
+    if (halted()) return;
+    fetch_state_[static_cast<std::size_t>(index)] = FetchState::kDone;
     ++fetched_;
     shuffled_bytes_ += bytes;
     maybe_finish_shuffle();
@@ -228,11 +263,17 @@ void ReduceRunner::fetch(const MapTaskResult& result) {
 }
 
 void ReduceRunner::maybe_finish_shuffle() {
-  if (!started_ || fetched_ < total_maps_) return;
+  if (!started_ || fetched_ < total_maps_ || halted()) return;
   profile_.read_done = env_.sim.now();
   profile_.input_bytes = shuffled_bytes_;
-  MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.shuffle_done", {"app", env_.app},
-               {"job", env_.job}, {"partition", partition_}, {"bytes", shuffled_bytes_});
+  if (attempt_ > 0) {
+    MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.shuffle_done", {"app", env_.app},
+                 {"job", env_.job}, {"partition", partition_}, {"bytes", shuffled_bytes_},
+                 {"attempt", attempt_});
+  } else {
+    MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.shuffle_done", {"app", env_.app},
+                 {"job", env_.job}, {"partition", partition_}, {"bytes", shuffled_bytes_});
+  }
   run_reduce_phase();
 }
 
@@ -244,17 +285,23 @@ void ReduceRunner::run_reduce_phase() {
       cluster::Node::cpu_work(sim::SimDuration::seconds(outcome.core_seconds));
   env_.cluster.node(node_).cpu().start(work, spec_.logic->compute_contention(),
                                        [this, outcome](sim::SimDuration) {
-    if (env_.is_killed()) return;
+    if (halted()) return;
     profile_.compute_done = env_.sim.now();
     profile_.output_bytes = outcome.output_bytes;
     env_.hdfs.write_file(output_path_, outcome.output_bytes, node_, [this, outcome] {
-      if (env_.is_killed()) return;
+      if (halted()) return;
       env_.sim.schedule_after(env_.config.commit_overhead, [this, outcome] {
-        if (env_.is_killed()) return;
+        if (halted()) return;
         profile_.end = env_.sim.now();
-        MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.done", {"app", env_.app},
-                     {"job", env_.job}, {"partition", partition_}, {"node", node_},
-                     {"output_bytes", outcome.output_bytes});
+        if (attempt_ > 0) {
+          MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.done", {"app", env_.app},
+                       {"job", env_.job}, {"partition", partition_}, {"node", node_},
+                       {"output_bytes", outcome.output_bytes}, {"attempt", attempt_});
+        } else {
+          MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.done", {"app", env_.app},
+                       {"job", env_.job}, {"partition", partition_}, {"node", node_},
+                       {"output_bytes", outcome.output_bytes});
+        }
         done_(profile_, outcome);
       }, "reduce:commit");
     });

@@ -67,20 +67,41 @@ void run_map_task(const TaskEnv& env, const JobSpec& spec, const InputSplit& spl
 class ReduceRunner {
  public:
   using DoneCallback = std::function<void(TaskProfile, ReduceOutcome)>;
+  // A map output could not be fetched (its node is down); the AM must
+  // re-run that map and re-announce the fresh output.
+  using FetchFailedCallback = std::function<void(int map_index)>;
 
+  // `attempt` > 0 marks a re-execution after the previous reducer
+  // attempt was lost with its container; trace events then carry an
+  // `attempt` argument (omitted at 0 to keep faultless traces stable).
   ReduceRunner(const TaskEnv& env, const JobSpec& spec, int partition, std::string output_path,
-               cluster::NodeId node, int total_maps, DoneCallback done);
+               cluster::NodeId node, int total_maps, DoneCallback done, int attempt = 0);
 
   // The reducer's container is up; shuffling may begin.
   void start();
 
   // A map task finished; its output can be fetched. Safe to call both
-  // before and after start().
+  // before and after start(). Re-announcements of an already-fetched
+  // map (after a re-run) are ignored.
   void on_map_output(const MapTaskResult& result);
+
+  void set_fetch_failed(FetchFailedCallback cb) { fetch_failed_ = std::move(cb); }
+
+  // Retire this attempt: no further progress, no further callbacks.
+  // The object must stay alive until teardown (in-flight fluid
+  // transfers still reference it).
+  void cancel() { cancelled_ = true; }
 
   Bytes shuffled_bytes() const { return shuffled_bytes_; }
 
  private:
+  enum class FetchState : std::uint8_t { kNone, kInflight, kDone };
+
+  // All progress stops when the attempt was retired, the job killed,
+  // or this reducer's own node went down (its container died with it).
+  bool halted() const {
+    return cancelled_ || env_.is_killed() || env_.cluster.node(node_).is_down();
+  }
   void fetch(const MapTaskResult& result);
   void maybe_finish_shuffle();
   void run_reduce_phase();
@@ -92,11 +113,15 @@ class ReduceRunner {
   cluster::NodeId node_;
   int total_maps_;
   DoneCallback done_;
+  int attempt_ = 0;
   bool started_ = false;
+  bool cancelled_ = false;
   int fetched_ = 0;
   Bytes shuffled_bytes_ = 0;
   std::vector<MapTaskResult> pending_;   // finished before start()
   std::vector<MapOutcome> outcomes_;     // by map index
+  std::vector<FetchState> fetch_state_;  // by map index
+  FetchFailedCallback fetch_failed_;
   TaskProfile profile_;
 };
 

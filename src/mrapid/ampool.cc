@@ -27,10 +27,40 @@ void AmPool::start(std::function<void()> on_ready) {
                        {"slot", static_cast<std::int64_t>(i)}, {"app", state.slot.app},
                        {"node", container.node});
           LOG_INFO("ampool", "slot %zu warm on node %d", i, container.node);
-          if (ready() && on_ready_) on_ready_();
+          // Fire the startup callback once (a slot re-warming after an
+          // eviction must not re-trigger it).
+          if (ready() && on_ready_) {
+            auto cb = std::move(on_ready_);
+            on_ready_ = nullptr;
+            cb();
+          }
+          if (on_warm_) on_warm_();
         });
     slots_[i].slot.app = app;
+    // The reserve app's AM dies when its node does; the RM re-executes
+    // it (slot re-warms) until the attempt budget runs out.
+    rm_.set_am_lost_handler(app, [this, i] { evict(i); });
+    rm_.set_am_failure_handler(app, [this, i] {
+      slots_[i].dead = true;
+      MRAPID_TRACE(cluster_.simulation(), sim::TraceCategory::kFault, "pool.dead",
+                   {"slot", static_cast<std::int64_t>(i)}, {"app", slots_[i].slot.app});
+      LOG_WARN("ampool", "slot %zu permanently lost (AM attempts exhausted)", i);
+    });
   }
+}
+
+void AmPool::evict(std::size_t i) {
+  SlotState& state = slots_[i];
+  MRAPID_TRACE(cluster_.simulation(), sim::TraceCategory::kFault, "pool.evict",
+               {"slot", static_cast<std::int64_t>(i)}, {"app", state.slot.app},
+               {"busy", state.busy ? 1 : 0});
+  LOG_WARN("ampool", "slot %zu evicted (AM container lost)", i);
+  if (state.warm) {
+    state.warm = false;
+    --ready_slots_;
+  }
+  state.busy = false;
+  if (on_slot_lost_) on_slot_lost_(static_cast<int>(i));
 }
 
 int AmPool::free_slots() const {

@@ -42,18 +42,32 @@ class AmPool {
 
   const Slot& slot(int index) const { return slots_.at(static_cast<std::size_t>(index)).slot; }
 
+  // Fault wiring. `slot_lost` fires when a slot's AM container dies
+  // with its node (the slot goes cold; any job it carried is gone).
+  // `slot_warm` fires every time a slot (re-)warms — the framework
+  // pumps its queue so resubmitted jobs can dispatch.
+  void set_slot_lost(std::function<void(int index)> cb) { on_slot_lost_ = std::move(cb); }
+  void set_slot_warm(std::function<void()> cb) { on_warm_ = std::move(cb); }
+
  private:
   struct SlotState {
     Slot slot;
     bool warm = false;
     bool busy = false;
+    bool dead = false;  // reserve app exhausted its AM attempts
   };
+
+  // The reserve app's AM container died; the RM is re-executing it
+  // (the slot re-warms when the fresh AM comes up).
+  void evict(std::size_t i);
 
   cluster::Cluster& cluster_;
   yarn::ResourceManager& rm_;
   std::vector<SlotState> slots_;
   int ready_slots_ = 0;
   std::function<void()> on_ready_;
+  std::function<void(int)> on_slot_lost_;
+  std::function<void()> on_warm_;
 };
 
 }  // namespace mrapid::core

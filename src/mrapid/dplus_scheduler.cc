@@ -34,6 +34,7 @@ DPlusScheduler::Dominant DPlusScheduler::dominant_resource() const {
   std::int64_t total_mem = 0;
   std::int64_t used_mem = 0;
   for (const auto& node : context_->nodes()) {
+    if (!node.schedulable()) continue;  // degraded capacity excluded
     total_vcores += node.capacity.vcores;
     used_vcores += node.used.vcores;
     total_mem += node.capacity.memory_mb;
@@ -47,7 +48,10 @@ DPlusScheduler::Dominant DPlusScheduler::dominant_resource() const {
 
 std::vector<NodeState*> DPlusScheduler::sorted_nodes() const {
   std::vector<NodeState*> nodes;
-  for (auto& node : context_->nodes()) nodes.push_back(&node);
+  for (auto& node : context_->nodes()) {
+    if (!node.schedulable()) continue;  // dead or blacklisted
+    nodes.push_back(&node);
+  }
   if (!options_.balanced_spread) {
     // Packing behaviour: fixed node order, first fit.
     return nodes;

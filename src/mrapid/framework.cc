@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "mapreduce/split.h"
+#include "sim/trace.h"
 
 namespace mrapid::core {
 
@@ -48,7 +49,10 @@ MRapidFramework::MRapidFramework(cluster::Cluster& cluster, hdfs::Hdfs& hdfs,
       sim_(cluster.simulation()),
       options_(options),
       pool_(cluster, rm, options.pool_size),
-      decision_maker_(history_, options.estimator, options.confidence_margin) {}
+      decision_maker_(history_, options.estimator, options.confidence_margin) {
+  pool_.set_slot_lost([this](int index) { on_slot_lost(index); });
+  pool_.set_slot_warm([this] { pump_queue(); });
+}
 
 void MRapidFramework::start(std::function<void()> on_ready) {
   if (!options_.use_pool) {
@@ -70,10 +74,14 @@ DecisionContext MRapidFramework::make_context(const JobSpec& spec) const {
   }
 
   // n^c: task containers the cluster can hold at once (vcores and
-  // memory both bind), minus the AM slots the pool pins.
+  // memory both bind), minus the AM slots the pool pins. Dead or
+  // blacklisted nodes contribute nothing — the decision maker sees the
+  // degraded capacity, not the nominal one.
   const auto& yarn_config = rm_.config();
   std::int64_t capacity = 0;
   for (cluster::NodeId worker : cluster_.workers()) {
+    const yarn::NodeState* state = rm_.node_state(worker);
+    if (state != nullptr && !state->schedulable()) continue;
     const cluster::NodeSpec& node = cluster_.node(worker).spec();
     const std::int64_t vcores =
         static_cast<std::int64_t>(node.cores) * yarn_config.containers_per_core;
@@ -88,6 +96,8 @@ DecisionContext MRapidFramework::make_context(const JobSpec& spec) const {
   // n_u^m = n^c(vcores of the AM node) * n^m_c.
   int max_cores = 1;
   for (cluster::NodeId worker : cluster_.workers()) {
+    const yarn::NodeState* state = rm_.node_state(worker);
+    if (state != nullptr && !state->schedulable()) continue;
     max_cores = std::max(max_cores, cluster_.node(worker).spec().cores);
   }
   const int maps_per_core = std::max(1, spec.uber.maps_per_core);
@@ -131,35 +141,91 @@ void MRapidFramework::pump_queue() {
 
 void MRapidFramework::run_on_slot(const JobSpec& spec, ExecutionMode mode,
                                   const AmPool::Slot& slot, sim::SimTime submit_time,
-                                  CompletionCallback on_complete, bool record_winner) {
+                                  CompletionCallback on_complete, bool record_winner,
+                                  int resubmits) {
   JobSpec adjusted = spec;
   adjusted.output_path += "." + std::string(mr::mode_name(mode)) + "." +
                           std::to_string(sim_.now().as_micros());
 
-  // The completion callback must read the AM's final profile; the AM
-  // pointer is only known after construction, so thread it through a
-  // shared cell.
-  auto am_cell = std::make_shared<std::shared_ptr<mr::AmBase>>();
+  // Everything a slot loss needs to resubmit the job lives in the
+  // ActiveJob record; exactly one of the completion callback and the
+  // loss path consumes it (each erases the record first).
+  auto job = std::make_shared<ActiveJob>();
+  job->spec = spec;
+  job->mode = mode;
+  job->submit_time = submit_time;
+  job->on_complete = std::move(on_complete);
+  job->resubmits = resubmits;
+  job->record_winner = record_winner;
+
   auto am = client_.make_app_master(
-      adjusted, mode,
-      [this, am_cell, slot, submit_time, record_winner,
-       on_complete = std::move(on_complete)](const JobResult& result) mutable {
-        if (*am_cell) {
-          history_.record_run((*am_cell)->spec().logic->signature(),
-                              measure(**am_cell, sim_.now()), record_winner);
+      adjusted, mode, [this, job, slot](const JobResult& result) {
+        active_jobs_.erase(slot.index);
+        if (job->am) {
+          history_.record_run(job->am->spec().logic->signature(),
+                              measure(*job->am, sim_.now()), job->record_winner);
         }
+        JobResult adjusted_result = result;
+        adjusted_result.profile.am_restarts += job->resubmits;
         pool_.release(slot.index);
         pump_queue();
-        notify_client(submit_time, std::move(on_complete), result);
+        notify_client(job->submit_time, std::move(job->on_complete),
+                      std::move(adjusted_result));
       });
-  *am_cell = am;
+  job->am = am;
+  active_jobs_[slot.index] = job;
   am->set_managed_by_pool(true);
   am->set_app_id(slot.app);
   am->set_submit_time(submit_time);
   // AMSlave handoff: the proxy RPCs the job description to the warm AM.
+  // The slot can die during the handoff — an abandoned AM never starts.
   sim_.schedule_after(options_.proxy_rpc + options_.am_job_init,
-                      [am, container = slot.container] { am->start(container); },
+                      [am, container = slot.container] {
+                        if (!am->was_killed()) am->start(container);
+                      },
                       "mrapid:am-handoff");
+}
+
+void MRapidFramework::on_slot_lost(int index) {
+  auto it = active_jobs_.find(index);
+  if (it == active_jobs_.end()) return;  // idle slot, or a speculative race (see docs/FAULTS.md)
+  auto job = it->second;
+  active_jobs_.erase(it);
+  job->am->abandon();
+  if (job->resubmits >= options_.max_job_resubmits) {
+    LOG_WARN("mrapid", "job %s lost its slot %d times; failing", job->spec.name.c_str(),
+             job->resubmits + 1);
+    JobResult result;
+    result.succeeded = false;
+    result.profile = job->am->live_profile();
+    result.profile.am_restarts = job->resubmits;
+    notify_client(job->submit_time, std::move(job->on_complete), std::move(result));
+    return;
+  }
+  const int next = job->resubmits + 1;
+  MRAPID_TRACE(sim_, sim::TraceCategory::kFault, "pool.resubmit",
+               {"slot", index}, {"app", job->am->app_id()}, {"attempt", next});
+  LOG_WARN("mrapid", "slot %d lost; resubmitting %s (attempt %d)", index,
+           job->spec.name.c_str(), next + 1);
+  waiting_jobs_.push_back({1, [this, job, next]() mutable {
+    auto slot = pool_.acquire();
+    assert(slot.has_value());
+    run_on_slot(job->spec, job->mode, *slot, job->submit_time, std::move(job->on_complete),
+                job->record_winner, next);
+  }});
+  pump_queue();
+}
+
+std::vector<yarn::Container> MRapidFramework::active_am_containers() const {
+  std::vector<yarn::Container> out;
+  for (const auto& [index, job] : active_jobs_) {
+    if (job->am && !job->am->finished() && !job->am->was_killed()) {
+      out.push_back(pool_.slot(index).container);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const yarn::Container& a, const yarn::Container& b) { return a.id < b.id; });
+  return out;
 }
 
 void MRapidFramework::submit_in_mode(const JobSpec& spec, ExecutionMode mode,

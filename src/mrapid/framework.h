@@ -17,6 +17,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 
 #include "mapreduce/job_client.h"
 #include "mrapid/ampool.h"
@@ -38,6 +39,11 @@ struct FrameworkOptions {
   // Ablation knobs (Figs. 14/15):
   bool use_pool = true;          // "submission framework" contribution
   bool push_completion = true;   // "reducing communication" contribution
+
+  // Pool-managed jobs have no per-app AM re-execution (the reserved
+  // app belongs to the pool); a job whose slot dies is resubmitted
+  // through the queue instead, at most this many times.
+  int max_job_resubmits = 2;
 
   EstimatorDefaults estimator;
 };
@@ -71,11 +77,29 @@ class MRapidFramework {
   // n_c from cluster capacity, n_u_m from a pool node's cores.
   DecisionContext make_context(const mr::JobSpec& spec) const;
 
+  // AM containers of pool-managed jobs currently running (fault
+  // injection targets these for AM kills in pooled modes).
+  std::vector<yarn::Container> active_am_containers() const;
+
  private:
   struct SpeculativeRace;
 
+  // One job currently running on a pool slot, retained so a slot loss
+  // can abandon the attempt and resubmit the job through the queue.
+  struct ActiveJob {
+    mr::JobSpec spec;  // original spec (output path re-derived per attempt)
+    mr::ExecutionMode mode = mr::ExecutionMode::kDPlus;
+    sim::SimTime submit_time;
+    CompletionCallback on_complete;
+    std::shared_ptr<mr::AmBase> am;
+    int resubmits = 0;
+    bool record_winner = true;
+  };
+
   void run_on_slot(const mr::JobSpec& spec, mr::ExecutionMode mode, const AmPool::Slot& slot,
-                   sim::SimTime submit_time, CompletionCallback on_complete, bool record_winner);
+                   sim::SimTime submit_time, CompletionCallback on_complete, bool record_winner,
+                   int resubmits = 0);
+  void on_slot_lost(int index);
   mr::JobSpec spec_copy(const mr::JobSpec& spec, mr::ExecutionMode mode);
   void run_speculative(const mr::JobSpec& spec, sim::SimTime submit_time,
                        CompletionCallback on_complete);
@@ -100,6 +124,7 @@ class MRapidFramework {
   };
   std::deque<WaitingJob> waiting_jobs_;  // pool exhausted
   std::vector<std::shared_ptr<SpeculativeRace>> races_;  // keep alive
+  std::unordered_map<int, std::shared_ptr<ActiveJob>> active_jobs_;  // by slot index
 };
 
 }  // namespace mrapid::core

@@ -61,6 +61,13 @@ BandwidthResource::TransferId BandwidthResource::start(Bytes bytes, double conte
   return id;
 }
 
+void BandwidthResource::set_capacity(Rate capacity) {
+  assert(capacity.valid());
+  advance_progress();
+  capacity_ = capacity;
+  replan();
+}
+
 bool BandwidthResource::cancel(TransferId id) {
   advance_progress();
   auto it = std::find_if(transfers_.begin(), transfers_.end(),

@@ -53,6 +53,11 @@ class BandwidthResource {
 
   std::size_t active_transfers() const { return transfers_.size(); }
   Rate capacity() const { return capacity_; }
+
+  // Re-rates the resource mid-flight (fault injection: degraded disks
+  // and CPUs on straggler nodes). In-flight transfers keep their
+  // progress and continue at the new shared rate.
+  void set_capacity(Rate capacity);
   const std::string& name() const { return name_; }
 
   // Rate of a hypothetical transfer with the default contention

@@ -19,6 +19,7 @@ const char* trace_category_name(TraceCategory category) {
     case TraceCategory::kNet: return "net";
     case TraceCategory::kHeartbeat: return "heartbeat";
     case TraceCategory::kPool: return "pool";
+    case TraceCategory::kFault: return "fault";
   }
   return "?";
 }

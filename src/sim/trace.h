@@ -45,6 +45,7 @@ enum class TraceCategory : std::uint32_t {
   kNet = 1u << 6,        // raw network flows
   kHeartbeat = 1u << 7,  // NM heartbeats
   kPool = 1u << 8,       // AM pool slot lifecycle
+  kFault = 1u << 9,      // fault injections and recovery milestones
 };
 
 inline constexpr std::uint32_t kTraceAll = 0xFFFFFFFFu;
@@ -57,7 +58,8 @@ inline constexpr std::uint32_t kTraceGolden =
     static_cast<std::uint32_t>(TraceCategory::kTask) |
     static_cast<std::uint32_t>(TraceCategory::kShuffle) |
     static_cast<std::uint32_t>(TraceCategory::kHdfs) |
-    static_cast<std::uint32_t>(TraceCategory::kPool);
+    static_cast<std::uint32_t>(TraceCategory::kPool) |
+    static_cast<std::uint32_t>(TraceCategory::kFault);
 
 const char* trace_category_name(TraceCategory category);
 

@@ -2,9 +2,11 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace mrapid::sim {
 
@@ -21,6 +23,7 @@ struct ContainerState {
   bool allocated = false;
   bool launched = false;
   bool released = false;
+  bool lost = false;
   std::int64_t node = -1;
   Resources resource;
 };
@@ -59,6 +62,7 @@ class Checker {
 
  private:
   void dispatch(const TraceEvent& event) {
+    check_crash_silence(event);
     if (event.name == "node.capacity") {
       capacity_[event.arg_or("node", -1)] = {event.arg_or("vcores", 0), event.arg_or("mem", 0)};
     } else if (event.name == "container.allocated") {
@@ -67,8 +71,41 @@ class Checker {
       on_launched(event);
     } else if (event.name == "container.released") {
       on_released(event);
+    } else if (event.name == "container.lost") {
+      on_lost(event);
+    } else if (event.name == "fault.node_crash") {
+      crashed_.emplace(event.arg_or("node", -1), event.time_us);
+    } else if (event.name == "map.lost") {
+      // The floor below which map attempts are now stale; recovery must
+      // reschedule at or above it (checked in finish()).
+      std::int64_t& floor = lost_maps_[task_key(event)];
+      floor = std::max(floor, event.arg_or("attempt", 0));
+    } else if (event.name == "map.scheduled") {
+      auto it = lost_maps_.find(task_key(event));
+      if (it != lost_maps_.end() && event.arg_or("attempt", 0) >= it->second) {
+        lost_maps_.erase(it);
+      }
+    } else if (event.name == "job.failed") {
+      failed_jobs_.insert(std::to_string(event.arg_or("app", -1)) + "|" +
+                          std::to_string(event.arg_or("job", 0)));
+    } else if (event.name == "job.abandoned" || event.name == "app.am_failed") {
+      failed_apps_.insert(event.arg_or("app", -1));
+    } else if (event.name == "app.am_restart") {
+      // A fresh AM attempt restarts the app's task namespace: the old
+      // attempt's task state died with its container, so attempt
+      // numbers legitimately begin again at zero.
+      const std::int64_t app = event.arg_or("app", -1);
+      const std::string prefix = std::to_string(app) + "|";
+      erase_app(maps_, prefix);
+      erase_app(reduces_, prefix);
+      erase_app(lost_maps_, prefix);
+      failed_apps_.erase(app);
     } else if (event.name == "map.start") {
       on_phase(event, map_key(event), TaskPhase::kStarted);
+      auto it = lost_maps_.find(task_key(event));
+      if (it != lost_maps_.end() && event.arg_or("attempt", 0) >= it->second) {
+        lost_maps_.erase(it);
+      }
     } else if (event.name == "map.done" || event.name == "map.failed") {
       on_phase(event, map_key(event), TaskPhase::kEnded);
     } else if (event.name == "map.spill" || event.name == "map.cached") {
@@ -167,6 +204,60 @@ class Checker {
     it->second.launched = true;
   }
 
+  bool crashed_before(std::int64_t node, std::int64_t time_us) const {
+    auto it = crashed_.find(node);
+    // Strictly before: events at the crash instant itself were already
+    // committed when the injection fired and are tolerated.
+    return it != crashed_.end() && it->second < time_us;
+  }
+
+  // Post-crash silence: once a node crashed, nothing may run on it —
+  // no container launch, no task phase, no shuffle fetch touching it.
+  // (Recovery bookkeeping like container.lost / fault.* is exempt.)
+  void check_crash_silence(const TraceEvent& event) {
+    if (crashed_.empty()) return;
+    const bool node_activity =
+        event.name == "container.launched" || event.name == "map.start" ||
+        event.name == "map.done" || event.name == "map.failed" ||
+        event.name == "reduce.start" || event.name == "reduce.done";
+    if (node_activity && crashed_before(event.arg_or("node", -1), event.time_us)) {
+      fail(event, "activity on crashed node %" PRId64, event.arg_or("node", -1));
+    }
+    if (event.name == "shuffle.fetch") {
+      if (crashed_before(event.arg_or("src", -1), event.time_us)) {
+        fail(event, "shuffle fetch from crashed node %" PRId64, event.arg_or("src", -1));
+      }
+      if (crashed_before(event.arg_or("dst", -1), event.time_us)) {
+        fail(event, "shuffle fetch on crashed node %" PRId64, event.arg_or("dst", -1));
+      }
+    }
+  }
+
+  void on_lost(const TraceEvent& event) {
+    const std::int64_t id = event.arg_or("id", -1);
+    auto it = containers_.find(id);
+    if (it == containers_.end() || !it->second.allocated) {
+      fail(event, "container %" PRId64 " lost before allocation", id);
+      return;
+    }
+    ContainerState& state = it->second;
+    if (state.released || state.lost) {
+      fail(event, "container %" PRId64 " lost after release/loss", id);
+      return;
+    }
+    // Loss is terminal and frees the node's resources; a later release
+    // of the same container is the double-free the released flag traps.
+    state.released = true;
+    state.lost = true;
+    Resources& used = used_[state.node];
+    used.vcores -= state.resource.vcores;
+    used.mem -= state.resource.mem;
+    if (used.vcores < 0 || used.mem < 0) {
+      fail(event, "node %" PRId64 " usage went negative (%" PRId64 "c/%" PRId64 "mb)",
+           state.node, used.vcores, used.mem);
+    }
+  }
+
   void on_released(const TraceEvent& event) {
     const std::int64_t id = event.arg_or("id", -1);
     auto it = containers_.find(id);
@@ -176,7 +267,9 @@ class Checker {
     }
     ContainerState& state = it->second;
     if (state.released) {
-      fail(event, "container %" PRId64 " released twice", id);
+      fail(event, state.lost ? "container %" PRId64 " released after loss"
+                             : "container %" PRId64 " released twice",
+           id);
       return;
     }
     state.released = true;
@@ -213,6 +306,27 @@ class Checker {
         if (!state.done) append("flow " + std::to_string(id) + " never completed");
       }
     }
+    // Every written-off map must have been rescheduled — unless its job
+    // terminally failed or the attempt itself was abandoned with its AM.
+    for (const auto& [key, floor] : lost_maps_) {
+      const std::string app_job = key.substr(0, key.rfind('|'));
+      if (failed_jobs_.count(app_job) > 0) continue;
+      const std::int64_t app = std::strtoll(key.c_str(), nullptr, 10);
+      if (failed_apps_.count(app) > 0) continue;
+      append("map " + key + " lost (floor attempt " + std::to_string(floor) +
+             ") but never rescheduled");
+    }
+  }
+
+  template <typename Map>
+  static void erase_app(Map& map, const std::string& prefix) {
+    for (auto it = map.begin(); it != map.end();) {
+      if (it->first.rfind(prefix, 0) == 0) {
+        it = map.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 
   static std::string map_key(const TraceEvent& event) {
@@ -222,10 +336,18 @@ class Checker {
            std::to_string(event.arg_or("attempt", 0));
   }
 
+  // Without the attempt component: names the task, not one attempt.
+  static std::string task_key(const TraceEvent& event) {
+    return std::to_string(event.arg_or("app", -1)) + "|" +
+           std::to_string(event.arg_or("job", 0)) + "|" +
+           std::to_string(event.arg_or("task", -1));
+  }
+
   static std::string reduce_key(const TraceEvent& event) {
     return std::to_string(event.arg_or("app", -1)) + "|" +
            std::to_string(event.arg_or("job", 0)) + "|" +
-           std::to_string(event.arg_or("partition", -1));
+           std::to_string(event.arg_or("partition", -1)) + "|" +
+           std::to_string(event.arg_or("attempt", 0));
   }
 
   void append(std::string message) {
@@ -251,6 +373,10 @@ class Checker {
   std::unordered_map<std::string, ReduceState> reduces_;
   std::unordered_map<std::int64_t, std::int64_t> blocks_;
   std::unordered_map<std::int64_t, FlowState> flows_;
+  std::unordered_map<std::int64_t, std::int64_t> crashed_;  // node -> crash time (us)
+  std::unordered_map<std::string, std::int64_t> lost_maps_;  // task_key -> floor
+  std::unordered_set<std::string> failed_jobs_;          // "app|job"
+  std::unordered_set<std::int64_t> failed_apps_;         // abandoned / am-failed
 };
 
 }  // namespace

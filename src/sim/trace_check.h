@@ -22,7 +22,15 @@
 //   - HDFS byte conservation: every block read moves exactly the byte
 //     count the block was created with;
 //   - network flows: a flow completion always matches a started flow
-//     and never delivers a different byte count.
+//     and never delivers a different byte count;
+//   - container loss: a lost container (node death) is terminal — it
+//     frees its node's resources and must never be released, launched
+//     or lost again afterwards;
+//   - post-crash silence: after a fault.node_crash, no task runs, no
+//     container launches and no shuffle fetch reads on/from that node;
+//   - loss recovery: every map attempt written off (map.lost) is
+//     eventually rescheduled at or above the invalidation floor, or
+//     its job terminally fails / is abandoned.
 //
 // Traces may legitimately end mid-flight (pool AMs keep their reserved
 // containers, a stopped simulation strands heartbeats), so "everything

@@ -12,7 +12,7 @@ void HadoopCapacityScheduler::on_container_request(std::vector<Ask> asks) {
 void HadoopCapacityScheduler::on_node_update(cluster::NodeId node) {
   assert(context_ != nullptr);
   NodeState* state = context_->node_state(node);
-  if (state == nullptr) return;
+  if (state == nullptr || !state->schedulable()) return;
   // Greedy packing: serve the FIFO head as long as it fits here.
   while (!queue_.empty() && queue_.front().capability.fits_in(state->available())) {
     Ask ask = std::move(queue_.front());

@@ -36,6 +36,22 @@ struct YarnConfig {
 
   // Memory the NM keeps back for daemons.
   std::int64_t nm_memory_reserve_mb = 1024;
+
+  // ---- liveness / fault recovery (off unless a FaultPlan is active) --
+  // When true the RM tracks per-NM heartbeat recency and expires nodes
+  // whose last beat is older than `nm_expiry`
+  // (yarn.nm.liveness-monitor.expiry-interval-ms; Hadoop's default is
+  // 10 minutes — shortened here so short-job scenarios see recovery
+  // inside their deadline).
+  bool track_liveness = false;
+  sim::SimDuration nm_expiry = sim::SimDuration::seconds(10.0);
+  // A node that expired this many times is blacklisted (failure-aware
+  // scheduling a la ATLAS): schedulers stop placing work on it even if
+  // it rejoins.
+  int node_blacklist_threshold = 2;
+  // Total AM attempts per application, first launch included
+  // (mapreduce.am.max-attempts). Exhausting it fails the app cleanly.
+  int am_max_attempts = 2;
 };
 
 }  // namespace mrapid::yarn

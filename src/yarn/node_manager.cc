@@ -1,5 +1,6 @@
 #include "yarn/node_manager.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/log.h"
@@ -43,9 +44,42 @@ void NodeManager::heartbeat() {
       sim_.schedule_after(config_.nm_heartbeat, [this] { heartbeat(); }, "nm:heartbeat");
 }
 
+void NodeManager::crash() {
+  crashed_ = true;
+  if (heartbeat_event_.valid()) {
+    sim_.cancel(heartbeat_event_);
+    heartbeat_event_ = sim::EventId{};
+  }
+}
+
+void NodeManager::pause_heartbeats(sim::SimDuration duration) {
+  if (crashed_ || !started_) return;
+  if (heartbeat_event_.valid()) sim_.cancel(heartbeat_event_);
+  heartbeat_event_ = sim_.schedule_after(duration, [this] { heartbeat(); }, "nm:heartbeat");
+}
+
+std::vector<Container> NodeManager::take_running() {
+  std::vector<Container> out;
+  out.reserve(running_.size());
+  for (const auto& [id, container] : running_) out.push_back(container);
+  running_.clear();
+  std::sort(out.begin(), out.end(),
+            [](const Container& a, const Container& b) { return a.id < b.id; });
+  return out;
+}
+
 void NodeManager::launch_container(const Container& container, std::function<void()> on_running,
                                    sim::SimDuration extra_init) {
   assert(container.node == node_);
+  if (crashed_) {
+    // startContainer RPC into a dead node: the JVM never comes up.
+    // Report the container lost once the RPC would have timed out so
+    // the AM re-requests elsewhere.
+    sim_.schedule_after(config_.rpc_latency + config_.container_launch,
+                        [this, container] { rm_.report_launch_failure(container); },
+                        "nm:launch-dead");
+    return;
+  }
   running_.emplace(container.id, container);
   ++launched_total_;
   MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.launched",

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "sim/simulation.h"
@@ -46,6 +47,19 @@ class NodeManager {
   // Total containers ever launched here (imbalance metrics).
   std::size_t launched_total() const { return launched_total_; }
 
+  // ---- fault injection ------------------------------------------------
+  // Node death: heartbeats stop for good; launch_container() on a
+  // crashed NM reports the container lost to the RM after the RPC
+  // timeout instead of ever starting it.
+  void crash();
+  bool crashed() const { return crashed_; }
+  // Heartbeat loss: the node keeps running but goes silent; the next
+  // beat fires after `duration` (and resumes the normal period).
+  void pause_heartbeats(sim::SimDuration duration);
+  // RM resync after expiry: hand over (and forget) every container
+  // this NM still believes is running, in container-id order.
+  std::vector<Container> take_running();
+
  private:
   void heartbeat();
 
@@ -58,6 +72,7 @@ class NodeManager {
   std::size_t launched_total_ = 0;
   sim::EventId heartbeat_event_{};
   bool started_ = false;
+  bool crashed_ = false;
 };
 
 }  // namespace mrapid::yarn

@@ -1,5 +1,6 @@
 #include "yarn/resource_manager.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/log.h"
@@ -52,12 +53,37 @@ void ResourceManager::start() {
                                  static_cast<std::int64_t>(workers.size()));
     nm->start(offset);
     node_managers_.emplace(node, std::move(nm));
+    last_heartbeat_[node] = sim_.now();
+  }
+  if (config_.track_liveness) {
+    // The liveness monitor polls at a quarter of the expiry interval,
+    // so a silent node is expired within [nm_expiry, 1.25 * nm_expiry)
+    // of its last beat.
+    liveness_event_ = sim_.schedule_after(
+        sim::SimDuration::micros(config_.nm_expiry.as_micros() / 4),
+        [this] { liveness_check(); }, "rm:liveness");
   }
 }
 
 void ResourceManager::stop() {
   for (auto& [id, nm] : node_managers_) nm->stop();
+  if (liveness_event_.valid()) {
+    sim_.cancel(liveness_event_);
+    liveness_event_ = sim::EventId{};
+  }
   started_ = false;
+}
+
+void ResourceManager::liveness_check() {
+  for (auto& state : node_states_) {
+    if (!state.alive) continue;
+    if (sim_.now() - last_heartbeat_[state.id] >= config_.nm_expiry) {
+      expire_node(state.id);
+    }
+  }
+  liveness_event_ = sim_.schedule_after(
+      sim::SimDuration::micros(config_.nm_expiry.as_micros() / 4),
+      [this] { liveness_check(); }, "rm:liveness");
 }
 
 ResourceManager::AppRecord* ResourceManager::app(AppId id) {
@@ -96,6 +122,11 @@ AppId ResourceManager::submit_application(std::string name, AmReadyCallback on_a
   MRAPID_TRACE(sim_, sim::TraceCategory::kApp, "app.submitted", {"app", id},
                {"name", apps_.at(id).name});
   // Submission RPC, then the AM container ask enters the scheduler.
+  submit_am_ask(id, "rm:submit");
+  return id;
+}
+
+void ResourceManager::submit_am_ask(AppId id, const char* label) {
   sim_.schedule_after(config_.rpc_latency, [this, id] {
     AppRecord* record = app(id);
     if (record == nullptr || record->finished) return;
@@ -106,8 +137,7 @@ AppId ResourceManager::submit_application(std::string name, AmReadyCallback on_a
     std::vector<Ask> asks{ask};
     trace_asks(sim_, asks);
     scheduler_->on_container_request(std::move(asks));
-  }, "rm:submit");
-  return id;
+  }, label);
 }
 
 void ResourceManager::deliver_allocation(const Allocation& allocation) {
@@ -129,9 +159,12 @@ void ResourceManager::deliver_allocation(const Allocation& allocation) {
     const AppId id = record->id;
     node_manager(allocation.container.node)
         .launch_container(allocation.container,
-                          [this, id] {
+                          [this, id, cid = allocation.container.id] {
                             AppRecord* r = app(id);
                             if (r == nullptr || r->finished) return;
+                            // Stale launch: the app moved on to a new
+                            // AM attempt while this JVM was coming up.
+                            if (r->am_container.id != cid) return;
                             r->am_running = true;
                             LOG_INFO("rm", "app %d AM running on node %d", id,
                                      r->am_container.node);
@@ -188,12 +221,167 @@ void ResourceManager::on_nm_heartbeat(cluster::NodeId node) {
   MRAPID_TRACE(sim_, sim::TraceCategory::kHeartbeat, "nm.heartbeat", {"node", node});
   NodeState* state = node_state(node);
   assert(state != nullptr);
+  if (config_.track_liveness) {
+    last_heartbeat_[node] = sim_.now();
+    if (!state->alive) {
+      // A silent-but-running node came back. Its containers were
+      // requeued at expiry, so the resync tells the NM to discard
+      // everything and the node rejoins empty (real YARN kills
+      // unknown containers on RM resync).
+      state->alive = true;
+      state->used = Resource{};
+      state->pending_release = Resource{};
+      node_manager(node).take_running();
+      MRAPID_TRACE(sim_, sim::TraceCategory::kFault, "node.rejoined", {"node", node});
+    }
+  }
   if (!state->pending_release.is_zero()) {
     state->used = state->used - state->pending_release;
     state->pending_release = Resource{};
     assert(state->used.vcores >= 0 && state->used.memory_mb >= 0);
   }
   scheduler_->on_node_update(node);
+}
+
+void ResourceManager::expire_node(cluster::NodeId node) {
+  NodeState* state = node_state(node);
+  assert(state != nullptr);
+  if (!state->alive) return;
+  state->alive = false;
+  ++state->failures;
+  LOG_INFO("rm", "node %d expired (failure #%d)", node, state->failures);
+  MRAPID_TRACE(sim_, sim::TraceCategory::kFault, "node.expired", {"node", node},
+               {"failures", state->failures});
+  if (!state->blacklisted && state->failures >= config_.node_blacklist_threshold) {
+    state->blacklisted = true;
+    MRAPID_TRACE(sim_, sim::TraceCategory::kFault, "node.blacklisted", {"node", node});
+  }
+  // The RM's resource view of a dead node is void.
+  state->used = Resource{};
+  state->pending_release = Resource{};
+  // Requeue what the node was running: task containers first, AM
+  // containers after — an AM-loss handler resubmits the AM ask, and
+  // that ask must not race its own app's dead task containers.
+  const auto lost = node_manager(node).take_running();
+  std::vector<Container> lost_ams;
+  for (const Container& container : lost) {
+    const AppRecord* record = app(container.app);
+    if (record != nullptr && !record->finished && record->am_container.id == container.id) {
+      lost_ams.push_back(container);
+    } else {
+      notify_container_lost(container);
+    }
+  }
+  for (const Container& container : lost_ams) {
+    MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.lost",
+                 {"id", container.id}, {"app", container.app}, {"node", container.node});
+    handle_am_loss(container);
+  }
+}
+
+void ResourceManager::notify_container_lost(const Container& container) {
+  MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.lost",
+               {"id", container.id}, {"app", container.app}, {"node", container.node});
+  AppRecord* record = app(container.app);
+  if (record == nullptr || record->finished) return;
+  if (record->on_container_lost) record->on_container_lost(container);
+}
+
+void ResourceManager::handle_am_loss(const Container& container) {
+  AppRecord* record = app(container.app);
+  if (record == nullptr || record->finished) return;
+  LOG_INFO("rm", "app %d lost its AM (attempt %d) on node %d", record->id,
+           record->am_attempts, container.node);
+  MRAPID_TRACE(sim_, sim::TraceCategory::kFault, "am.lost", {"app", record->id},
+               {"node", container.node}, {"attempt", record->am_attempts});
+  record->am_running = false;
+  record->am_container = Container{};
+  // Everything the dead AM asked for or had not yet picked up is void.
+  scheduler_->cancel_asks(record->id);
+  for (const auto& allocation : record->pending) release_container(allocation.container);
+  record->pending.clear();
+  if (record->on_am_lost) record->on_am_lost();
+  if (record->am_attempts >= config_.am_max_attempts) {
+    MRAPID_TRACE(sim_, sim::TraceCategory::kApp, "app.am_failed", {"app", record->id},
+                 {"attempts", record->am_attempts});
+    const auto on_failed = record->on_am_failed;
+    finish_application(record->id);
+    if (on_failed) on_failed();
+    return;
+  }
+  ++record->am_attempts;
+  MRAPID_TRACE(sim_, sim::TraceCategory::kApp, "app.am_restart", {"app", record->id},
+               {"attempt", record->am_attempts});
+  record->am_ask = new_ask_id();
+  submit_am_ask(record->id, "rm:am-restart");
+}
+
+void ResourceManager::report_launch_failure(const Container& container) {
+  NodeState* state = node_state(container.node);
+  if (state != nullptr && state->alive) {
+    // The node has not expired yet; un-account the container the
+    // scheduler charged at allocation (the NM never started it).
+    state->used = state->used - container.resource;
+    assert(state->used.vcores >= 0 && state->used.memory_mb >= 0);
+  }
+  AppRecord* record = app(container.app);
+  if (record != nullptr && !record->finished && record->am_container.id == container.id) {
+    MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.lost",
+                 {"id", container.id}, {"app", container.app}, {"node", container.node});
+    handle_am_loss(container);
+    return;
+  }
+  notify_container_lost(container);
+}
+
+void ResourceManager::set_container_lost_handler(AppId id,
+                                                 std::function<void(const Container&)> handler) {
+  AppRecord* record = app(id);
+  assert(record != nullptr);
+  record->on_container_lost = std::move(handler);
+}
+
+void ResourceManager::set_am_lost_handler(AppId id, std::function<void()> handler) {
+  AppRecord* record = app(id);
+  assert(record != nullptr);
+  record->on_am_lost = std::move(handler);
+}
+
+void ResourceManager::set_am_failure_handler(AppId id, std::function<void()> handler) {
+  AppRecord* record = app(id);
+  assert(record != nullptr);
+  record->on_am_failed = std::move(handler);
+}
+
+void ResourceManager::kill_container(const Container& container) {
+  // Fault injection: the container's JVM dies on an otherwise healthy
+  // node, so the NM notices the exit and the resources free on its
+  // next heartbeat, like a normal release.
+  node_manager(container.node).stop_container(container.id);
+  NodeState* state = node_state(container.node);
+  if (state != nullptr && state->alive) {
+    state->pending_release = state->pending_release + container.resource;
+  }
+  AppRecord* record = app(container.app);
+  const bool is_am = record != nullptr && !record->finished &&
+                     record->am_container.id == container.id;
+  if (is_am) {
+    MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.lost",
+                 {"id", container.id}, {"app", container.app}, {"node", container.node});
+    handle_am_loss(container);
+  } else {
+    notify_container_lost(container);
+  }
+}
+
+std::vector<Container> ResourceManager::running_am_containers() const {
+  std::vector<Container> out;
+  for (const auto& [id, record] : apps_) {
+    if (!record.finished && record.am_running) out.push_back(record.am_container);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Container& a, const Container& b) { return a.app < b.app; });
+  return out;
 }
 
 }  // namespace mrapid::yarn

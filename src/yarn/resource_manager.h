@@ -54,6 +54,28 @@ class ResourceManager : public SchedulerContext {
 
   // ---- NM API -----------------------------------------------------
   void on_nm_heartbeat(cluster::NodeId node);
+  // A startContainer RPC that never reached a live NM (the node died
+  // before the launch): un-account the container and notify its owner.
+  void report_launch_failure(const Container& container);
+
+  // ---- Fault recovery ---------------------------------------------
+  // Per-app notification hooks, registered by the AM / client layers.
+  // `container lost` fires for every non-AM container that disappears
+  // with a node; an AM loss instead triggers AM re-execution (up to
+  // config().am_max_attempts, re-firing on_am_ready) and calls the
+  // am-lost hook so the owner can abandon the dead attempt — or, when
+  // attempts are exhausted, fails the app and calls the failure hook.
+  void set_container_lost_handler(AppId app, std::function<void(const Container&)> handler);
+  void set_am_lost_handler(AppId app, std::function<void()> handler);
+  void set_am_failure_handler(AppId app, std::function<void()> handler);
+
+  // Fault injection: kill one running container on a healthy node.
+  void kill_container(const Container& container);
+  // Expire a node now: mark it dead, requeue everything it ran. The
+  // liveness monitor calls this when heartbeats stop for nm_expiry.
+  void expire_node(cluster::NodeId node);
+  // AM containers currently running, in app-id order (kill victims).
+  std::vector<Container> running_am_containers() const;
 
   // ---- Introspection ---------------------------------------------
   NodeManager& node_manager(cluster::NodeId node);
@@ -79,9 +101,17 @@ class ResourceManager : public SchedulerContext {
     Container am_container;
     AmReadyCallback on_am_ready;
     std::vector<Allocation> pending;  // waiting for the AM's next heartbeat
+    int am_attempts = 1;              // AM launches so far, first included
+    std::function<void(const Container&)> on_container_lost;
+    std::function<void()> on_am_lost;
+    std::function<void()> on_am_failed;
   };
 
   AppRecord* app(AppId id);
+  void submit_am_ask(AppId id, const char* label);
+  void notify_container_lost(const Container& container);
+  void handle_am_loss(const Container& container);
+  void liveness_check();
 
   cluster::Cluster& cluster_;
   sim::Simulation& sim_;
@@ -94,6 +124,8 @@ class ResourceManager : public SchedulerContext {
   ContainerId next_container_id_ = 1;
   AskId next_ask_id_ = 1;
   bool started_ = false;
+  std::unordered_map<cluster::NodeId, sim::SimTime> last_heartbeat_;
+  sim::EventId liveness_event_{};
 };
 
 }  // namespace mrapid::yarn

@@ -29,7 +29,16 @@ struct NodeState {
   // schedulable view lags by up to one NM heartbeat.
   Resource pending_release;
 
+  // Liveness view (fault injection): a node whose heartbeats stopped
+  // long enough is expired (!alive) and its containers requeued; one
+  // that expired `node_blacklist_threshold` times is blacklisted and
+  // never scheduled again even after it rejoins.
+  bool alive = true;
+  bool blacklisted = false;
+  int failures = 0;
+
   Resource available() const { return capacity - used; }
+  bool schedulable() const { return alive && !blacklisted; }
 };
 
 // Services the RM exposes to its scheduler.

@@ -69,6 +69,28 @@ std::unique_ptr<wl::Workload> make_workload(const std::string& workload) {
   return std::make_unique<wl::Pi>(params);
 }
 
+// Shared tail of every golden test: rewrite the file in update mode
+// (failing so CI can't bless a drift), byte-compare otherwise.
+void compare_or_update(const std::string& text, const std::string& path) {
+  if (update_mode()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << text;
+    out.close();
+    FAIL() << "GOLDEN_UPDATE=1: rewrote " << path
+           << " — review the diff, commit, and re-run without GOLDEN_UPDATE";
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (generate with GOLDEN_UPDATE=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  ASSERT_EQ(text, expected.str())
+      << "trace drifted from " << path
+      << " — if the behaviour change is intentional, refresh with GOLDEN_UPDATE=1";
+}
+
 struct GoldenCase {
   const char* workload;
   RunMode mode;
@@ -96,25 +118,7 @@ TEST_P(GoldenTrace, MatchesCheckedInTrace) {
   ASSERT_TRUE(violations.empty()) << sim::violations_to_string(violations);
 
   const std::string text = sim::canonical_text(tracer.events());
-  const std::string path = golden_path(std::string(c.workload) + "_" + c.mode_tag);
-
-  if (update_mode()) {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    ASSERT_TRUE(out) << "cannot write " << path;
-    out << text;
-    out.close();
-    FAIL() << "GOLDEN_UPDATE=1: rewrote " << path
-           << " — review the diff, commit, and re-run without GOLDEN_UPDATE";
-  }
-
-  std::ifstream in(path, std::ios::binary);
-  ASSERT_TRUE(in) << "missing golden file " << path
-                  << " (generate with GOLDEN_UPDATE=1)";
-  std::ostringstream expected;
-  expected << in.rdbuf();
-  ASSERT_EQ(text, expected.str())
-      << "trace drifted from " << path
-      << " — if the behaviour change is intentional, refresh with GOLDEN_UPDATE=1";
+  compare_or_update(text, golden_path(std::string(c.workload) + "_" + c.mode_tag));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -131,6 +135,47 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<GoldenCase>& info) {
       return std::string(info.param.workload) + "_" + info.param.mode_tag;
     });
+
+// Fault-recovery golden: the node running both maps crashes mid-map
+// (see wordcount_hadoop.trace for where and when the maps run), and
+// the checked-in trace pins the whole recovery arc byte for byte —
+// crash, liveness expiry, container write-off, map requeue,
+// re-execution on surviving nodes, correct completion.
+TEST(GoldenTrace, WordCountNodeCrashRecovery) {
+  auto workload = make_workload("wordcount");
+  harness::WorldConfig config;
+  config.yarn.nm_expiry = sim::SimDuration::seconds(3.0);
+  harness::FaultSpec crash;
+  crash.kind = harness::FaultKind::kNodeCrash;
+  crash.node = 3;
+  crash.at = sim::SimDuration::micros(5'800'000);  // both maps are running
+  config.faults.events.push_back(crash);
+
+  harness::World world(config, RunMode::kHadoop);
+  sim::Tracer tracer(sim::kTraceGolden);
+  world.attach_tracer(tracer);
+  auto result = world.run(*workload);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->succeeded);
+
+  const auto violations = sim::check_trace(tracer.events());
+  ASSERT_TRUE(violations.empty()) << sim::violations_to_string(violations);
+
+  // The scenario must actually exercise the arc before pinning it.
+  bool crashed = false, expired = false, container_lost = false, map_lost = false;
+  for (const auto& event : tracer.events()) {
+    crashed |= event.name == "fault.node_crash";
+    expired |= event.name == "node.expired";
+    container_lost |= event.name == "container.lost";
+    map_lost |= event.name == "map.lost";
+  }
+  ASSERT_TRUE(crashed && expired && container_lost && map_lost)
+      << "crash scenario lost its teeth: crash=" << crashed << " expired=" << expired
+      << " container_lost=" << container_lost << " map_lost=" << map_lost;
+
+  compare_or_update(sim::canonical_text(tracer.events()),
+                    golden_path("wordcount_crash_hadoop"));
+}
 
 // Same seed, two fresh worlds: the recorded traces must be
 // byte-identical — the foundation the golden files stand on.

@@ -1,0 +1,445 @@
+// Node-level fault injection: the fault matrix. Every fault class
+// ({node crash, heartbeat loss, slow-node straggler, AM kill}) is run
+// against every execution mode ({Hadoop, Uber, D+, U+}); each cell
+// must recover to a bit-correct WordCount result and a trace that
+// passes every invariant checker, including the fault-specific ones
+// (post-crash silence, loss recovery).
+//
+// Injection points are not guessed: each cell first runs the same
+// (config, seed, workload) cleanly, reads where and when map work
+// actually happened from the trace, and aims the fault there. The
+// simulation is deterministic, so the faulty run behaves identically
+// up to the injection instant.
+//
+// Plus targeted scenarios: blacklisting after repeated expiries, AM
+// attempt exhaustion -> clean failure, pool resubmission caps, the
+// zero-rate determinism guarantee, and recovery bookkeeping in the
+// job profile.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cluster/azure.h"
+#include "harness/world.h"
+#include "sim/trace.h"
+#include "sim/trace_check.h"
+#include "workloads/wordcount.h"
+
+namespace mrapid::harness {
+namespace {
+
+constexpr RunMode kModes[] = {RunMode::kHadoop, RunMode::kUber, RunMode::kDPlus,
+                              RunMode::kUPlus};
+constexpr FaultKind kKinds[] = {FaultKind::kNodeCrash, FaultKind::kHeartbeatLoss,
+                                FaultKind::kStraggler, FaultKind::kAmKill};
+
+wl::WordCountParams wc_params(int files = 6, Bytes size = 1_MB) {
+  wl::WordCountParams params;
+  params.num_files = static_cast<std::size_t>(files);
+  params.bytes_per_file = size;
+  return params;
+}
+
+// Short expiry so crash -> expiry -> requeue -> completion fits well
+// inside the deadline.
+WorldConfig fault_config(std::uint64_t seed = 0x5EED) {
+  WorldConfig config;
+  config.yarn.nm_expiry = sim::SimDuration::seconds(3.0);
+  config.seed = seed;
+  return config;
+}
+
+// What a clean run of (config, mode, workload) looks like: when the
+// system was ready, how long the job took, where the maps ran and the
+// AM sat. FaultSpec times are measured from arm() (= boot end), so
+// targets below are boot-relative.
+struct Probe {
+  std::int64_t boot_end_us = 0;
+  std::int64_t span_us = 0;           // boot end -> client completion
+  double elapsed_seconds = 0;
+  cluster::NodeId map_node = cluster::kInvalidNode;  // busiest map node
+  std::int64_t first_map_us = 0;      // boot-relative first map.start there
+  cluster::NodeId am_node = cluster::kInvalidNode;
+};
+
+Probe probe_clean(const WorldConfig& config, RunMode mode, wl::WordCount& wc,
+                  bool avoid_am_node = false) {
+  World world(config, mode);
+  sim::Tracer tracer;
+  world.attach_tracer(tracer);
+  world.boot();
+  Probe probe;
+  probe.boot_end_us = world.simulation().now().as_micros();
+  auto result = world.run(wc);
+  EXPECT_TRUE(result.has_value() && result->succeeded) << "clean probe run failed";
+  probe.span_us = world.simulation().now().as_micros() - probe.boot_end_us;
+  if (result) probe.elapsed_seconds = result->profile.elapsed_seconds();
+
+  std::map<std::int64_t, int> counts;
+  std::map<std::int64_t, std::int64_t> first_start;
+  for (const auto& event : tracer.events()) {
+    if (probe.am_node == cluster::kInvalidNode && event.name == "container.allocated") {
+      probe.am_node = static_cast<cluster::NodeId>(event.arg_or("node", -1));
+    }
+    if (event.name != "map.start") continue;
+    const std::int64_t node = event.arg_or("node", -1);
+    ++counts[node];
+    first_start.emplace(node, event.time_us);
+  }
+  if (avoid_am_node && counts.size() > 1) counts.erase(probe.am_node);
+  int best = -1;
+  for (const auto& [node, count] : counts) {
+    if (count > best) {
+      best = count;
+      probe.map_node = static_cast<cluster::NodeId>(node);
+      probe.first_map_us = first_start[node] - probe.boot_end_us;
+    }
+  }
+  EXPECT_NE(probe.map_node, cluster::kInvalidNode) << "probe saw no map.start events";
+  return probe;
+}
+
+// Aims `kind` at the probed run: node faults land on the busiest map
+// node just after its first map starts; the straggler covers the whole
+// run; the AM kill strikes mid-job.
+FaultSpec aim(FaultKind kind, const Probe& probe) {
+  FaultSpec spec;
+  spec.kind = kind;
+  spec.node = probe.map_node;
+  switch (kind) {
+    case FaultKind::kNodeCrash:
+      spec.at = sim::SimDuration::micros(probe.first_map_us + 50'000);
+      break;
+    case FaultKind::kHeartbeatLoss:
+      spec.at = sim::SimDuration::micros(probe.first_map_us + 50'000);
+      spec.duration = sim::SimDuration::seconds(8.0);  // > nm_expiry: forces an expiry
+      break;
+    case FaultKind::kStraggler:
+      spec.at = sim::SimDuration::micros(100'000);
+      spec.duration = sim::SimDuration::micros(4 * probe.span_us);
+      spec.slowdown = 4.0;
+      break;
+    case FaultKind::kAmKill:
+      spec.at = sim::SimDuration::micros(probe.span_us / 2);
+      break;
+  }
+  return spec;
+}
+
+// ---- the fault matrix ------------------------------------------------------
+
+class FaultMatrix : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FaultMatrix, RecoversToCorrectResult) {
+  const RunMode mode = kModes[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  const FaultKind kind = kKinds[static_cast<std::size_t>(std::get<1>(GetParam()))];
+  const std::string label = std::string(run_mode_name(mode)) + "/" + fault_kind_name(kind);
+
+  wl::WordCount wc(wc_params());
+  const Probe probe = probe_clean(fault_config(), mode, wc);
+
+  WorldConfig config = fault_config();
+  config.faults.events.push_back(aim(kind, probe));
+
+  World world(config, mode);
+  sim::Tracer tracer;
+  world.attach_tracer(tracer);
+  auto result = world.run(wc);
+
+  ASSERT_TRUE(result.has_value()) << label;
+  ASSERT_TRUE(result->succeeded) << label;
+  EXPECT_EQ(*wl::WordCount::result_of(*result), wc.reference_counts()) << label;
+  ASSERT_NE(world.faults(), nullptr);
+  EXPECT_EQ(world.faults()->injected(), 1) << label;
+
+  const auto violations = sim::check_trace(tracer.events());
+  EXPECT_TRUE(violations.empty()) << label << ":\n" << sim::violations_to_string(violations);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, FaultMatrix,
+                         ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 4)));
+
+// ---- targeted recovery behaviour -------------------------------------------
+
+TEST(NodeFaults, CrashedNodeIsExpiredAndItsWorkRequeued) {
+  wl::WordCount wc(wc_params(8));
+  const WorldConfig base = fault_config();
+  // Crash a node running maps that is not the AM's node, so the lost
+  // work recovers through map requeue rather than AM re-execution.
+  const Probe probe = probe_clean(base, RunMode::kHadoop, wc, /*avoid_am_node=*/true);
+  ASSERT_NE(probe.map_node, probe.am_node);
+
+  WorldConfig config = base;
+  config.faults.events.push_back(aim(FaultKind::kNodeCrash, probe));
+
+  World world(config, RunMode::kHadoop);
+  sim::Tracer tracer;
+  world.attach_tracer(tracer);
+  auto result = world.run(wc);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->succeeded);
+  EXPECT_EQ(*wl::WordCount::result_of(*result), wc.reference_counts());
+  EXPECT_GT(result->profile.lost_containers, 0u);
+
+  bool crashed = false, expired = false, lost = false, map_lost = false;
+  for (const auto& event : tracer.events()) {
+    crashed |= event.name == "fault.node_crash";
+    expired |= event.name == "node.expired";
+    lost |= event.name == "container.lost";
+    map_lost |= event.name == "map.lost";
+  }
+  EXPECT_TRUE(crashed);
+  EXPECT_TRUE(expired);
+  EXPECT_TRUE(lost);
+  EXPECT_TRUE(map_lost);
+  const yarn::NodeState* state = world.rm().node_state(probe.map_node);
+  ASSERT_NE(state, nullptr);
+  EXPECT_FALSE(state->alive);
+}
+
+TEST(NodeFaults, HeartbeatLossExpiresThenRejoins) {
+  wl::WordCount wc(wc_params());
+  const WorldConfig base = fault_config();
+  const Probe probe = probe_clean(base, RunMode::kHadoop, wc);
+
+  WorldConfig config = base;
+  config.faults.events.push_back(aim(FaultKind::kHeartbeatLoss, probe));
+
+  World world(config, RunMode::kHadoop);
+  sim::Tracer tracer;
+  world.attach_tracer(tracer);
+  auto result = world.run(wc);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->succeeded);
+  // The run may finish before the silent node resumes heartbeating;
+  // play the quiet period out so the rejoin lands.
+  world.simulation().run_until(world.simulation().now() + sim::SimDuration::seconds(30));
+
+  bool expired = false, rejoined = false;
+  for (const auto& event : tracer.events()) {
+    expired |= event.name == "node.expired";
+    rejoined |= event.name == "node.rejoined";
+  }
+  EXPECT_TRUE(expired);
+  EXPECT_TRUE(rejoined);
+  // One expiry is below the blacklist threshold; the node serves again.
+  const yarn::NodeState* state = world.rm().node_state(probe.map_node);
+  ASSERT_NE(state, nullptr);
+  EXPECT_TRUE(state->schedulable());
+}
+
+TEST(NodeFaults, RepeatedExpiriesBlacklistTheNode) {
+  wl::WordCount wc(wc_params());
+  WorldConfig config = fault_config();
+  // Two separate losses, each long enough to expire the node. The
+  // default threshold (2) trips on the second expiry.
+  FaultSpec loss = aim(FaultKind::kHeartbeatLoss, Probe{});
+  loss.node = 1;
+  loss.at = sim::SimDuration::seconds(2.0);
+  config.faults.events.push_back(loss);
+  loss.at = sim::SimDuration::seconds(20.0);
+  config.faults.events.push_back(loss);
+
+  World world(config, RunMode::kHadoop);
+  sim::Tracer tracer;
+  world.attach_tracer(tracer);
+  auto result = world.run(wc);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->succeeded);
+  // Let the second loss play out even if the job finished early.
+  world.simulation().run_until(world.simulation().now() + sim::SimDuration::seconds(40));
+
+  bool blacklisted_event = false;
+  for (const auto& event : tracer.events()) {
+    blacklisted_event |= event.name == "node.blacklisted";
+  }
+  EXPECT_TRUE(blacklisted_event);
+  const yarn::NodeState* state = world.rm().node_state(1);
+  ASSERT_NE(state, nullptr);
+  EXPECT_TRUE(state->blacklisted);
+  EXPECT_FALSE(state->schedulable());
+  EXPECT_GE(state->failures, 2);
+}
+
+TEST(NodeFaults, StragglerSlowsButNeverLosesWork) {
+  // Big enough maps that compute time matters; a 6x slowdown of the
+  // busiest map node must stretch the run without losing anything.
+  wl::WordCount wc(wc_params(6, 8_MB));
+  const WorldConfig base = fault_config();
+  const Probe probe = probe_clean(base, RunMode::kHadoop, wc);
+
+  WorldConfig config = base;
+  FaultSpec straggle = aim(FaultKind::kStraggler, probe);
+  straggle.slowdown = 6.0;
+  config.faults.events.push_back(straggle);
+
+  auto slow = run_workload(config, RunMode::kHadoop, wc);
+  ASSERT_TRUE(slow.has_value());
+  ASSERT_TRUE(slow->succeeded);
+  EXPECT_EQ(*wl::WordCount::result_of(*slow), wc.reference_counts());
+  // Degraded disks stretch the run; nothing is requeued.
+  EXPECT_GT(slow->profile.elapsed_seconds(), probe.elapsed_seconds);
+  EXPECT_EQ(slow->profile.lost_containers, 0u);
+  EXPECT_EQ(slow->profile.am_restarts, 0);
+}
+
+TEST(NodeFaults, AmKillRestartsTheJobAndShowsInProfile) {
+  wl::WordCount wc(wc_params());
+  const WorldConfig base = fault_config();
+  const Probe probe = probe_clean(base, RunMode::kHadoop, wc);
+
+  WorldConfig config = base;
+  config.faults.events.push_back(aim(FaultKind::kAmKill, probe));
+
+  World world(config, RunMode::kHadoop);
+  sim::Tracer tracer;
+  world.attach_tracer(tracer);
+  auto result = world.run(wc);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->succeeded);
+  EXPECT_EQ(*wl::WordCount::result_of(*result), wc.reference_counts());
+  EXPECT_GE(result->profile.am_restarts, 1);
+
+  bool am_lost = false, abandoned = false, restarted = false;
+  for (const auto& event : tracer.events()) {
+    am_lost |= event.name == "am.lost";
+    abandoned |= event.name == "job.abandoned";
+    restarted |= event.name == "app.am_restart";
+  }
+  EXPECT_TRUE(am_lost);
+  EXPECT_TRUE(abandoned);
+  EXPECT_TRUE(restarted);
+}
+
+TEST(NodeFaults, AmAttemptExhaustionFailsTheJobCleanly) {
+  wl::WordCount wc(wc_params(3));
+  const WorldConfig base = fault_config();
+  const Probe probe = probe_clean(base, RunMode::kHadoop, wc);
+
+  WorldConfig config = base;
+  config.yarn.am_max_attempts = 1;  // the first loss is terminal
+  config.faults.events.push_back(aim(FaultKind::kAmKill, probe));
+
+  World world(config, RunMode::kHadoop);
+  sim::Tracer tracer;
+  world.attach_tracer(tracer);
+  auto result = world.run(wc);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->succeeded);
+
+  bool failed = false;
+  for (const auto& event : tracer.events()) failed |= event.name == "app.am_failed";
+  EXPECT_TRUE(failed);
+  // The dead attempt must not leak its containers.
+  world.simulation().run_until(world.simulation().now() + sim::SimDuration::seconds(5));
+  for (const auto& state : world.rm().nodes()) {
+    EXPECT_EQ(state.used.vcores, 0) << "node " << state.id;
+  }
+}
+
+TEST(NodeFaults, PoolSlotLossResubmitsTheJob) {
+  wl::WordCount wc(wc_params());
+  const WorldConfig base = fault_config();
+  const Probe probe = probe_clean(base, RunMode::kDPlus, wc);
+
+  WorldConfig config = base;
+  config.faults.events.push_back(aim(FaultKind::kAmKill, probe));
+
+  World world(config, RunMode::kDPlus);
+  sim::Tracer tracer;
+  world.attach_tracer(tracer);
+  auto result = world.run(wc);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->succeeded);
+  EXPECT_EQ(*wl::WordCount::result_of(*result), wc.reference_counts());
+  EXPECT_GE(result->profile.am_restarts, 1);
+
+  bool evicted = false, resubmitted = false;
+  for (const auto& event : tracer.events()) {
+    evicted |= event.name == "pool.evict";
+    resubmitted |= event.name == "pool.resubmit";
+  }
+  EXPECT_TRUE(evicted);
+  EXPECT_TRUE(resubmitted);
+
+  const auto violations = sim::check_trace(tracer.events());
+  EXPECT_TRUE(violations.empty()) << sim::violations_to_string(violations);
+}
+
+TEST(NodeFaults, PoolResubmitCapFailsTheJob) {
+  wl::WordCount wc(wc_params(3));
+  const WorldConfig base = fault_config();
+  const Probe probe = probe_clean(base, RunMode::kUPlus, wc);
+
+  WorldConfig config = base;
+  config.framework.max_job_resubmits = 0;  // first slot loss is terminal
+  config.faults.events.push_back(aim(FaultKind::kAmKill, probe));
+
+  auto result = run_workload(config, RunMode::kUPlus, wc);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->succeeded);
+}
+
+// ---- determinism -----------------------------------------------------------
+
+std::string canonical_run(const WorldConfig& config, RunMode mode) {
+  wl::WordCount wc(wc_params(3));
+  World world(config, mode);
+  sim::Tracer tracer;
+  world.attach_tracer(tracer);
+  auto result = world.run(wc);
+  EXPECT_TRUE(result.has_value());
+  return sim::canonical_text(tracer.events());
+}
+
+TEST(NodeFaults, ZeroRatePlanLeavesTraceByteIdentical) {
+  // An armed plan that injects nothing must not shift a single byte of
+  // the trace relative to a faults-disabled run: the plan draws only
+  // from the dedicated "faults.plan" stream, and the liveness monitor
+  // neither traces nor draws randomness.
+  for (RunMode mode : {RunMode::kHadoop, RunMode::kDPlus, RunMode::kUPlus}) {
+    WorldConfig off;  // plan inactive: no liveness tracking at all
+    WorldConfig zero;
+    zero.faults.enable = true;  // armed, zero probabilities, no events
+    const std::string a = canonical_run(off, mode);
+    const std::string b = canonical_run(zero, mode);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << run_mode_name(mode);
+  }
+}
+
+TEST(NodeFaults, SameSeedSamePlanSameTrace) {
+  WorldConfig config = fault_config(777);
+  config.faults.node_crash_prob = 0.25;
+  config.faults.heartbeat_loss_prob = 0.25;
+  config.faults.window = sim::SimDuration::seconds(20.0);
+  const std::string a = canonical_run(config, RunMode::kHadoop);
+  const std::string b = canonical_run(config, RunMode::kHadoop);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(NodeFaults, ProbabilisticPlanExpandsDeterministically) {
+  // Same seed -> same expansion. Expansion draws never touch job
+  // streams, so this also implicitly re-checks stream isolation.
+  WorldConfig config = fault_config(1234);
+  config.faults.node_crash_prob = 0.5;
+  config.faults.window = sim::SimDuration::seconds(10.0);
+
+  wl::WordCount wc(wc_params(3));
+  World a(config, RunMode::kHadoop);
+  auto ra = a.run(wc);
+  World b(config, RunMode::kHadoop);
+  auto rb = b.run(wc);
+  ASSERT_TRUE(ra && rb);
+  ASSERT_NE(a.faults(), nullptr);
+  EXPECT_EQ(a.faults()->injected(), b.faults()->injected());
+}
+
+}  // namespace
+}  // namespace mrapid::harness

@@ -311,6 +311,61 @@ TEST_P(TraceDeterminism, InvariantsHoldAtEverySeed) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceDeterminism,
                          ::testing::Values(1, 42, 777, 0xBEEF, 31337));
 
+// As above, but with a probabilistic node-fault plan armed: injections,
+// expiries, requeues and AM restarts must themselves be deterministic
+// per seed, and every structural invariant — including the
+// fault-specific ones (post-crash silence, loss recovery, terminal
+// container loss) — must survive whatever the plan throws at the run.
+std::string faulted_canonical_run(harness::RunMode mode, std::uint64_t seed,
+                                  std::vector<std::string>* violations) {
+  wl::WordCountParams params;
+  params.num_files = 3;
+  params.bytes_per_file = 1_MB;
+  params.seed = seed;
+  wl::WordCount wc(params);
+
+  harness::WorldConfig config;
+  config.seed = seed;
+  config.yarn.nm_expiry = sim::SimDuration::seconds(3.0);
+  config.faults.heartbeat_loss_prob = 0.5;
+  config.faults.straggler_prob = 0.5;
+  config.faults.window = sim::SimDuration::seconds(8.0);
+  config.faults.loss_duration = sim::SimDuration::seconds(6.0);
+  harness::World world(config, mode);
+  sim::Tracer tracer;  // full category mask
+  world.attach_tracer(tracer);
+  auto result = world.run(wc);
+  EXPECT_TRUE(result.has_value());
+  EXPECT_TRUE(!result || result->succeeded);
+  if (violations != nullptr) *violations = sim::check_trace(tracer.events());
+  return sim::canonical_text(tracer.events());
+}
+
+class FaultedTraceDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultedTraceDeterminism, FaultScheduleIsByteDeterministicPerSeed) {
+  for (harness::RunMode mode : {harness::RunMode::kHadoop, harness::RunMode::kUber,
+                                harness::RunMode::kDPlus, harness::RunMode::kUPlus}) {
+    const std::string a = faulted_canonical_run(mode, GetParam(), nullptr);
+    const std::string b = faulted_canonical_run(mode, GetParam(), nullptr);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << harness::run_mode_name(mode) << " seed " << GetParam();
+  }
+}
+
+TEST_P(FaultedTraceDeterminism, InvariantsHoldUnderFaults) {
+  for (harness::RunMode mode : {harness::RunMode::kHadoop, harness::RunMode::kDPlus,
+                                harness::RunMode::kUPlus}) {
+    std::vector<std::string> violations;
+    faulted_canonical_run(mode, GetParam(), &violations);
+    EXPECT_TRUE(violations.empty()) << harness::run_mode_name(mode) << " seed " << GetParam()
+                                    << ":\n" << sim::violations_to_string(violations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultedTraceDeterminism,
+                         ::testing::Values(1, 42, 777, 0xBEEF, 31337));
+
 TEST(DeterminismProperty, PlacementIdenticalAcrossIdenticalWorlds) {
   for (std::uint64_t seed : {1ull, 9ull}) {
     sim::Simulation sim_a(seed), sim_b(seed);
