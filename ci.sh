@@ -40,6 +40,12 @@ run_config() {
   # artifact (per-mode crash/AM-kill cost, lost containers, restarts).
   "$dir/bench/mrapid_bench" --filter fault_recovery --smoke --jobs 2 \
     --json /tmp/smoke_fault.json > /dev/null
+  echo "=== [$name] fuzz smoke ==="
+  # A bounded differential-fuzz campaign (docs/FUZZING.md): every
+  # scenario runs all four modes against the reference executor with
+  # result-digest, trace-invariant and determinism oracles. Fixed seed
+  # range so CI time is bounded; any violation turns this non-zero.
+  "$dir/tools/mrapid_fuzz" --seeds 0..24 --jobs 2
 }
 
 run_config release build-release -DCMAKE_BUILD_TYPE=Release -DMRAPID_WERROR=ON

@@ -1,0 +1,139 @@
+#include "check/fuzzer.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "check/shrink.h"
+#include "check/textio.h"
+#include "exp/runner.h"
+#include "exp/scenario.h"
+
+namespace mrapid::check {
+
+namespace {
+
+std::string scenario_summary(const FuzzScenario& s) {
+  std::ostringstream out;
+  out << s.workload;
+  if (s.workload == "wordcount") {
+    out << " " << s.files << "x" << s.file_kb << "KB";
+    if (s.block_kb > 0) out << " block=" << s.block_kb << "KB";
+  } else if (s.workload == "terasort") {
+    out << " " << s.rows << "r/" << s.blocks << "b";
+  } else {
+    out << " " << s.samples << "s/" << s.pi_maps << "m";
+  }
+  out << " " << s.node_type << " workers=" << s.workers << " racks=" << s.racks
+      << " reducers=" << s.reducers << " faults=" << s.faults.size();
+  return out.str();
+}
+
+std::string indent_lines(const std::vector<std::string>& lines) {
+  std::ostringstream out;
+  for (const std::string& line : lines) out << "    " << line << "\n";
+  return out.str();
+}
+
+}  // namespace
+
+FuzzSummary run_fuzz(const FuzzOptions& options) {
+  if (options.seed_hi < options.seed_lo) {
+    throw std::invalid_argument("fuzz seed range is empty (hi < lo)");
+  }
+
+  OracleOptions oracle_options;
+  oracle_options.injected_bug = options.injected_bug;
+
+  exp::ScenarioSpec spec;
+  spec.title = "scenario fuzz";
+  for (std::uint64_t seed = options.seed_lo;; ++seed) {
+    spec.seeds.push_back(seed);
+    if (seed == options.seed_hi) break;  // guards seed_hi == UINT64_MAX
+  }
+  spec.run = [&oracle_options](const exp::Trial& trial) {
+    const FuzzScenario scenario = generate_scenario(trial.seed);
+    const OracleReport report = run_oracle(scenario, oracle_options);
+    exp::TrialResult result;
+    result.trial = trial;
+    result.ok = report.ok();
+    if (!result.ok) {
+      result.error = "oracle violations";
+      result.set_note("violations", report.violations_text());
+    }
+    return result;
+  };
+
+  exp::SweepOptions sweep;
+  sweep.jobs = options.jobs;
+  sweep.log_level = LogLevel::kError;
+  const std::vector<exp::TrialResult> results = exp::SweepRunner(sweep).run(spec);
+
+  // Everything below is serial and index-ordered, so the report (and
+  // any reproducer files) come out byte-identical whatever --jobs was.
+  FuzzSummary summary;
+  summary.scenarios = results.size();
+  std::ostringstream report;
+  report << "mrapid_fuzz seeds " << options.seed_lo << ".." << options.seed_hi << " ("
+         << results.size() << " scenarios), inject-bug "
+         << mr::injected_bug_name(options.injected_bug) << "\n";
+
+  for (const exp::TrialResult& result : results) {
+    const std::uint64_t seed = result.trial.seed;
+    const FuzzScenario scenario = generate_scenario(seed);
+    report << "seed " << seed << " " << scenario_summary(scenario) << " "
+           << (result.ok ? "ok" : "FAIL") << "\n";
+    if (result.ok) continue;
+
+    FuzzFailure failure;
+    failure.seed = seed;
+    if (const std::string* text = result.note("violations"); text != nullptr) {
+      std::istringstream lines(*text);
+      std::string line;
+      while (std::getline(lines, line)) failure.violations.push_back(line);
+    } else {
+      failure.violations.push_back(result.error);
+    }
+    report << indent_lines(failure.violations);
+
+    failure.minimized = scenario;
+    if (options.shrink) {
+      const ShrinkResult shrunk = shrink_scenario(scenario, oracle_options);
+      failure.minimized = shrunk.scenario;
+      report << "  shrunk in " << shrunk.oracle_runs << " oracle runs ("
+             << shrunk.accepted_steps << " steps) to: "
+             << scenario_summary(shrunk.scenario) << "\n";
+      report << indent_lines(shrunk.report.violations);
+    }
+    if (!options.out_dir.empty()) {
+      std::ostringstream path;
+      path << options.out_dir << "/seed-" << seed;
+      if (options.injected_bug != mr::InjectedBug::kNone) {
+        path << "-" << mr::injected_bug_name(options.injected_bug);
+      }
+      path << ".repro";
+      if (write_text_file(path.str(), serialize_scenario(failure.minimized))) {
+        failure.repro_path = path.str();
+        report << "  reproducer: " << failure.repro_path << "\n";
+      } else {
+        report << "  reproducer: FAILED to write " << path.str() << "\n";
+      }
+    }
+    summary.failures.push_back(std::move(failure));
+  }
+
+  report << "scenarios " << summary.scenarios << ", ok "
+         << (summary.scenarios - summary.failures.size()) << ", failures "
+         << summary.failures.size() << "\n";
+  summary.report = report.str();
+  return summary;
+}
+
+OracleReport replay_file(const std::string& path, const OracleOptions& options) {
+  const std::optional<std::string> text = read_text_file(path);
+  if (!text.has_value()) {
+    throw std::invalid_argument("cannot read reproducer file '" + path + "'");
+  }
+  return run_oracle(parse_scenario(*text), options);
+}
+
+}  // namespace mrapid::check

@@ -1,0 +1,53 @@
+#pragma once
+
+// The fuzz campaign driver: expands a seed range into scenarios, runs
+// the differential oracle on each (fanned out over the exp layer's
+// SweepRunner, so --jobs N parallelism reuses the same thread pool and
+// index-ordered result discipline as every bench), then serially
+// shrinks and serializes any failures. The rendered report is built
+// from the index-ordered results alone, so it is byte-identical
+// whatever the job count — the property the CI stage asserts.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracle.h"
+#include "check/scenario.h"
+
+namespace mrapid::check {
+
+struct FuzzOptions {
+  std::uint64_t seed_lo = 0;
+  std::uint64_t seed_hi = 50;  // inclusive
+  std::size_t jobs = 1;
+  // Minimize failures and (when out_dir is set) write reproducer files.
+  bool shrink = false;
+  std::string out_dir;  // "" = never write reproducers
+  // Test-only deliberate defect (shrinker self-test / reproducer
+  // seeding): the oracle must catch it on (almost) every seed.
+  mr::InjectedBug injected_bug = mr::InjectedBug::kNone;
+};
+
+struct FuzzFailure {
+  std::uint64_t seed = 0;
+  std::vector<std::string> violations;  // from the original scenario
+  FuzzScenario minimized;               // == original when shrink is off
+  std::string repro_path;               // "" when not written
+};
+
+struct FuzzSummary {
+  std::size_t scenarios = 0;
+  std::vector<FuzzFailure> failures;
+  std::string report;  // deterministic text report (one line per seed)
+
+  bool ok() const { return failures.empty(); }
+};
+
+FuzzSummary run_fuzz(const FuzzOptions& options);
+
+// Replays one serialized scenario file through the oracle.
+OracleReport replay_file(const std::string& path, const OracleOptions& options = {});
+
+}  // namespace mrapid::check

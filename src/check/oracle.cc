@@ -1,0 +1,99 @@
+#include "check/oracle.h"
+
+#include <sstream>
+
+#include "check/reference.h"
+#include "exp/workload_factory.h"
+#include "sim/trace.h"
+#include "sim/trace_check.h"
+
+namespace mrapid::check {
+
+namespace {
+
+struct ModeRun {
+  bool produced = false;       // run() returned a result
+  bool succeeded = false;
+  std::uint64_t digest = 0;
+  std::string canonical;       // full-mask canonical trace text
+  std::vector<std::string> trace_violations;
+};
+
+ModeRun run_mode(const FuzzScenario& scenario, harness::RunMode mode,
+                 wl::Workload& workload, mr::InjectedBug injected_bug) {
+  harness::WorldConfig config = world_config(scenario);
+  config.mr.injected_bug = injected_bug;
+
+  harness::World world(config, mode);
+  sim::Tracer tracer;  // full mask: determinism is checked on everything
+  world.attach_tracer(tracer);
+  const auto result =
+      world.run(workload, [&scenario](mr::JobSpec& spec) { spec.num_reducers = scenario.reducers; });
+
+  ModeRun run;
+  run.produced = result.has_value();
+  if (run.produced) {
+    run.succeeded = result->succeeded && !result->killed;
+    if (run.succeeded) run.digest = workload.result_digest(*result);
+  }
+  run.canonical = sim::canonical_text(tracer.events());
+  run.trace_violations = sim::check_trace(tracer.events());
+  return run;
+}
+
+}  // namespace
+
+std::string OracleReport::violations_text() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) out << "\n";
+    out << violations[i];
+  }
+  return out.str();
+}
+
+OracleReport run_oracle(const FuzzScenario& scenario, const OracleOptions& options) {
+  OracleReport report;
+  report.scenario = scenario;
+
+  auto workload = make_workload(scenario);
+  report.reference = reference_digest(scenario, *workload);
+
+  std::vector<std::string> canonicals;
+  for (harness::RunMode mode : exp::figure_modes()) {
+    const char* name = harness::run_mode_name(mode);
+    const ModeRun run = run_mode(scenario, mode, *workload, options.injected_bug);
+    canonicals.push_back(run.canonical);
+
+    if (!run.produced) {
+      report.violations.push_back(std::string(name) + ": deadline exceeded");
+    } else if (!run.succeeded) {
+      report.violations.push_back(std::string(name) + ": job failed or was killed");
+    } else {
+      report.mode_digests.emplace_back(name, run.digest);
+      if (run.digest != report.reference) {
+        std::ostringstream out;
+        out << name << ": result digest mismatch (got " << std::hex << run.digest
+            << ", reference " << report.reference << ")";
+        report.violations.push_back(out.str());
+      }
+    }
+    for (const std::string& violation : run.trace_violations) {
+      report.violations.push_back(std::string(name) + " trace: " + violation);
+    }
+  }
+
+  if (options.check_determinism) {
+    const auto& modes = exp::figure_modes();
+    const std::size_t pick = static_cast<std::size_t>(scenario.seed % modes.size());
+    const ModeRun rerun = run_mode(scenario, modes[pick], *workload, options.injected_bug);
+    if (rerun.canonical != canonicals[pick]) {
+      report.violations.push_back(std::string(harness::run_mode_name(modes[pick])) +
+                                  ": re-run trace is not byte-identical (determinism break)");
+    }
+  }
+
+  return report;
+}
+
+}  // namespace mrapid::check

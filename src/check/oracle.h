@@ -1,0 +1,51 @@
+#pragma once
+
+// The differential cross-mode oracle. One scenario is executed through
+// all four figure modes (Hadoop, Uber, D+, U+) with full tracing, and
+// three families of properties are checked:
+//
+//   1. correctness  — every mode's result digest equals the reference
+//                     executor's (check/reference.h): faults reorder
+//                     work, they never change the answer;
+//   2. structure    — sim::check_trace invariants hold for every
+//                     mode's full-mask trace;
+//   3. determinism  — re-running one mode (chosen by seed) yields a
+//                     byte-identical canonical trace.
+//
+// Any violation is reported as a human-readable string; an empty list
+// means the scenario is green. OracleOptions::injected_bug switches on
+// the test-only result corruption in the reduce path
+// (mr::MRConfig::injected_bug) so the shrinker self-test has a real
+// defect to chase.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/scenario.h"
+#include "mapreduce/job.h"
+
+namespace mrapid::check {
+
+struct OracleOptions {
+  mr::InjectedBug injected_bug = mr::InjectedBug::kNone;
+  // Re-run one mode and require a byte-identical trace. Costs one
+  // extra run; the shrinker turns it off while probing candidates.
+  bool check_determinism = true;
+};
+
+struct OracleReport {
+  FuzzScenario scenario;
+  std::uint64_t reference = 0;
+  // Digest per mode that produced a result, in figure-mode order.
+  std::vector<std::pair<std::string, std::uint64_t>> mode_digests;
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string violations_text() const;  // newline-joined
+};
+
+OracleReport run_oracle(const FuzzScenario& scenario, const OracleOptions& options = {});
+
+}  // namespace mrapid::check

@@ -1,0 +1,27 @@
+#pragma once
+
+// Failing-case minimizer: given a scenario the oracle rejects, greedily
+// apply shrinking transformations — drop fault events, collapse
+// reducers, halve workload geometry, remove workers — keeping a
+// candidate only if the oracle *still* rejects it, until a fixpoint.
+// Deterministic: candidates are tried in a fixed order, so the same
+// failing scenario always minimizes to the same reproducer.
+
+#include "check/oracle.h"
+#include "check/scenario.h"
+
+namespace mrapid::check {
+
+struct ShrinkResult {
+  FuzzScenario scenario;   // the minimized reproducer
+  OracleReport report;     // the oracle's verdict on it (still failing)
+  int accepted_steps = 0;  // shrinking transformations that stuck
+  int oracle_runs = 0;     // total candidate evaluations
+};
+
+// `scenario` must fail run_oracle under `options` (callers check
+// first); determinism re-runs are disabled while probing candidates —
+// the final report re-checks with the caller's options as given.
+ShrinkResult shrink_scenario(const FuzzScenario& scenario, const OracleOptions& options);
+
+}  // namespace mrapid::check

@@ -1,0 +1,58 @@
+#include "check/textio.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace mrapid::check {
+
+std::optional<std::string> read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::error_code ec;
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+CompareStatus compare_or_update(const std::string& text, const std::string& path,
+                                bool update) {
+  CompareStatus status;
+  if (update) {
+    if (!write_text_file(path, text)) {
+      status.kind = CompareStatus::Kind::kWriteError;
+      status.message = "cannot write " + path;
+      return status;
+    }
+    status.kind = CompareStatus::Kind::kUpdated;
+    status.message = "rewrote " + path +
+                     " — review the diff, commit, and re-run without the update flag";
+    return status;
+  }
+
+  const std::optional<std::string> expected = read_text_file(path);
+  if (!expected.has_value()) {
+    status.kind = CompareStatus::Kind::kMissing;
+    status.message = "missing file " + path + " (generate with the update flag)";
+    return status;
+  }
+  if (*expected != text) {
+    status.kind = CompareStatus::Kind::kMismatch;
+    status.message = "content drifted from " + path +
+                     " — if the change is intentional, refresh with the update flag";
+    return status;
+  }
+  status.kind = CompareStatus::Kind::kMatch;
+  return status;
+}
+
+}  // namespace mrapid::check

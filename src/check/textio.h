@@ -1,0 +1,45 @@
+#pragma once
+
+// Shared text-file plumbing for every checked-in artifact the repo
+// byte-compares: golden traces (tests/golden_trace_test.cc), fuzz
+// reproducers (tests/regressions/), and anything else that follows the
+// rewrite-under-an-env-flag discipline. One implementation means the
+// golden refresh path and the reproducer replay path can never drift
+// apart in newline or encoding behaviour.
+
+#include <optional>
+#include <string>
+
+namespace mrapid::check {
+
+// Whole-file read in binary mode; nullopt when the file cannot be
+// opened.
+std::optional<std::string> read_text_file(const std::string& path);
+
+// Whole-file write in binary mode, truncating; creates missing parent
+// directories. Returns false when the file cannot be written.
+bool write_text_file(const std::string& path, const std::string& text);
+
+// Outcome of a compare-or-update pass over one checked-in file.
+struct CompareStatus {
+  enum class Kind {
+    kMatch,      // file exists and is byte-identical
+    kMismatch,   // file exists but differs
+    kMissing,    // file absent (and update was off)
+    kUpdated,    // update mode: file rewritten (callers should FAIL so
+                 // CI can't silently bless a drift)
+    kWriteError  // update mode: rewrite failed
+  };
+  Kind kind = Kind::kMatch;
+  std::string message;  // human-readable detail for test assertions
+
+  bool ok() const { return kind == Kind::kMatch; }
+};
+
+// The shared tail of every golden-style test: in update mode rewrite
+// `path` with `text` (reporting kUpdated so the caller fails the test
+// on purpose); otherwise byte-compare against the checked-in file.
+CompareStatus compare_or_update(const std::string& text, const std::string& path,
+                                bool update);
+
+}  // namespace mrapid::check

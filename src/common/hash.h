@@ -1,0 +1,47 @@
+#pragma once
+
+// Order-sensitive 64-bit FNV-1a accumulator, used for job *result
+// digests*: every execution mode and the in-process reference executor
+// fold their canonicalised output through one of these, and the
+// differential oracle (src/check/) compares the final values. Only
+// integers and raw bytes are mixed — never floating point — so a
+// digest is stable across platforms and build modes.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mrapid {
+
+class Fnv64 {
+ public:
+  Fnv64& mix_bytes(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001B3ull;
+    }
+    return *this;
+  }
+
+  Fnv64& mix(std::uint64_t v) {
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+    return mix_bytes(bytes, sizeof(bytes));
+  }
+
+  Fnv64& mix(std::int64_t v) { return mix(static_cast<std::uint64_t>(v)); }
+
+  // Length-prefixed so ("ab","c") and ("a","bc") digest differently.
+  Fnv64& mix(std::string_view s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    return mix_bytes(s.data(), s.size());
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
+}  // namespace mrapid

@@ -28,43 +28,49 @@ FaultInjector::FaultInjector(cluster::Cluster& cluster, yarn::ResourceManager& r
                              FaultPlan plan)
     : cluster_(cluster), rm_(rm), sim_(cluster.simulation()), plan_(std::move(plan)) {}
 
-void FaultInjector::arm() {
-  assert(!armed_);
-  armed_ = true;
-
-  std::vector<FaultSpec> expanded = plan_.events;
-  // Per-worker probability draws, in worker order, from the dedicated
-  // stream. The draws are unconditional: a zero-rate plan consumes the
-  // same "faults.plan" sequence as any other, and no other stream is
-  // touched either way.
-  RngStream& rng = sim_.rng("faults.plan");
-  const std::int64_t window_us = std::max<std::int64_t>(1, plan_.window.as_micros());
-  for (cluster::NodeId node : cluster_.workers()) {
-    if (rng.next_double() < plan_.node_crash_prob) {
+std::vector<FaultSpec> expand_fault_plan(const FaultPlan& plan, RngStream& rng,
+                                         const std::vector<cluster::NodeId>& workers) {
+  std::vector<FaultSpec> expanded = plan.events;
+  const std::int64_t window_us = std::max<std::int64_t>(1, plan.window.as_micros());
+  for (cluster::NodeId node : workers) {
+    if (rng.next_double() < plan.node_crash_prob) {
       FaultSpec spec;
       spec.kind = FaultKind::kNodeCrash;
       spec.node = node;
       spec.at = sim::SimDuration::micros(rng.next_int(0, window_us - 1));
       expanded.push_back(spec);
     }
-    if (rng.next_double() < plan_.heartbeat_loss_prob) {
+    if (rng.next_double() < plan.heartbeat_loss_prob) {
       FaultSpec spec;
       spec.kind = FaultKind::kHeartbeatLoss;
       spec.node = node;
       spec.at = sim::SimDuration::micros(rng.next_int(0, window_us - 1));
-      spec.duration = plan_.loss_duration;
+      spec.duration = plan.loss_duration;
       expanded.push_back(spec);
     }
-    if (rng.next_double() < plan_.straggler_prob) {
+    if (rng.next_double() < plan.straggler_prob) {
       FaultSpec spec;
       spec.kind = FaultKind::kStraggler;
       spec.node = node;
       spec.at = sim::SimDuration::micros(rng.next_int(0, window_us - 1));
-      spec.duration = plan_.loss_duration;
-      spec.slowdown = plan_.straggler_slowdown;
+      spec.duration = plan.loss_duration;
+      spec.slowdown = plan.straggler_slowdown;
       expanded.push_back(spec);
     }
   }
+  return expanded;
+}
+
+void FaultInjector::arm() {
+  assert(!armed_);
+  armed_ = true;
+
+  // Per-worker probability draws, in worker order, from the dedicated
+  // stream. The draws are unconditional: a zero-rate plan consumes the
+  // same "faults.plan" sequence as any other, and no other stream is
+  // touched either way.
+  const std::vector<FaultSpec> expanded =
+      expand_fault_plan(plan_, sim_.rng("faults.plan"), cluster_.workers());
 
   for (const FaultSpec& spec : expanded) {
     sim_.schedule_after(spec.at, [this, spec] { fire(spec); }, "fault:inject");

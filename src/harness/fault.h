@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/rng.h"
 #include "sim/simulation.h"
 #include "yarn/resource_manager.h"
 
@@ -72,6 +73,17 @@ struct FaultPlan {
            straggler_prob > 0.0;
   }
 };
+
+// Expands the probabilistic part of a plan into explicit FaultSpec
+// events: per-worker independent draws for each class, in worker
+// order, times uniform in [0, plan.window). Deterministic in (plan,
+// rng state, workers). The injector calls this on arm(); the scenario
+// fuzzer calls it directly to *materialize* a probabilistic plan into
+// a shrinkable, serializable event list. Draws are unconditional even
+// at probability zero, so the stream advances identically regardless
+// of the probability values.
+std::vector<FaultSpec> expand_fault_plan(const FaultPlan& plan, RngStream& rng,
+                                         const std::vector<cluster::NodeId>& workers);
 
 // Owns nothing but the plan; schedules injections against the world's
 // simulation and pokes the cluster/RM when they fire. Every injection

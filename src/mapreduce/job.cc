@@ -15,6 +15,15 @@ const char* mode_name(ExecutionMode mode) {
   return "?";
 }
 
+const char* injected_bug_name(InjectedBug bug) {
+  switch (bug) {
+    case InjectedBug::kNone: return "none";
+    case InjectedBug::kDropShard: return "drop-shard";
+    case InjectedBug::kDupShard: return "dup-shard";
+  }
+  return "?";
+}
+
 std::vector<MapOutcome> JobLogic::partition_map_output(const MapOutcome& outcome,
                                                        int reducers) const {
   std::vector<MapOutcome> shards(static_cast<std::size_t>(reducers));

@@ -127,6 +127,22 @@ struct FaultConfig {
   bool enabled() const { return map_failure_prob > 0.0; }
 };
 
+// Test-only deliberate result corruption, used by the scenario
+// fuzzer's shrinker self-test (mrapid_fuzz --inject-bug, src/check/):
+// a seeded bug the differential oracle must catch and the shrinker
+// must minimise. Always kNone outside those tests.
+enum class InjectedBug {
+  kNone,
+  // The reduce phase silently drops map 0's shard (jobs with >= 2
+  // maps): models a lost-intermediate-data scheduler bug.
+  kDropShard,
+  // The reduce phase consumes map 0's shard twice: models a
+  // double-counted re-execution after recovery.
+  kDupShard,
+};
+
+const char* injected_bug_name(InjectedBug bug);
+
 // Hadoop MapReduce runtime constants (2.2-era defaults).
 struct MRConfig {
   Bytes sort_buffer = 100_MB;  // mapreduce.task.io.sort.mb
@@ -143,6 +159,7 @@ struct MRConfig {
   sim::SimDuration client_poll = sim::SimDuration::seconds(1.0);
 
   FaultConfig faults;
+  InjectedBug injected_bug = InjectedBug::kNone;
 };
 
 // ---- Profiles ------------------------------------------------------

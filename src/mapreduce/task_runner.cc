@@ -280,7 +280,22 @@ void ReduceRunner::maybe_finish_shuffle() {
 void ReduceRunner::run_reduce_phase() {
   // Merge-sort the fetched segments, run the reduce function, write
   // the output file to HDFS, commit.
-  const ReduceOutcome outcome = spec_.logic->execute_reduce(outcomes_);
+  //
+  // The injected-bug hook (fuzzer shrinker self-test) corrupts a local
+  // copy of the shard list only — timing, byte counts, and traces are
+  // untouched, so *only* the differential result oracle can tell.
+  ReduceOutcome outcome;
+  if (env_.config.injected_bug == InjectedBug::kNone) {
+    outcome = spec_.logic->execute_reduce(outcomes_);
+  } else {
+    std::vector<MapOutcome> corrupted(outcomes_.begin(), outcomes_.end());
+    if (env_.config.injected_bug == InjectedBug::kDropShard) {
+      if (corrupted.size() >= 2) corrupted[0].data.reset();
+    } else if (env_.config.injected_bug == InjectedBug::kDupShard) {
+      if (!corrupted.empty()) corrupted.push_back(corrupted[0]);
+    }
+    outcome = spec_.logic->execute_reduce(corrupted);
+  }
   const Bytes work =
       cluster::Node::cpu_work(sim::SimDuration::seconds(outcome.core_seconds));
   env_.cluster.node(node_).cpu().start(work, spec_.logic->compute_contention(),

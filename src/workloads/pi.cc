@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "common/hash.h"
+
 namespace mrapid::wl {
 
 namespace {
@@ -75,6 +77,21 @@ mr::MapOutcome Pi::execute_map(const mr::InputSplit& split) const {
   outcome.core_seconds = static_cast<double>(samples) / params_.samples_per_core_second;
   outcome.data = result;
   return outcome;
+}
+
+std::uint64_t Pi::result_digest(const mr::JobResult& result) const {
+  Fnv64 digest;
+  digest.mix(static_cast<std::uint64_t>(result.reduce_results.size()));
+  for (const auto& erased : result.reduce_results) {
+    if (!erased) {
+      digest.mix(std::string_view("<null partition>"));
+      continue;
+    }
+    const auto& partial = *std::static_pointer_cast<const PiResult>(erased);
+    digest.mix(partial.inside);
+    digest.mix(partial.total);
+  }
+  return digest.value();
 }
 
 mr::ReduceOutcome Pi::execute_reduce(std::span<const mr::MapOutcome> maps) const {

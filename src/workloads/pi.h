@@ -42,6 +42,7 @@ class Pi : public Workload {
 
   mr::MapOutcome execute_map(const mr::InputSplit& split) const override;
   mr::ReduceOutcome execute_reduce(std::span<const mr::MapOutcome> maps) const override;
+  std::uint64_t result_digest(const mr::JobResult& result) const override;
 
   // Cache-resident numeric kernel: co-scheduled PI maps scale almost
   // perfectly — why U+ stays the best choice even at 1600m samples.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/hash.h"
 #include "common/rng.h"
 
 namespace mrapid::wl {
@@ -104,6 +105,25 @@ std::vector<mr::MapOutcome> TeraSort::partition_map_output(const mr::MapOutcome&
     out[static_cast<std::size_t>(r)].data = shard;
   }
   return out;
+}
+
+std::uint64_t TeraSort::result_digest(const mr::JobResult& result) const {
+  // Keys only: rows with equal keys may legitimately swap payload tags
+  // depending on merge order, and the sorted key sequence is what
+  // "same answer" means for a sort. Partition order is the global
+  // order, so folding partitions in order digests the concatenation.
+  Fnv64 digest;
+  digest.mix(static_cast<std::uint64_t>(result.reduce_results.size()));
+  for (const auto& erased : result.reduce_results) {
+    if (!erased) {
+      digest.mix(std::string_view("<null partition>"));
+      continue;
+    }
+    const auto& rows = *std::static_pointer_cast<const TeraRows>(erased);
+    digest.mix(static_cast<std::uint64_t>(rows.size()));
+    for (const auto& row : rows) digest.mix_bytes(row.key.data(), row.key.size());
+  }
+  return digest.value();
 }
 
 mr::ReduceOutcome TeraSort::execute_reduce(std::span<const mr::MapOutcome> maps) const {

@@ -46,6 +46,7 @@ class TeraSort : public Workload {
 
   mr::MapOutcome execute_map(const mr::InputSplit& split) const override;
   mr::ReduceOutcome execute_reduce(std::span<const mr::MapOutcome> maps) const override;
+  std::uint64_t result_digest(const mr::JobResult& result) const override;
 
   // TotalOrderPartitioner: range partition on key boundaries sampled
   // from the input (like the real TeraSort's sampling pass), so the

@@ -1,7 +1,10 @@
 #include "workloads/wordcount.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
+
+#include "common/hash.h"
 
 namespace mrapid::wl {
 
@@ -147,6 +150,31 @@ std::vector<mr::MapOutcome> WordCount::partition_map_output(const mr::MapOutcome
     out[static_cast<std::size_t>(r)].data = shard;
   }
   return out;
+}
+
+std::uint64_t WordCount::result_digest(const mr::JobResult& result) const {
+  // WordCounts is an unordered_map, so each partition is sorted by
+  // word before hashing; the partitions themselves are disjoint and
+  // ordered, so they are folded in partition order.
+  Fnv64 digest;
+  digest.mix(static_cast<std::uint64_t>(result.reduce_results.size()));
+  for (const auto& erased : result.reduce_results) {
+    if (!erased) {
+      digest.mix(std::string_view("<null partition>"));
+      continue;
+    }
+    const auto& counts = *std::static_pointer_cast<const WordCounts>(erased);
+    std::vector<std::pair<std::string_view, std::int64_t>> sorted;
+    sorted.reserve(counts.size());
+    for (const auto& [word, count] : counts) sorted.emplace_back(word, count);
+    std::sort(sorted.begin(), sorted.end());
+    digest.mix(static_cast<std::uint64_t>(sorted.size()));
+    for (const auto& [word, count] : sorted) {
+      digest.mix(word);
+      digest.mix(count);
+    }
+  }
+  return digest.value();
 }
 
 WordCounts WordCount::reference_counts() const {

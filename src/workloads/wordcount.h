@@ -48,6 +48,7 @@ class WordCount : public Workload {
 
   mr::MapOutcome execute_map(const mr::InputSplit& split) const override;
   mr::ReduceOutcome execute_reduce(std::span<const mr::MapOutcome> maps) const override;
+  std::uint64_t result_digest(const mr::JobResult& result) const override;
 
   // HashPartitioner: words are hashed over the reducers, like
   // Hadoop's default (hash(key) mod R).

@@ -8,6 +8,7 @@
 // (deterministically generated) input payloads are built once and
 // reused.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,15 @@ class Workload : public mr::JobLogic {
   // the dataset is assumed pre-existing, as in the paper) and returns
   // their paths.
   virtual std::vector<std::string> stage(hdfs::Hdfs& hdfs) = 0;
+
+  // Canonical 64-bit digest of a run's final output (all reducer
+  // partitions, in partition order). Internal ordering that a mode may
+  // legitimately vary (hash-map iteration, merge order of equal keys)
+  // must be canonicalised away, so that two runs computed the same
+  // *answer* iff their digests match — the property the differential
+  // oracle (src/check/) checks across every execution mode against the
+  // in-process reference executor.
+  virtual std::uint64_t result_digest(const mr::JobResult& result) const = 0;
 
   // Convenience: stage + build the JobSpec for this workload.
   mr::JobSpec make_spec(hdfs::Hdfs& hdfs) {

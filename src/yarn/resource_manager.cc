@@ -193,6 +193,7 @@ std::vector<Allocation> ResourceManager::am_allocate(AppId id, std::vector<Ask> 
 }
 
 void ResourceManager::release_container(const Container& container) {
+  if (!mark_container_terminal(container.id)) return;
   NodeState* state = node_state(container.node);
   assert(state != nullptr);
   MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.released",
@@ -273,6 +274,7 @@ void ResourceManager::expire_node(cluster::NodeId node) {
     }
   }
   for (const Container& container : lost_ams) {
+    if (!mark_container_terminal(container.id)) continue;
     MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.lost",
                  {"id", container.id}, {"app", container.app}, {"node", container.node});
     handle_am_loss(container);
@@ -280,6 +282,7 @@ void ResourceManager::expire_node(cluster::NodeId node) {
 }
 
 void ResourceManager::notify_container_lost(const Container& container) {
+  if (!mark_container_terminal(container.id)) return;
   MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.lost",
                {"id", container.id}, {"app", container.app}, {"node", container.node});
   AppRecord* record = app(container.app);
@@ -317,6 +320,10 @@ void ResourceManager::handle_am_loss(const Container& container) {
 }
 
 void ResourceManager::report_launch_failure(const Container& container) {
+  // Stale RPC: the container was already released or reported lost
+  // through another recovery path (AM teardown, node expiry) while
+  // this startContainer was timing out.
+  if (container_terminal(container.id)) return;
   NodeState* state = node_state(container.node);
   if (state != nullptr && state->alive) {
     // The node has not expired yet; un-account the container the
@@ -326,6 +333,7 @@ void ResourceManager::report_launch_failure(const Container& container) {
   }
   AppRecord* record = app(container.app);
   if (record != nullptr && !record->finished && record->am_container.id == container.id) {
+    mark_container_terminal(container.id);
     MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.lost",
                  {"id", container.id}, {"app", container.app}, {"node", container.node});
     handle_am_loss(container);
@@ -366,9 +374,11 @@ void ResourceManager::kill_container(const Container& container) {
   const bool is_am = record != nullptr && !record->finished &&
                      record->am_container.id == container.id;
   if (is_am) {
-    MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.lost",
-                 {"id", container.id}, {"app", container.app}, {"node", container.node});
-    handle_am_loss(container);
+    if (mark_container_terminal(container.id)) {
+      MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.lost",
+                   {"id", container.id}, {"app", container.app}, {"node", container.node});
+      handle_am_loss(container);
+    }
   } else {
     notify_container_lost(container);
   }

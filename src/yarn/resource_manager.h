@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -112,6 +113,13 @@ class ResourceManager : public SchedulerContext {
   void notify_container_lost(const Container& container);
   void handle_am_loss(const Container& container);
   void liveness_check();
+  // A container's terminal transition (released or lost) must happen
+  // exactly once, however many recovery paths race to report it — a
+  // node expiry, an in-flight launch-failure RPC and an AM teardown
+  // can all target the same container. First caller wins; the rest
+  // must neither re-emit the event nor re-credit the resources.
+  bool mark_container_terminal(ContainerId id) { return terminal_containers_.insert(id).second; }
+  bool container_terminal(ContainerId id) const { return terminal_containers_.count(id) != 0; }
 
   cluster::Cluster& cluster_;
   sim::Simulation& sim_;
@@ -122,6 +130,7 @@ class ResourceManager : public SchedulerContext {
   std::unordered_map<AppId, AppRecord> apps_;
   AppId next_app_id_ = 1;
   ContainerId next_container_id_ = 1;
+  std::unordered_set<ContainerId> terminal_containers_;
   AskId next_ask_id_ = 1;
   bool started_ = false;
   std::unordered_map<cluster::NodeId, sim::SimTime> last_heartbeat_;

@@ -1,0 +1,195 @@
+// The scenario fuzzer's own test suite: generator determinism and
+// feasibility, reproducer round-trips, the differential oracle's
+// clean-pass and bug-catching behaviour, and the shrinker self-test
+// the acceptance bar asks for — an intentionally injected reduce bug
+// must be caught and minimized to a reproducer with at most 2 fault
+// events and at most 4 total nodes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "check/fuzzer.h"
+#include "check/oracle.h"
+#include "check/scenario.h"
+#include "check/shrink.h"
+#include "common/rng.h"
+#include "harness/fault.h"
+
+namespace mrapid {
+namespace {
+
+TEST(ScenarioGenerator, SameSeedSameScenario) {
+  for (std::uint64_t seed : {0ull, 1ull, 42ull, 31337ull}) {
+    const check::FuzzScenario a = check::generate_scenario(seed);
+    const check::FuzzScenario b = check::generate_scenario(seed);
+    EXPECT_EQ(check::serialize_scenario(a), check::serialize_scenario(b)) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioGenerator, EverySeedIsFeasible) {
+  // The generator must only produce scenarios every mode can boot and
+  // finish: workers at or above the pool floor, fault counts within
+  // the documented caps, crashes only with a spare worker in hand.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const check::FuzzScenario s = check::generate_scenario(seed);
+    EXPECT_GE(s.workers, check::min_workers(s)) << "seed " << seed;
+    EXPECT_LE(static_cast<int>(s.faults.size()), 6) << "seed " << seed;
+    int crashes = 0;
+    for (const harness::FaultSpec& fault : s.faults) {
+      if (fault.kind == harness::FaultKind::kNodeCrash) ++crashes;
+    }
+    EXPECT_LE(crashes, 1) << "seed " << seed;
+    if (crashes > 0) {
+      EXPECT_GE(s.workers, check::min_workers(s) + 1)
+          << "seed " << seed << ": a crash needs a spare worker";
+    }
+  }
+}
+
+TEST(ScenarioGenerator, SerializeParseRoundTrips) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const check::FuzzScenario s = check::generate_scenario(seed);
+    const std::string text = check::serialize_scenario(s);
+    const check::FuzzScenario parsed = check::parse_scenario(text);
+    EXPECT_EQ(text, check::serialize_scenario(parsed)) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioGenerator, ParseRejectsGarbage) {
+  EXPECT_THROW(check::parse_scenario("no terminator"), std::invalid_argument);
+  EXPECT_THROW(check::parse_scenario("bogus_key 7\nend\n"), std::invalid_argument);
+  EXPECT_THROW(check::parse_scenario("workers not_a_number\nend\n"), std::invalid_argument);
+  EXPECT_THROW(check::parse_scenario("fault warp 1 2 3 4\nend\n"), std::invalid_argument);
+}
+
+TEST(FaultPlanExpansion, IsDeterministic) {
+  harness::FaultPlan plan;
+  plan.heartbeat_loss_prob = 0.5;
+  plan.straggler_prob = 0.5;
+  plan.node_crash_prob = 0.25;
+  const std::vector<cluster::NodeId> workers = {1, 2, 3, 4};
+  RngStream rng_a(7, "expand");
+  RngStream rng_b(7, "expand");
+  const auto a = harness::expand_fault_plan(plan, rng_a, workers);
+  const auto b = harness::expand_fault_plan(plan, rng_b, workers);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].at.as_micros(), b[i].at.as_micros());
+  }
+}
+
+TEST(Oracle, CleanBuildPassesOnSampledSeeds) {
+  for (std::uint64_t seed : {0ull, 6ull, 14ull}) {
+    const check::FuzzScenario s = check::generate_scenario(seed);
+    const check::OracleReport report = check::run_oracle(s, {});
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ":\n" << report.violations_text();
+    // All four modes must have produced a digest, and all must agree
+    // with the reference.
+    EXPECT_EQ(report.mode_digests.size(), 4u) << "seed " << seed;
+    for (const auto& [mode, digest] : report.mode_digests) {
+      EXPECT_EQ(digest, report.reference) << "seed " << seed << " mode " << mode;
+    }
+  }
+}
+
+// A handcrafted scenario with >= 2 maps, so both injected bugs bite.
+check::FuzzScenario two_map_scenario() {
+  check::FuzzScenario s;
+  s.seed = 99;
+  s.workload = "wordcount";
+  s.files = 2;
+  s.file_kb = 128;
+  s.workers = 2;
+  s.racks = 1;
+  s.node_type = "a3";
+  s.reducers = 1;
+  return s;
+}
+
+TEST(Oracle, CatchesDroppedShard) {
+  check::OracleOptions options;
+  options.injected_bug = mr::InjectedBug::kDropShard;
+  const check::OracleReport report = check::run_oracle(two_map_scenario(), options);
+  ASSERT_FALSE(report.ok());
+  // Every mode funnels reduces through the same runner, so every mode
+  // must disagree with the (uncorrupted) reference.
+  int mismatches = 0;
+  for (const std::string& violation : report.violations) {
+    mismatches += violation.find("digest mismatch") != std::string::npos;
+  }
+  EXPECT_EQ(mismatches, 4) << report.violations_text();
+}
+
+TEST(Oracle, CatchesDuplicatedShard) {
+  check::OracleOptions options;
+  options.injected_bug = mr::InjectedBug::kDupShard;
+  const check::OracleReport report = check::run_oracle(two_map_scenario(), options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations_text().find("digest mismatch"), std::string::npos);
+}
+
+TEST(Shrinker, MinimizesInjectedBugToSmallReproducer) {
+  // The acceptance bar: start from a deliberately busy failing
+  // scenario and require the shrinker to land within <= 2 fault events
+  // and <= 4 total nodes (3 workers + the master).
+  check::FuzzScenario start;
+  std::uint64_t seed = 0;
+  for (;; ++seed) {
+    start = check::generate_scenario(seed);
+    if (start.workload != "pi" && start.faults.size() >= 3 && start.workers >= 4) break;
+    ASSERT_LT(seed, 64u) << "no busy non-pi scenario in the first 64 seeds";
+  }
+
+  check::OracleOptions options;
+  options.injected_bug = mr::InjectedBug::kDropShard;
+  ASSERT_FALSE(check::run_oracle(start, options).ok())
+      << "seed " << seed << " does not trigger the injected bug";
+
+  const check::ShrinkResult result = check::shrink_scenario(start, options);
+  EXPECT_FALSE(result.report.ok()) << "shrinking lost the failure";
+  EXPECT_LE(result.scenario.faults.size(), 2u);
+  EXPECT_LE(result.scenario.workers + 1, 4);  // workers + master
+  EXPECT_GT(result.accepted_steps, 0);
+  EXPECT_LE(result.oracle_runs, 200);
+  // Shrinking must preserve what makes the bug reachable: dropping a
+  // map shard needs at least two maps, i.e. two files here.
+  EXPECT_GE(result.scenario.files, 2);
+}
+
+TEST(Fuzzer, ReportIsIdenticalAcrossJobCounts) {
+  check::FuzzOptions serial;
+  serial.seed_lo = 0;
+  serial.seed_hi = 7;
+  serial.jobs = 1;
+  check::FuzzOptions parallel = serial;
+  parallel.jobs = 4;
+
+  const check::FuzzSummary a = check::run_fuzz(serial);
+  const check::FuzzSummary b = check::run_fuzz(parallel);
+  EXPECT_TRUE(a.ok()) << a.report;
+  EXPECT_EQ(a.report, b.report);
+  EXPECT_EQ(a.scenarios, 8u);
+}
+
+TEST(Fuzzer, InjectedBugProducesFailuresAndMinimizedRepro) {
+  check::FuzzOptions options;
+  options.seed_lo = 2;
+  options.seed_hi = 2;
+  options.jobs = 1;
+  options.shrink = true;
+  options.injected_bug = mr::InjectedBug::kDropShard;
+
+  const check::FuzzSummary summary = check::run_fuzz(options);
+  ASSERT_EQ(summary.failures.size(), 1u) << summary.report;
+  const check::FuzzFailure& failure = summary.failures[0];
+  EXPECT_FALSE(failure.violations.empty());
+  EXPECT_LE(failure.minimized.faults.size(), 2u);
+  EXPECT_NE(summary.report.find("shrunk"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrapid

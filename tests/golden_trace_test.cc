@@ -23,10 +23,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
 #include <string>
 
+#include "check/textio.h"
 #include "harness/world.h"
 #include "sim/trace.h"
 #include "sim/trace_check.h"
@@ -69,26 +68,13 @@ std::unique_ptr<wl::Workload> make_workload(const std::string& workload) {
   return std::make_unique<wl::Pi>(params);
 }
 
-// Shared tail of every golden test: rewrite the file in update mode
-// (failing so CI can't bless a drift), byte-compare otherwise.
+// Shared tail of every golden test, delegating to the same
+// compare-or-update helper the fuzz reproducers use (check/textio.h):
+// rewrite the file in update mode (failing so CI can't bless a
+// drift), byte-compare otherwise.
 void compare_or_update(const std::string& text, const std::string& path) {
-  if (update_mode()) {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    ASSERT_TRUE(out) << "cannot write " << path;
-    out << text;
-    out.close();
-    FAIL() << "GOLDEN_UPDATE=1: rewrote " << path
-           << " — review the diff, commit, and re-run without GOLDEN_UPDATE";
-  }
-
-  std::ifstream in(path, std::ios::binary);
-  ASSERT_TRUE(in) << "missing golden file " << path
-                  << " (generate with GOLDEN_UPDATE=1)";
-  std::ostringstream expected;
-  expected << in.rdbuf();
-  ASSERT_EQ(text, expected.str())
-      << "trace drifted from " << path
-      << " — if the behaviour change is intentional, refresh with GOLDEN_UPDATE=1";
+  const check::CompareStatus status = check::compare_or_update(text, path, update_mode());
+  if (!status.ok()) FAIL() << status.message << " (the update flag here is GOLDEN_UPDATE=1)";
 }
 
 struct GoldenCase {

@@ -52,6 +52,17 @@ class FixedLogic : public wl::Workload {
     return outcome;
   }
 
+  std::uint64_t result_digest(const JobResult& result) const override {
+    std::uint64_t digest = result.reduce_results.size();
+    for (const auto& erased : result.reduce_results) {
+      digest = digest * 31 +
+               (erased ? static_cast<std::uint64_t>(
+                             *std::static_pointer_cast<const int>(erased))
+                       : 0);
+    }
+    return digest;
+  }
+
   void set_files(int files) { files_ = files; }
 
  private:

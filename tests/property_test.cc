@@ -366,6 +366,70 @@ TEST_P(FaultedTraceDeterminism, InvariantsHoldUnderFaults) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultedTraceDeterminism,
                          ::testing::Values(1, 42, 777, 0xBEEF, 31337));
 
+// U+ under an explicit AM-kill plus straggler schedule: the uber AM
+// runs maps in-process, so killing an AM mid-job exercises pool slot
+// eviction and re-execution with in-flight uber work, while the
+// straggler drags compute under it. The probabilistic sweep above
+// never stacks these two on U+ by construction, so they get their own
+// deterministic schedule here.
+std::string amkill_uplus_run(std::uint64_t seed, std::vector<std::string>* violations) {
+  wl::WordCountParams params;
+  params.num_files = 3;
+  params.bytes_per_file = 1_MB;
+  params.seed = seed;
+  wl::WordCount wc(params);
+
+  harness::WorldConfig config;
+  config.seed = seed;
+  config.yarn.nm_expiry = sim::SimDuration::seconds(3.0);
+  // Times are measured from arm() (post-boot). The job's maps run
+  // roughly 0.5s..1.3s after arm, so the straggler drags the first
+  // map and the kill lands mid-job on the busy pool AM.
+  harness::FaultSpec straggler;
+  straggler.kind = harness::FaultKind::kStraggler;
+  straggler.node = 1;  // the node hosting pool slot 0, where the job runs
+  straggler.at = sim::SimDuration::seconds(0.4);
+  straggler.duration = sim::SimDuration::seconds(6.0);
+  straggler.slowdown = 3.0;
+  config.faults.events.push_back(straggler);
+  harness::FaultSpec kill;
+  kill.kind = harness::FaultKind::kAmKill;
+  kill.node = cluster::kInvalidNode;
+  kill.at = sim::SimDuration::seconds(0.7);
+  config.faults.events.push_back(kill);
+
+  harness::World world(config, harness::RunMode::kUPlus);
+  sim::Tracer tracer;  // full category mask
+  world.attach_tracer(tracer);
+  auto result = world.run(wc);
+  EXPECT_TRUE(result.has_value());
+  EXPECT_TRUE(!result || result->succeeded);
+  if (violations != nullptr) *violations = sim::check_trace(tracer.events());
+  return sim::canonical_text(tracer.events());
+}
+
+class UPlusAmKillDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UPlusAmKillDeterminism, ScheduleIsByteDeterministicPerSeed) {
+  const std::string a = amkill_uplus_run(GetParam(), nullptr);
+  const std::string b = amkill_uplus_run(GetParam(), nullptr);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "seed " << GetParam();
+}
+
+TEST_P(UPlusAmKillDeterminism, InvariantsHoldUnderAmKillAndStraggler) {
+  std::vector<std::string> violations;
+  const std::string text = amkill_uplus_run(GetParam(), &violations);
+  EXPECT_TRUE(violations.empty()) << "seed " << GetParam() << ":\n"
+                                  << sim::violations_to_string(violations);
+  // The schedule must actually bite: an AM has to die and restart or
+  // be resubmitted, or this test pins nothing.
+  EXPECT_NE(text.find("am.lost"), std::string::npos) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UPlusAmKillDeterminism,
+                         ::testing::Values(1, 42, 777, 0xBEEF, 31337));
+
 TEST(DeterminismProperty, PlacementIdenticalAcrossIdenticalWorlds) {
   for (std::uint64_t seed : {1ull, 9ull}) {
     sim::Simulation sim_a(seed), sim_b(seed);

@@ -1,0 +1,53 @@
+// Replays every checked-in fuzz reproducer under tests/regressions/
+// through the differential oracle, forever. Each .repro file is a
+// shrinker-minimized scenario that once exposed a bug (or was seeded
+// from the test-only injected defects); on a healthy build every one
+// of them must pass the oracle clean. A failure here means a fixed
+// bug came back — the file name says which scenario to replay:
+//
+//   mrapid_fuzz --replay tests/regressions/<name>.repro
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.h"
+
+#ifndef MRAPID_REGRESSION_DIR
+#error "MRAPID_REGRESSION_DIR must point at tests/regressions (set in tests/CMakeLists.txt)"
+#endif
+
+namespace mrapid {
+namespace {
+
+std::vector<std::string> reproducer_files() {
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(MRAPID_REGRESSION_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".repro") {
+      files.push_back(entry.path().string());
+    }
+  }
+  // directory_iterator order is unspecified; sort for a stable run.
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Regressions, CorpusIsNotEmpty) {
+  // The corpus ships with seeded reproducers; an empty directory means
+  // the checkout (or the compile definition) is broken, and the replay
+  // test below would pass vacuously.
+  EXPECT_GE(reproducer_files().size(), 2u) << "looked in " << MRAPID_REGRESSION_DIR;
+}
+
+TEST(Regressions, EveryReproducerReplaysClean) {
+  for (const std::string& path : reproducer_files()) {
+    const check::OracleReport report = check::replay_file(path);
+    EXPECT_TRUE(report.ok()) << path << ":\n" << report.violations_text();
+  }
+}
+
+}  // namespace
+}  // namespace mrapid

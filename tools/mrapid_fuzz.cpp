@@ -1,0 +1,116 @@
+// mrapid_fuzz: the deterministic scenario fuzzer's command line.
+//
+// Campaign mode sweeps a seed range through the differential oracle:
+//
+//   mrapid_fuzz --seeds 0..200 --jobs 4
+//
+// Every seed expands to a randomized-but-replayable scenario (workload
+// geometry, cluster shape, fault schedule) that runs through all four
+// execution modes against the in-process reference executor. The
+// report is byte-identical whatever --jobs is. Failures can be
+// minimized and serialized:
+//
+//   mrapid_fuzz --seeds 0..50 --shrink --out-dir tests/regressions
+//
+// and a reproducer file replays forever:
+//
+//   mrapid_fuzz --replay tests/regressions/seed-3-drop-shard.repro
+//
+// --inject-bug drop-shard|dup-shard switches on the test-only result
+// corruption in the reduce path — the shrinker self-test's target.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "check/fuzzer.h"
+#include "exp/cli.h"
+
+namespace {
+
+bool parse_seed_range(const std::string& text, std::uint64_t* lo, std::uint64_t* hi) {
+  const std::size_t dots = text.find("..");
+  try {
+    if (dots == std::string::npos) {
+      *lo = *hi = std::stoull(text);
+      return true;
+    }
+    *lo = std::stoull(text.substr(0, dots));
+    *hi = std::stoull(text.substr(dots + 2));
+    return *hi >= *lo;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_bug(const std::string& name, mrapid::mr::InjectedBug* bug) {
+  using mrapid::mr::InjectedBug;
+  if (name == "none") *bug = InjectedBug::kNone;
+  else if (name == "drop-shard") *bug = InjectedBug::kDropShard;
+  else if (name == "dup-shard") *bug = InjectedBug::kDupShard;
+  else return false;
+  return true;
+}
+
+int replay(const std::string& path, mrapid::mr::InjectedBug bug) {
+  mrapid::check::OracleOptions options;
+  options.injected_bug = bug;
+  const mrapid::check::OracleReport report = mrapid::check::replay_file(path, options);
+  std::printf("replay %s: %s\n", path.c_str(), report.ok() ? "ok" : "FAIL");
+  for (const std::string& violation : report.violations) {
+    std::printf("  %s\n", violation.c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string seeds = "0..50";
+  std::size_t jobs = 1;
+  bool shrink = false;
+  std::string out_dir;
+  std::string replay_path;
+  std::string bug_name = "none";
+
+  mrapid::exp::ArgParser parser(
+      "mrapid_fuzz",
+      "Deterministic scenario fuzzer: differential cross-mode oracle with a shrinker");
+  parser.add_string("seeds", &seeds, "inclusive seed range A..B (or a single seed)");
+  parser.add_size("jobs", &jobs, "worker threads (0 = hardware concurrency)");
+  parser.add_flag("shrink", &shrink, "minimize failing scenarios before reporting");
+  parser.add_string("out-dir", &out_dir,
+                    "directory for reproducer files (empty = don't write)");
+  parser.add_string("replay", &replay_path,
+                    "replay one reproducer file instead of fuzzing");
+  parser.add_string("inject-bug", &bug_name,
+                    "none | drop-shard | dup-shard (test-only reduce corruption)");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+
+  mrapid::mr::InjectedBug bug = mrapid::mr::InjectedBug::kNone;
+  if (!parse_bug(bug_name, &bug)) {
+    std::fprintf(stderr, "mrapid_fuzz: unknown --inject-bug '%s'\n", bug_name.c_str());
+    return 2;
+  }
+
+  try {
+    if (!replay_path.empty()) return replay(replay_path, bug);
+
+    mrapid::check::FuzzOptions options;
+    if (!parse_seed_range(seeds, &options.seed_lo, &options.seed_hi)) {
+      std::fprintf(stderr, "mrapid_fuzz: bad --seeds '%s' (want A..B)\n", seeds.c_str());
+      return 2;
+    }
+    options.jobs = jobs;
+    options.shrink = shrink;
+    options.out_dir = out_dir;
+    options.injected_bug = bug;
+
+    const mrapid::check::FuzzSummary summary = mrapid::check::run_fuzz(options);
+    std::fputs(summary.report.c_str(), stdout);
+    return summary.ok() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mrapid_fuzz: %s\n", error.what());
+    return 2;
+  }
+}
