@@ -21,6 +21,9 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 # (use-after-free, overflows) and UBSan stay fully enabled.
 export ASAN_OPTIONS="detect_leaks=0:${ASAN_OPTIONS:-}"
 
+# Golden traces must never be rewritten by CI, only compared.
+unset GOLDEN_UPDATE
+
 run_config() {
   local name="$1" dir="$2"
   shift 2
@@ -49,6 +52,23 @@ run_config() {
 }
 
 run_config release build-release -DCMAKE_BUILD_TYPE=Release -DMRAPID_WERROR=ON
+
+echo "=== [release] sim_core bench ==="
+# Simulation-core throughput baseline (docs/PERF.md): smoke-sized
+# event-churn / cancel-heavy / wordcount-sweep with the legacy-queue
+# differential, emitted as a build artifact. The committed
+# BENCH_simcore.json at the repo root is refreshed manually from a
+# full (non-smoke) run on a quiet machine.
+build-release/bench/mrapid_bench --filter sim_core --smoke \
+  --json build-release/BENCH_simcore.json > /dev/null
+
+echo "=== [release] determinism gate ==="
+# Golden traces and fuzzer reproducers live in the source tree and are
+# only ever rewritten under GOLDEN_UPDATE=1 / --shrink, which CI never
+# sets. After the full suite + benches + fuzz have run, any byte of
+# drift under these trees means determinism regressed.
+git diff --exit-code -- tests/golden tests/regressions
+
 run_config sanitize build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMRAPID_SANITIZE=ON
 
 echo "=== CI green: release + sanitize ==="

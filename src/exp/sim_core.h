@@ -1,0 +1,60 @@
+#pragma once
+
+// Simulation-core throughput measurement (the `sim_core` experiment).
+//
+// Every sweep, fault matrix and fuzz campaign is ultimately a stream of
+// events through sim::EventQueue, so events/sec is the repo's
+// highest-leverage performance number. Three variants:
+//
+//   event-churn      steady-state push/fire with a bounded window of
+//                    outstanding events — the shape of a long
+//                    simulation run,
+//   cancel-heavy     the heartbeat/replan pattern (schedule a
+//                    completion, cancel it, reschedule) that bandwidth
+//                    resources and liveness timers produce,
+//   wordcount-sweep  end to end: full worlds across the figure modes,
+//                    events/sec read from Simulation::queue_stats().
+//
+// The churn and cancel variants also run against LegacyEventQueue — a
+// faithful reimplementation of the pre-slab shared_ptr/weak_ptr queue —
+// so the recorded speedup is measured, not remembered. The two queues
+// run in interleaved repetitions (modern, legacy, modern, legacy, …)
+// and each side keeps its fastest repetition: on shared/throttled
+// hosts a slow phase then hits both sides about equally instead of
+// biasing whichever ran first. Results are recorded in
+// BENCH_simcore.json at the repo root (docs/PERF.md).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mrapid::exp {
+
+struct SimCoreResult {
+  std::uint64_t events = 0;     // events fired (churn/sweep) or total ops (cancel-heavy)
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t cancelled = 0;
+  std::size_t heap_peak = 0;   // modern queue only; 0 for the legacy run
+  std::size_t slab_slots = 0;  // modern queue only; 0 for the legacy run
+};
+
+// The two sides of one differential measurement, interleaved.
+struct SimCorePair {
+  SimCoreResult modern;
+  SimCoreResult legacy;
+};
+
+// Steady-state churn: prime `window` outstanding events, then
+// fire-one/push-one until `events` have fired.
+SimCorePair sim_core_event_churn(std::uint64_t events, std::size_t window);
+
+// Heartbeat/replan: per step, fire due events, cancel the outstanding
+// completion, schedule a new one; every 8th step adds a short-fuse
+// heartbeat that actually fires. Throughput counts push+cancel+fire.
+SimCorePair sim_core_cancel_heavy(std::uint64_t steps);
+
+// End to end: WordCount through full worlds across the figure modes;
+// `events` is the total fired across all runs.
+SimCoreResult sim_core_wordcount_sweep(bool smoke);
+
+}  // namespace mrapid::exp

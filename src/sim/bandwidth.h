@@ -8,6 +8,13 @@
 // re-schedules the single completion event for the next finisher.
 // This is the standard progress-based fluid model used by flow-level
 // network simulators.
+//
+// Transfers live in a slot slab recycled through a free list, mirroring
+// the sim::EventQueue scheme: a TransferId packs (generation, slot) so
+// cancel() is an O(1) generation-checked lookup instead of a linear
+// scan, and starting a transfer allocates nothing once the slab has
+// warmed up. Completion callbacks still fire in start order (transfers
+// carry a sequence stamp) so slot recycling never reorders events.
 
 #include <cstdint>
 #include <functional>
@@ -51,7 +58,7 @@ class BandwidthResource {
   // Cancels an in-flight transfer; returns false if already finished.
   bool cancel(TransferId id);
 
-  std::size_t active_transfers() const { return transfers_.size(); }
+  std::size_t active_transfers() const { return active_count_; }
   Rate capacity() const { return capacity_; }
 
   // Re-rates the resource mid-flight (fault injection: degraded disks
@@ -71,11 +78,13 @@ class BandwidthResource {
 
  private:
   struct Transfer {
-    TransferId id;
-    double remaining_bytes;
+    std::uint64_t seq = 0;  // start order; fixes completion FIFO under slot reuse
+    std::uint32_t gen = 0;
+    bool active = false;
+    double remaining_bytes = 0.0;
     SimTime started;
-    Bytes total_bytes;
-    double contention_alpha;
+    Bytes total_bytes = 0;
+    double contention_alpha = 0.0;
     CompletionCallback on_complete;
   };
 
@@ -83,16 +92,21 @@ class BandwidthResource {
   void advance_progress();
   void replan();
   void on_completion_event();
+  void release_slot(std::uint32_t slot);
 
   Simulation& sim_;
   std::string name_;
   Rate capacity_;
   Rate per_transfer_cap_;
   double contention_alpha_;
-  std::vector<Transfer> transfers_;
+  std::vector<Transfer> transfers_;        // slot slab; `active` marks membership
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<Transfer> done_;  // reused per-completion scratch buffer
+  std::size_t active_count_ = 0;
   SimTime last_update_ = SimTime::zero();
   EventId completion_event_{};
-  TransferId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_zero_token_ = 1;  // ids for instant zero-byte transfers
   Bytes bytes_served_ = 0;
   double busy_seconds_ = 0.0;
   SimTime busy_since_ = SimTime::zero();

@@ -36,7 +36,8 @@ void ResourcePool::pump() {
     available_ -= waiter.amount;
     // Deliver grants as fresh events so callers never re-enter the
     // pool from inside their own acquire/release call.
-    sim_.schedule_now([granted = std::move(waiter.granted)] { granted(); }, name_ + ":grant");
+    sim_.schedule_now([granted = std::move(waiter.granted)] { granted(); },
+                      EventLabel(name_, ":grant"));
   }
 }
 

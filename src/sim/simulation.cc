@@ -14,18 +14,18 @@ Simulation::Simulation(std::uint64_t master_seed) : master_seed_(master_seed) {
 
 Simulation::~Simulation() { Logger::instance().set_time_source(nullptr); }
 
-EventId Simulation::schedule_at(SimTime at, EventCallback callback, std::string label) {
+EventId Simulation::schedule_at(SimTime at, EventCallback callback, EventLabel label) {
   assert(at >= now_ && "cannot schedule into the past");
-  return queue_.push(at, std::move(callback), std::move(label));
+  return queue_.push(at, std::move(callback), label);
 }
 
-EventId Simulation::schedule_after(SimDuration delay, EventCallback callback, std::string label) {
+EventId Simulation::schedule_after(SimDuration delay, EventCallback callback, EventLabel label) {
   assert(delay >= SimDuration::zero());
-  return schedule_at(now_ + delay, std::move(callback), std::move(label));
+  return schedule_at(now_ + delay, std::move(callback), label);
 }
 
-EventId Simulation::schedule_now(EventCallback callback, std::string label) {
-  return schedule_at(now_, std::move(callback), std::move(label));
+EventId Simulation::schedule_now(EventCallback callback, EventLabel label) {
+  return schedule_at(now_, std::move(callback), label);
 }
 
 std::uint64_t Simulation::run() { return run_until(SimTime::max()); }
@@ -37,6 +37,8 @@ std::uint64_t Simulation::run_until(SimTime deadline) {
     if (queue_.next_time() > deadline) break;
     auto event = queue_.pop();
     now_ = event.time;
+    // Tracer-gated: the label string only ever exists under a tracer.
+    if (tracer_ != nullptr) current_label_ = event.label.str();
     ++fired;
     ++processed_;
     if (event.callback) event.callback();
@@ -52,7 +54,7 @@ std::uint64_t Simulation::run_until(SimTime deadline) {
 }
 
 RngStream& Simulation::rng(std::string_view name) {
-  auto it = rng_streams_.find(std::string(name));
+  auto it = rng_streams_.find(name);  // heterogeneous: no temporary string
   if (it == rng_streams_.end()) {
     it = rng_streams_.emplace(std::string(name), RngStream(master_seed_, name)).first;
   }

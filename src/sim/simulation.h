@@ -30,11 +30,15 @@ class Simulation {
 
   SimTime now() const { return now_; }
 
-  EventId schedule_at(SimTime at, EventCallback callback, std::string label = {});
-  EventId schedule_after(SimDuration delay, EventCallback callback, std::string label = {});
+  // Labels are cheap non-owning (prefix, literal) pairs — see
+  // sim/event_queue.h. They are materialised into a string only while
+  // a tracer is attached (current_event_label()); detached runs never
+  // build one.
+  EventId schedule_at(SimTime at, EventCallback callback, EventLabel label = {});
+  EventId schedule_after(SimDuration delay, EventCallback callback, EventLabel label = {});
   // Convenience: fire "immediately", i.e. after the current event, at
   // the same simulated instant.
-  EventId schedule_now(EventCallback callback, std::string label = {});
+  EventId schedule_now(EventCallback callback, EventLabel label = {});
 
   bool cancel(EventId id) { return queue_.cancel(id); }
 
@@ -53,8 +57,19 @@ class Simulation {
   bool idle() const { return queue_.empty(); }
   std::uint64_t processed_events() const { return processed_; }
 
+  // Event-core counters (pushed/fired/cancelled, heap peak, slab
+  // capacity) — the exp layer's sim_core benchmark reports these.
+  const EventQueue::Stats& queue_stats() const { return queue_.stats(); }
+  std::size_t pending_events() const { return queue_.size(); }
+
+  // Label of the event currently being dispatched, materialised only
+  // while a tracer is attached (empty otherwise). Debug/trace aid.
+  const std::string& current_event_label() const { return current_label_; }
+
   // Named deterministic RNG stream, created on first use. The same
-  // (master seed, name) always yields the same sequence.
+  // (master seed, name) always yields the same sequence. Lookup is
+  // heterogeneous: a string_view probe never allocates; the key string
+  // is built only when a new stream is inserted.
   RngStream& rng(std::string_view name);
   std::uint64_t master_seed() const { return master_seed_; }
 
@@ -64,13 +79,22 @@ class Simulation {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
  private:
+  struct TransparentStringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   EventQueue queue_;
   SimTime now_ = SimTime::zero();
   bool stop_requested_ = false;
   std::uint64_t processed_ = 0;
   std::uint64_t master_seed_;
   Tracer* tracer_ = nullptr;
-  std::unordered_map<std::string, RngStream> rng_streams_;
+  std::string current_label_;
+  std::unordered_map<std::string, RngStream, TransparentStringHash, std::equal_to<>>
+      rng_streams_;
 };
 
 }  // namespace mrapid::sim

@@ -91,6 +91,48 @@ TEST(EventQueueTest, EmptyQueueNextTimeIsMax) {
   EXPECT_EQ(q.next_time(), SimTime::max());
 }
 
+TEST(EventQueueTest, StatsCountCoreOperations) {
+  EventQueue q;
+  const EventId victim = q.push(SimTime::from_seconds(1), [] {});
+  q.push(SimTime::from_seconds(2), [] {});
+  q.cancel(victim);
+  q.pop().callback();
+  const EventQueue::Stats& stats = q.stats();
+  EXPECT_EQ(stats.pushed, 2u);
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.fired, 1u);
+  EXPECT_EQ(stats.heap_peak, 2u);
+  EXPECT_EQ(stats.slab_capacity, 2u);
+}
+
+TEST(EventQueueTest, SlotsAreRecycledAcrossChurn) {
+  EventQueue q;
+  for (int i = 0; i < 1000; ++i) {
+    q.push(SimTime::from_micros(i), [] {});
+    q.pop().callback();
+  }
+  EXPECT_EQ(q.stats().pushed, 1000u);
+  EXPECT_EQ(q.stats().slab_capacity, 1u);  // one slot, recycled 1000 times
+}
+
+// ---- event labels ----------------------------------------------------
+
+TEST(EventLabelTest, MaterializesPrefixAndSuffixOnDemand) {
+  EXPECT_EQ(EventLabel("nm:heartbeat").str(), "nm:heartbeat");
+  const std::string name = "node3:disk-rd";
+  EXPECT_EQ(EventLabel(name, ":finish").str(), "node3:disk-rd:finish");
+  EXPECT_TRUE(EventLabel().empty());
+  EXPECT_TRUE(EventLabel("").empty());
+  EXPECT_FALSE(EventLabel("x").empty());
+  EXPECT_FALSE(EventLabel(name, nullptr).empty());
+}
+
+TEST(EventQueueTest, PopReturnsTheScheduledLabel) {
+  EventQueue q;
+  q.push(SimTime::from_seconds(1), [] {}, "nm:launch");
+  EXPECT_EQ(q.pop().label.str(), "nm:launch");
+}
+
 // ---- simulation ------------------------------------------------------
 
 TEST(SimulationTest, RunsEventsInOrderAndAdvancesClock) {
