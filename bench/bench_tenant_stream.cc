@@ -1,0 +1,182 @@
+// Extension experiment: open-loop multi-tenant job streams. Several
+// tenants with different arrival processes (Poisson, bursty on/off,
+// diurnal) submit short jobs against one cluster; a hierarchical fair
+// queue (yarn::TenantQueue) admits jobs by weighted fair share with
+// capacity floors, and the steady-state report trims warm-up and
+// gives exact p50/p99/p99.9 latency and queue wait, slot utilization
+// and Jain's fairness index — the operating regime the paper's short
+// job optimizations actually target.
+
+#include <cmath>
+
+#include "bench/figures.h"
+#include "harness/stream_pump.h"
+
+namespace mrapid::bench {
+namespace {
+
+// The tenant fleet. "interactive" is the latency-sensitive Poisson
+// tenant with double weight and a guaranteed slot; "batch" arrives in
+// bursts; the optional third tenant rides a short diurnal cycle. The
+// `load` multiplier scales every arrival rate so one axis sweeps the
+// cluster from comfortable to saturated.
+std::vector<wl::TenantSpec> make_tenants(int count, double load, bool smoke) {
+  std::vector<wl::TenantSpec> tenants;
+
+  wl::TenantSpec interactive;
+  interactive.name = "interactive";
+  interactive.arrival.process = wl::ArrivalProcess::kPoisson;
+  interactive.arrival.mean_interarrival_seconds = (smoke ? 15.0 : 40.0) / load;
+  interactive.scan_weight = 1.0;
+  interactive.sort_weight = 0.0;
+  interactive.numeric_weight = 0.0;
+  interactive.min_files = 1;
+  interactive.max_files = 2;
+  interactive.min_file_bytes = 1_MB;
+  interactive.max_file_bytes = 3_MB;
+  interactive.weight = 2.0;
+  interactive.capacity_floor = 0.34;  // one of the three job slots
+  tenants.push_back(interactive);
+
+  wl::TenantSpec batch;
+  batch.name = "batch";
+  batch.arrival.process = wl::ArrivalProcess::kBursty;
+  batch.arrival.mean_interarrival_seconds = (smoke ? 20.0 : 60.0) / load;
+  batch.arrival.burst_factor = 4.0;
+  batch.arrival.mean_on_seconds = smoke ? 40.0 : 60.0;
+  batch.arrival.mean_off_seconds = smoke ? 40.0 : 120.0;
+  batch.scan_weight = 0.7;
+  batch.sort_weight = 0.3;
+  batch.numeric_weight = 0.0;
+  batch.min_files = 2;
+  batch.max_files = 4;
+  batch.min_file_bytes = 1_MB;
+  batch.max_file_bytes = 4_MB;
+  batch.weight = 1.0;
+  tenants.push_back(batch);
+
+  if (count >= 3) {
+    wl::TenantSpec periodic;
+    periodic.name = "periodic";
+    periodic.arrival.process = wl::ArrivalProcess::kDiurnal;
+    periodic.arrival.mean_interarrival_seconds = (smoke ? 25.0 : 80.0) / load;
+    periodic.arrival.diurnal_period_seconds = smoke ? 120.0 : 300.0;
+    periodic.arrival.diurnal_amplitude = 0.8;
+    periodic.scan_weight = 0.8;
+    periodic.sort_weight = 0.2;
+    periodic.numeric_weight = 0.0;
+    periodic.min_files = 1;
+    periodic.max_files = 3;
+    periodic.min_file_bytes = 1_MB;
+    periodic.max_file_bytes = 3_MB;
+    periodic.weight = 1.0;
+    tenants.push_back(periodic);
+  }
+  return tenants;
+}
+
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  exp::ScenarioSpec spec;
+  spec.title = "Open-loop tenant streams — steady-state latency and fairness";
+  spec.x_axis = "load";
+  spec.x_label = "offered load (x base)";
+  spec.axes = {
+      exp::int_axis("tenants", opt.smoke ? std::vector<long long>{2}
+                                         : std::vector<long long>{2, 3}),
+      exp::num_axis("load", opt.smoke ? std::vector<double>{1.5}
+                                      : std::vector<double>{1.0, 2.0}),
+  };
+  spec.modes = exp::figure_modes();
+  const double horizon = opt.smoke ? 150.0 : 600.0;
+  const double warmup = opt.smoke ? 30.0 : 120.0;
+  const bool smoke = opt.smoke;
+
+  spec.run = [horizon, warmup, smoke](const exp::Trial& trial) {
+    harness::WorldConfig config = a3_config(trial);
+    harness::World world(config, *trial.mode);
+
+    harness::StreamPumpOptions pump_options;
+    pump_options.horizon_seconds = horizon;
+    harness::StreamPump pump(
+        world,
+        make_tenants(static_cast<int>(trial.num("tenants")), trial.num("load"), smoke),
+        pump_options);
+    if (!pump.run()) {
+      throw exp::TrialFailure(exp::strprintf(
+          "stream did not drain under %s (%zu submitted, backlog %zu)",
+          trial.mode_name().c_str(), pump.submitted_jobs(), pump.queue().total_backlog()));
+    }
+    // Conservation: every submitted job must have reached exactly one
+    // terminal state, successfully — a stream that loses or fails jobs
+    // is not measuring steady state.
+    for (const harness::StreamJobRecord& record : pump.records()) {
+      if (!record.completed || !record.succeeded) {
+        throw exp::TrialFailure(exp::strprintf("job %s not conserved under %s",
+                                               record.label.c_str(),
+                                               trial.mode_name().c_str()));
+      }
+    }
+
+    const harness::StreamMetrics metrics = pump.metrics(warmup);
+    exp::TrialResult result;
+    result.trial = trial;
+    result.ok = true;
+    result.elapsed_seconds = metrics.mean_latency_s;
+    result.set_metric("jobs", static_cast<double>(pump.submitted_jobs()));
+    result.set_metric("measured", static_cast<double>(metrics.measured_jobs));
+    result.set_metric("p50_latency_s", metrics.p50_latency_s);
+    result.set_metric("p99_latency_s", metrics.p99_latency_s);
+    result.set_metric("p999_latency_s", metrics.p999_latency_s);
+    result.set_metric("mean_wait_s", metrics.mean_wait_s);
+    result.set_metric("p99_wait_s", metrics.p99_wait_s);
+    result.set_metric("p999_wait_s", metrics.p999_wait_s);
+    result.set_metric("utilization", metrics.utilization);
+    result.set_metric("jain_fairness", metrics.jain_fairness);
+    for (const harness::TenantStreamStats& tenant : metrics.tenants) {
+      result.set_metric("share:" + tenant.name, tenant.work_share);
+      result.set_metric("p99:" + tenant.name, tenant.p99_latency_s);
+    }
+    return result;
+  };
+
+  spec.render = [](const std::vector<exp::TrialResult>& results, std::ostream& os) {
+    Table table({"tenants", "load", "mode", "jobs", "p50 (s)", "p99 (s)", "p99.9 (s)",
+                 "p99 wait (s)", "util", "Jain"});
+    table.with_title("Steady-state stream metrics (warm-up trimmed)");
+    for (const exp::TrialResult& result : results) {
+      if (!result.ok) continue;  // failures are listed by the sink
+      table.add_row({std::to_string(static_cast<int>(result.trial.num("tenants"))),
+                     Table::num(result.trial.num("load"), 1), result.trial.mode_name(),
+                     std::to_string(static_cast<int>(result.metric("jobs"))),
+                     Table::num(result.metric("p50_latency_s")),
+                     Table::num(result.metric("p99_latency_s")),
+                     Table::num(result.metric("p999_latency_s")),
+                     Table::num(result.metric("p99_wait_s")),
+                     Table::num(result.metric("utilization"), 3),
+                     Table::num(result.metric("jain_fairness"), 3)});
+    }
+    table.print(os);
+
+    Table shares({"tenants", "load", "mode", "interactive", "batch", "periodic"});
+    shares.with_title("Per-tenant completed-work shares");
+    for (const exp::TrialResult& result : results) {
+      if (!result.ok) continue;
+      auto share = [&result](const char* name) {
+        const double value = result.metric(std::string("share:") + name);
+        return std::isnan(value) ? std::string("-") : Table::pct(value);
+      };
+      shares.add_row({std::to_string(static_cast<int>(result.trial.num("tenants"))),
+                      Table::num(result.trial.num("load"), 1), result.trial.mode_name(),
+                      share("interactive"), share("batch"), share("periodic")});
+    }
+    os << "\n";
+    shares.print(os);
+  };
+  return spec;
+}
+
+const exp::Registrar reg("tenant_stream",
+                         "Open-loop tenant streams — fair-queue steady state", make);
+
+}  // namespace
+}  // namespace mrapid::bench

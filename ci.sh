@@ -43,6 +43,12 @@ run_config() {
   # artifact (per-mode crash/AM-kill cost, lost containers, restarts).
   "$dir/bench/mrapid_bench" --filter fault_recovery --smoke --jobs 2 \
     --json /tmp/smoke_fault.json > /dev/null
+  # The multi-tenant stream experiment in isolation (docs/STREAMS.md):
+  # open-loop tenant arrivals through the fair-queue layer in all four
+  # modes, with steady-state quantiles and per-tenant conservation
+  # checked inside each trial.
+  "$dir/bench/mrapid_bench" --filter tenant_stream --smoke --jobs 2 \
+    --json /tmp/smoke_stream.json > /dev/null
   echo "=== [$name] fuzz smoke ==="
   # A bounded differential-fuzz campaign (docs/FUZZING.md): every
   # scenario runs all four modes against the reference executor with

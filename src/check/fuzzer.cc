@@ -14,6 +14,15 @@ namespace {
 
 std::string scenario_summary(const FuzzScenario& s) {
   std::ostringstream out;
+  if (is_stream(s)) {
+    out << "stream " << s.tenants.size() << "t/" << s.stream_horizon_ms / 1000 << "s [";
+    for (std::size_t i = 0; i < s.tenants.size(); ++i) {
+      if (i > 0) out << ",";
+      out << s.tenants[i].arrival;
+    }
+    out << "] " << s.node_type << " workers=" << s.workers << " racks=" << s.racks;
+    return out.str();
+  }
   out << s.workload;
   if (s.workload == "wordcount") {
     out << " " << s.files << "x" << s.file_kb << "KB";

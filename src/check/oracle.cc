@@ -1,9 +1,11 @@
 #include "check/oracle.h"
 
+#include <map>
 #include <sstream>
 
 #include "check/reference.h"
 #include "exp/workload_factory.h"
+#include "harness/stream_pump.h"
 #include "sim/trace.h"
 #include "sim/trace_check.h"
 
@@ -41,6 +43,133 @@ ModeRun run_mode(const FuzzScenario& scenario, harness::RunMode mode,
   return run;
 }
 
+// ---- stream scenarios ------------------------------------------------
+
+struct StreamModeRun {
+  bool drained = false;
+  std::vector<std::string> conservation;        // per-job violations
+  std::map<std::string, std::uint64_t> digests;  // label -> result digest
+  std::size_t submitted = 0;
+  std::string canonical;
+  std::vector<std::string> trace_violations;
+};
+
+StreamModeRun run_stream_mode(const FuzzScenario& scenario, harness::RunMode mode,
+                              mr::InjectedBug injected_bug) {
+  harness::WorldConfig config = world_config(scenario);
+  config.mr.injected_bug = injected_bug;
+  harness::World world(config, mode);
+  sim::Tracer tracer;
+  world.attach_tracer(tracer);
+
+  StreamModeRun run;
+  harness::StreamPumpOptions options;
+  options.horizon_seconds = static_cast<double>(scenario.stream_horizon_ms) / 1000.0;
+  options.on_job_complete = [&run](const harness::StreamJobRecord& record,
+                                   wl::Workload& workload, const mr::JobResult& result) {
+    if (record.succeeded) run.digests[record.label] = workload.result_digest(result);
+  };
+  harness::StreamPump pump(world, make_tenant_specs(scenario), options);
+  run.drained = pump.run();
+  run.submitted = pump.submitted_jobs();
+  // Conservation: every submitted job reaches exactly one terminal
+  // state, successfully (stream scenarios are generated fault-free, so
+  // any failure IS a bug; hand-written faulty streams get a generous
+  // attempt budget from world_config for the same reason).
+  for (const harness::StreamJobRecord& record : pump.records()) {
+    if (!record.completed) {
+      run.conservation.push_back("job " + record.label + " never reached a terminal state");
+    } else if (!record.succeeded) {
+      run.conservation.push_back("job " + record.label + " failed or was killed");
+    }
+  }
+  run.canonical = sim::canonical_text(tracer.events());
+  run.trace_violations = sim::check_trace(tracer.events());
+  return run;
+}
+
+// FNV-1a over the (label, digest) pairs — one summary digest per mode
+// for the report.
+std::uint64_t combine_digests(const std::map<std::string, std::uint64_t>& digests) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& [label, digest] : digests) {
+    for (const char c : label) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    mix(digest);
+  }
+  return h;
+}
+
+// Human-readable first difference between two per-job digest maps.
+std::string diff_digests(const std::map<std::string, std::uint64_t>& base,
+                         const std::map<std::string, std::uint64_t>& other) {
+  for (const auto& [label, digest] : base) {
+    const auto it = other.find(label);
+    if (it == other.end()) return "job " + label + " missing";
+    if (it->second != digest) return "job " + label + " digest differs";
+  }
+  for (const auto& [label, digest] : other) {
+    if (base.find(label) == base.end()) return "extra job " + label;
+  }
+  return "identical";
+}
+
+// The stream variant of run_oracle: no single reference digest —
+// correctness is per-job cross-mode agreement (same submitted labels,
+// same result digests) plus conservation, on top of the usual trace
+// and determinism properties.
+OracleReport run_stream_oracle(const FuzzScenario& scenario, const OracleOptions& options) {
+  OracleReport report;
+  report.scenario = scenario;
+
+  std::vector<std::string> canonicals;
+  std::map<std::string, std::uint64_t> first_digests;
+  std::string first_mode;
+  for (harness::RunMode mode : exp::figure_modes()) {
+    const char* name = harness::run_mode_name(mode);
+    const StreamModeRun run = run_stream_mode(scenario, mode, options.injected_bug);
+    canonicals.push_back(run.canonical);
+
+    if (!run.drained) {
+      report.violations.push_back(std::string(name) + ": stream did not drain");
+    }
+    for (const std::string& violation : run.conservation) {
+      report.violations.push_back(std::string(name) + ": " + violation);
+    }
+    report.mode_digests.emplace_back(name, combine_digests(run.digests));
+    if (first_mode.empty()) {
+      first_digests = run.digests;
+      first_mode = name;
+    } else if (run.digests != first_digests) {
+      report.violations.push_back(std::string(name) + ": per-job results diverge from " +
+                                  first_mode + " (" +
+                                  diff_digests(first_digests, run.digests) + ")");
+    }
+    for (const std::string& violation : run.trace_violations) {
+      report.violations.push_back(std::string(name) + " trace: " + violation);
+    }
+  }
+
+  if (options.check_determinism) {
+    const auto& modes = exp::figure_modes();
+    const std::size_t pick = static_cast<std::size_t>(scenario.seed % modes.size());
+    const StreamModeRun rerun = run_stream_mode(scenario, modes[pick], options.injected_bug);
+    if (rerun.canonical != canonicals[pick]) {
+      report.violations.push_back(std::string(harness::run_mode_name(modes[pick])) +
+                                  ": re-run trace is not byte-identical (determinism break)");
+    }
+  }
+  return report;
+}
+
 }  // namespace
 
 std::string OracleReport::violations_text() const {
@@ -53,6 +182,8 @@ std::string OracleReport::violations_text() const {
 }
 
 OracleReport run_oracle(const FuzzScenario& scenario, const OracleOptions& options) {
+  if (is_stream(scenario)) return run_stream_oracle(scenario, options);
+
   OracleReport report;
   report.scenario = scenario;
 

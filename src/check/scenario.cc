@@ -1,5 +1,6 @@
 #include "check/scenario.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -128,7 +129,68 @@ FuzzScenario generate_scenario(std::uint64_t seed) {
                        spec.kind == harness::FaultKind::kHeartbeatLoss;
   }
   s.nm_expiry_ms = liveness_faults ? 1000 * rng.next_int(3, 6) : 10000;
+
+  // A quarter of the seeds become multi-tenant open-loop streams that
+  // exercise the TenantQueue layer instead of a single job. Drawn from
+  // a separate named stream so every legacy field above keeps its
+  // historical per-seed value. Stream scenarios are fault-free (the
+  // conservation property is then unambiguous) and run on a3 nodes so
+  // the AM pool always fits.
+  RngStream tenant_rng(seed, "fuzz.tenants");
+  if (tenant_rng.next_double() < 0.25) {
+    s.node_type = "a3";
+    s.workers = std::max(s.workers, 3);
+    s.faults.clear();
+    s.nm_expiry_ms = 10000;
+    const char* kinds[] = {"poisson", "bursty", "diurnal"};
+    const int count = static_cast<int>(tenant_rng.next_int(2, 4));
+    for (int i = 0; i < count; ++i) {
+      FuzzTenant tenant;
+      tenant.arrival = kinds[tenant_rng.next_int(0, 2)];
+      tenant.mean_interarrival_ms = 1000 * tenant_rng.next_int(8, 20);
+      tenant.weight_pct = 100 * static_cast<int>(tenant_rng.next_int(1, 3));
+      tenant.floor_pct = 10 * static_cast<int>(tenant_rng.next_int(0, 2));
+      s.tenants.push_back(tenant);
+    }
+    s.stream_horizon_ms = 1000 * tenant_rng.next_int(30, 60);
+  }
   return s;
+}
+
+std::vector<wl::TenantSpec> make_tenant_specs(const FuzzScenario& scenario) {
+  if (!is_stream(scenario)) {
+    throw std::invalid_argument("make_tenant_specs: scenario has no tenants");
+  }
+  std::vector<wl::TenantSpec> specs;
+  for (std::size_t i = 0; i < scenario.tenants.size(); ++i) {
+    const FuzzTenant& tenant = scenario.tenants[i];
+    wl::TenantSpec spec;
+    spec.name = "t" + std::to_string(i);
+    spec.arrival.process = wl::arrival_process_from_name(tenant.arrival);
+    spec.arrival.mean_interarrival_seconds =
+        static_cast<double>(tenant.mean_interarrival_ms) / 1000.0;
+    // Burst/diurnal shapes scaled to the short fuzz horizon so each
+    // process actually cycles within the run.
+    spec.arrival.burst_factor = 4.0;
+    spec.arrival.mean_on_seconds = 10.0;
+    spec.arrival.mean_off_seconds = 15.0;
+    spec.arrival.diurnal_period_seconds =
+        static_cast<double>(scenario.stream_horizon_ms) / 1000.0;
+    spec.arrival.diurnal_amplitude = 0.8;
+    // Small scan-only jobs: the fuzzer is probing the queue layer and
+    // cross-mode agreement, not workload heft.
+    spec.scan_weight = 1.0;
+    spec.sort_weight = 0.0;
+    spec.numeric_weight = 0.0;
+    spec.min_files = 1;
+    spec.max_files = 2;
+    spec.min_file_bytes = 1_MB;
+    spec.max_file_bytes = 2_MB;
+    spec.weight = static_cast<double>(tenant.weight_pct) / 100.0;
+    spec.capacity_floor = static_cast<double>(tenant.floor_pct) / 100.0;
+    specs.push_back(spec);
+  }
+  return specs;
 }
 
 std::unique_ptr<wl::Workload> make_workload(const FuzzScenario& scenario) {
@@ -197,6 +259,15 @@ std::string serialize_scenario(const FuzzScenario& scenario) {
   out << "reducers " << scenario.reducers << "\n";
   out << "block_kb " << scenario.block_kb << "\n";
   out << "nm_expiry_ms " << scenario.nm_expiry_ms << "\n";
+  // Stream fields only when present, so pre-stream reproducer files
+  // keep round-tripping byte-identically.
+  if (is_stream(scenario)) {
+    out << "stream_horizon_ms " << scenario.stream_horizon_ms << "\n";
+    for (const FuzzTenant& tenant : scenario.tenants) {
+      out << "tenant " << tenant.arrival << " " << tenant.mean_interarrival_ms << " "
+          << tenant.weight_pct << " " << tenant.floor_pct << "\n";
+    }
+  }
   for (const harness::FaultSpec& fault : scenario.faults) {
     out << "fault " << harness::fault_kind_name(fault.kind) << " " << fault.node << " "
         << fault.at.as_micros() << " " << fault.duration.as_micros() << " "
@@ -252,6 +323,16 @@ FuzzScenario parse_scenario(const std::string& text) {
       ok = static_cast<bool>(fields >> s.block_kb);
     } else if (key == "nm_expiry_ms") {
       ok = static_cast<bool>(fields >> s.nm_expiry_ms);
+    } else if (key == "stream_horizon_ms") {
+      ok = static_cast<bool>(fields >> s.stream_horizon_ms);
+    } else if (key == "tenant") {
+      FuzzTenant tenant;
+      ok = static_cast<bool>(fields >> tenant.arrival >> tenant.mean_interarrival_ms >>
+                             tenant.weight_pct >> tenant.floor_pct);
+      if (ok) {
+        wl::arrival_process_from_name(tenant.arrival);  // validate, throws
+        s.tenants.push_back(tenant);
+      }
     } else if (key == "fault") {
       std::string kind;
       long long node = 0, at_us = 0, duration_us = 0, slowdown_pct = 0;

@@ -17,9 +17,20 @@
 #include <vector>
 
 #include "harness/world.h"
+#include "workloads/jobstream.h"
 #include "workloads/workload.h"
 
 namespace mrapid::check {
+
+// One tenant of a multi-tenant stream scenario. Integer fields only
+// (like everything else in FuzzScenario) so tenants serialize to the
+// same replay-forever text format.
+struct FuzzTenant {
+  std::string arrival = "poisson";  // poisson | bursty | diurnal
+  long long mean_interarrival_ms = 15000;
+  int weight_pct = 100;  // fair-share weight x100
+  int floor_pct = 0;     // capacity floor in percent of the root cap
+};
 
 struct FuzzScenario {
   std::uint64_t seed = 0;  // generator seed; reused as the world seed
@@ -48,7 +59,17 @@ struct FuzzScenario {
   // Explicit, already-expanded fault schedule (plan probabilities are
   // resolved at generation time so the schedule is shrinkable).
   std::vector<harness::FaultSpec> faults;
+
+  // Multi-tenant open-loop stream. Empty = the classic single-job
+  // scenario above; non-empty switches the oracle to the stream path
+  // (StreamPump + TenantQueue), where the single-job geometry fields
+  // are ignored.
+  std::vector<FuzzTenant> tenants;
+  long long stream_horizon_ms = 45000;
 };
+
+// True when the scenario drives the open-loop stream path.
+inline bool is_stream(const FuzzScenario& scenario) { return !scenario.tenants.empty(); }
 
 // Deterministic: the same seed always yields the same scenario.
 FuzzScenario generate_scenario(std::uint64_t seed);
@@ -68,6 +89,12 @@ std::unique_ptr<wl::Workload> make_workload(const FuzzScenario& scenario);
 // The WorldConfig every mode run of this scenario uses (cluster
 // preset, HDFS block size, nm expiry, fault events, seed).
 harness::WorldConfig world_config(const FuzzScenario& scenario);
+
+// The TenantSpec list a stream scenario's StreamPump runs: one small
+// scan-only tenant per FuzzTenant (named t0, t1, ...), with the
+// arrival process shapes scaled to the short fuzz horizon. Throws
+// std::invalid_argument when the scenario has no tenants.
+std::vector<wl::TenantSpec> make_tenant_specs(const FuzzScenario& scenario);
 
 // Replay text: one "key value" line per field, integers only, ending
 // with "end". parse(serialize(s)) reproduces s exactly, and serialize

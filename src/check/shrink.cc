@@ -27,46 +27,88 @@ std::vector<std::function<bool(FuzzScenario&)>> round_candidates(const FuzzScena
     });
   }
 
-  // 2. Collapse to a single reducer.
-  candidates.push_back([](FuzzScenario& s) {
-    if (s.reducers <= 1) return false;
+  // 2. Stream scenarios: drop tenants, shorten the horizon, simplify
+  // arrival processes and entitlements. The single-job geometry
+  // candidates below are skipped for streams (those fields are ignored
+  // on the stream path, so mutating them would only waste oracle runs).
+  if (is_stream(base)) {
+    for (std::size_t i = 0; i < base.tenants.size(); ++i) {
+      candidates.push_back([i](FuzzScenario& s) {
+        if (s.tenants.size() <= 1 || i >= s.tenants.size()) return false;
+        s.tenants.erase(s.tenants.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      });
+    }
+    candidates.push_back([](FuzzScenario& s) {
+      if (s.stream_horizon_ms <= 10000) return false;
+      s.stream_horizon_ms = std::max(10000LL, s.stream_horizon_ms / 2);
+      return true;
+    });
+    for (std::size_t i = 0; i < base.tenants.size(); ++i) {
+      candidates.push_back([i](FuzzScenario& s) {
+        if (i >= s.tenants.size() || s.tenants[i].arrival == "poisson") return false;
+        s.tenants[i].arrival = "poisson";
+        return true;
+      });
+      candidates.push_back([i](FuzzScenario& s) {
+        if (i >= s.tenants.size() || s.tenants[i].mean_interarrival_ms >= 60000) return false;
+        s.tenants[i].mean_interarrival_ms =
+            std::min(60000LL, s.tenants[i].mean_interarrival_ms * 2);
+        return true;
+      });
+      candidates.push_back([i](FuzzScenario& s) {
+        if (i >= s.tenants.size() ||
+            (s.tenants[i].weight_pct == 100 && s.tenants[i].floor_pct == 0)) {
+          return false;
+        }
+        s.tenants[i].weight_pct = 100;
+        s.tenants[i].floor_pct = 0;
+        return true;
+      });
+    }
+  }
+
+  // 3. Collapse to a single reducer and halve the single-job workload
+  // geometry toward its floor — skipped for streams, where these
+  // fields are ignored.
+  const bool stream = is_stream(base);
+  candidates.push_back([stream](FuzzScenario& s) {
+    if (stream || s.reducers <= 1) return false;
     s.reducers = 1;
     return true;
   });
-
-  // 3. Halve the workload geometry toward its floor.
-  candidates.push_back([](FuzzScenario& s) {
-    if (s.workload != "wordcount" || s.files <= 1) return false;
+  candidates.push_back([stream](FuzzScenario& s) {
+    if (stream || s.workload != "wordcount" || s.files <= 1) return false;
     s.files = std::max(1, s.files / 2);
     return true;
   });
-  candidates.push_back([](FuzzScenario& s) {
-    if (s.workload != "wordcount" || s.file_kb <= 128) return false;
+  candidates.push_back([stream](FuzzScenario& s) {
+    if (stream || s.workload != "wordcount" || s.file_kb <= 128) return false;
     s.file_kb = std::max(128, s.file_kb / 2);
     return true;
   });
-  candidates.push_back([](FuzzScenario& s) {
-    if (s.workload != "wordcount" || s.block_kb == 0) return false;
+  candidates.push_back([stream](FuzzScenario& s) {
+    if (stream || s.workload != "wordcount" || s.block_kb == 0) return false;
     s.block_kb = 0;  // default block size -> one split per file
     return true;
   });
-  candidates.push_back([](FuzzScenario& s) {
-    if (s.workload != "terasort" || s.rows <= 2000) return false;
+  candidates.push_back([stream](FuzzScenario& s) {
+    if (stream || s.workload != "terasort" || s.rows <= 2000) return false;
     s.rows = std::max(2000LL, s.rows / 2);
     return true;
   });
-  candidates.push_back([](FuzzScenario& s) {
-    if (s.workload != "terasort" || s.blocks <= 2) return false;
+  candidates.push_back([stream](FuzzScenario& s) {
+    if (stream || s.workload != "terasort" || s.blocks <= 2) return false;
     s.blocks = std::max(2, s.blocks / 2);
     return true;
   });
-  candidates.push_back([](FuzzScenario& s) {
-    if (s.workload != "pi" || s.samples <= 50000) return false;
+  candidates.push_back([stream](FuzzScenario& s) {
+    if (stream || s.workload != "pi" || s.samples <= 50000) return false;
     s.samples = std::max(50000LL, s.samples / 2);
     return true;
   });
-  candidates.push_back([](FuzzScenario& s) {
-    if (s.workload != "pi" || s.pi_maps <= 2) return false;
+  candidates.push_back([stream](FuzzScenario& s) {
+    if (stream || s.workload != "pi" || s.pi_maps <= 2) return false;
     s.pi_maps = std::max(2, s.pi_maps / 2);
     return true;
   });

@@ -1,0 +1,112 @@
+#include "harness/stream_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mrapid::harness {
+
+double exact_quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  // Two selections instead of a sort: after the first nth_element the
+  // (lo+1)-th order statistic is the minimum of the upper partition.
+  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(lo),
+                   samples.end());
+  const double at_lo = samples[lo];
+  if (hi == lo || frac == 0.0) return at_lo;
+  const double at_hi =
+      *std::min_element(samples.begin() + static_cast<std::ptrdiff_t>(lo) + 1, samples.end());
+  return at_lo * (1.0 - frac) + at_hi * frac;
+}
+
+double jain_fairness_index(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) return 1.0;  // nobody got anything: equally treated
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+StreamMetrics compute_stream_metrics(const std::vector<StreamJobRecord>& records,
+                                     const std::vector<std::string>& tenant_names,
+                                     const StreamMetricsOptions& options) {
+  StreamMetrics metrics;
+  metrics.tenants.resize(tenant_names.size());
+  for (std::size_t i = 0; i < tenant_names.size(); ++i) {
+    metrics.tenants[i].name = tenant_names[i];
+  }
+
+  std::vector<double> latencies, waits;
+  std::vector<std::vector<double>> tenant_latencies(tenant_names.size());
+  double busy_slot_seconds = 0.0;
+
+  for (const StreamJobRecord& record : records) {
+    TenantStreamStats& tenant =
+        metrics.tenants.at(static_cast<std::size_t>(record.tenant));
+    const bool in_window =
+        record.submitted_s >= options.warmup_seconds &&
+        (options.horizon_seconds <= 0 || record.submitted_s < options.horizon_seconds);
+    if (!in_window) {
+      ++metrics.trimmed_jobs;
+      continue;
+    }
+    ++tenant.submitted;
+    if (!record.completed) {
+      ++metrics.unfinished_jobs;
+      continue;
+    }
+    ++metrics.measured_jobs;
+    ++tenant.completed;
+    tenant.work_seconds += record.work_seconds;
+    busy_slot_seconds += record.work_seconds;
+    latencies.push_back(record.latency_s());
+    waits.push_back(record.queue_wait_s());
+    tenant_latencies[static_cast<std::size_t>(record.tenant)].push_back(record.latency_s());
+  }
+
+  auto mean = [](const std::vector<double>& xs) {
+    if (xs.empty()) return 0.0;
+    double sum = 0.0;
+    for (double x : xs) sum += x;
+    return sum / static_cast<double>(xs.size());
+  };
+
+  metrics.p50_latency_s = exact_quantile(latencies, 0.50);
+  metrics.p99_latency_s = exact_quantile(latencies, 0.99);
+  metrics.p999_latency_s = exact_quantile(latencies, 0.999);
+  metrics.mean_latency_s = mean(latencies);
+  metrics.p50_wait_s = exact_quantile(waits, 0.50);
+  metrics.p99_wait_s = exact_quantile(waits, 0.99);
+  metrics.p999_wait_s = exact_quantile(waits, 0.999);
+  metrics.mean_wait_s = mean(waits);
+
+  double total_work = 0.0;
+  std::vector<double> shares;
+  for (std::size_t i = 0; i < metrics.tenants.size(); ++i) {
+    TenantStreamStats& tenant = metrics.tenants[i];
+    total_work += tenant.work_seconds;
+    tenant.mean_latency_s = mean(tenant_latencies[i]);
+    tenant.p99_latency_s = exact_quantile(tenant_latencies[i], 0.99);
+  }
+  for (TenantStreamStats& tenant : metrics.tenants) {
+    tenant.work_share = total_work > 0 ? tenant.work_seconds / total_work : 0.0;
+    shares.push_back(tenant.work_seconds);
+  }
+  metrics.jain_fairness = jain_fairness_index(shares);
+
+  if (options.slot_count > 0 && options.horizon_seconds > options.warmup_seconds) {
+    const double window = options.horizon_seconds - options.warmup_seconds;
+    metrics.utilization = busy_slot_seconds / (options.slot_count * window);
+  }
+  return metrics;
+}
+
+}  // namespace mrapid::harness

@@ -1,0 +1,93 @@
+#pragma once
+
+// Steady-state metrics over an open-loop job stream: warm-up trimming,
+// exact (reservoir-free) latency/queue-wait quantiles, slot
+// utilization and Jain's fairness index across tenants. Pure functions
+// over the StreamJobRecord list the stream pump produces, so the unit
+// suite can drive them with synthetic records and a sort-based oracle.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mrapid::harness {
+
+// One job's life through the stream, in seconds since stream start.
+struct StreamJobRecord {
+  int tenant = 0;
+  std::string label;
+  double submitted_s = 0.0;
+  double dispatched_s = 0.0;  // left the tenant queue
+  double completed_s = 0.0;
+  bool completed = false;  // reached a terminal state
+  bool succeeded = false;
+  // Busy slot-seconds this job consumed (task core-seconds), the work
+  // measure behind utilization and fairness shares.
+  double work_seconds = 0.0;
+
+  double queue_wait_s() const { return dispatched_s - submitted_s; }
+  double latency_s() const { return completed_s - submitted_s; }
+};
+
+// Exact quantile with the linear interpolation convention of
+// common/stats Percentiles: q in [0, 1], interpolates between closest
+// ranks; returns 0 on an empty sample set. Selection-based
+// (nth_element), not a full sort.
+double exact_quantile(std::vector<double> samples, double q);
+
+// Jain's fairness index (sum x)^2 / (n * sum x^2) over per-tenant
+// shares. 1.0 = perfectly fair, 1/n = maximally unfair. Degenerate
+// inputs are defined: an empty vector or an all-zero vector (no work
+// done by anyone — nobody is favoured) both yield 1.0.
+double jain_fairness_index(const std::vector<double>& values);
+
+struct StreamMetricsOptions {
+  // Jobs *submitted* before warmup_seconds are trimmed (exactly at the
+  // boundary is kept); jobs submitted at or after horizon_seconds are
+  // trimmed too, so the measured window is [warmup, horizon).
+  double warmup_seconds = 0.0;
+  double horizon_seconds = 0.0;  // <= 0 means "no upper bound"
+  // Total task slots (worker vcores) for utilization; <= 0 disables.
+  double slot_count = 0.0;
+};
+
+struct TenantStreamStats {
+  std::string name;
+  std::size_t submitted = 0;  // inside the measured window
+  std::size_t completed = 0;
+  double work_seconds = 0.0;
+  double work_share = 0.0;  // of all tenants' measured work
+  double mean_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+};
+
+struct StreamMetrics {
+  std::size_t measured_jobs = 0;  // completed jobs inside the window
+  std::size_t trimmed_jobs = 0;   // dropped by warm-up/horizon trimming
+  std::size_t unfinished_jobs = 0;  // submitted in-window, never terminal
+
+  double p50_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double p999_latency_s = 0.0;
+  double mean_latency_s = 0.0;
+  double p50_wait_s = 0.0;
+  double p99_wait_s = 0.0;
+  double p999_wait_s = 0.0;
+  double mean_wait_s = 0.0;
+
+  // Busy slot-seconds / (slot_count * window length); 0 when either
+  // slot_count or the window is unspecified.
+  double utilization = 0.0;
+  // Jain over per-tenant completed-work shares inside the window.
+  double jain_fairness = 1.0;
+
+  std::vector<TenantStreamStats> tenants;
+};
+
+// `tenant_names[i]` labels records with tenant == i; records with an
+// out-of-range tenant index throw std::out_of_range.
+StreamMetrics compute_stream_metrics(const std::vector<StreamJobRecord>& records,
+                                     const std::vector<std::string>& tenant_names,
+                                     const StreamMetricsOptions& options);
+
+}  // namespace mrapid::harness

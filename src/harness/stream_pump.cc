@@ -1,0 +1,189 @@
+#include "harness/stream_pump.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "common/log.h"
+
+namespace mrapid::harness {
+
+StreamPump::StreamPump(World& world, const std::vector<wl::TenantSpec>& tenants,
+                       StreamPumpOptions options)
+    : world_(world), options_(options) {
+  if (tenants.empty()) {
+    throw std::invalid_argument("StreamPump: at least one tenant required");
+  }
+  if (options_.horizon_seconds <= 0) {
+    throw std::invalid_argument("StreamPump: horizon must be > 0");
+  }
+  int cap = options_.max_running_jobs;
+  if (cap <= 0) {
+    // AM-pool admission: for the MRapid modes the pool bounds how many
+    // jobs can hold a warm AM; the baselines get the same cap so all
+    // modes contend at identical concurrency.
+    cap = world_.framework().options().pool_size;
+  }
+  yarn::TenantQueueOptions queue_options;
+  queue_options.max_running_jobs = cap;
+  queue_ = std::make_unique<yarn::TenantQueue>(world_.simulation(), queue_options);
+
+  for (const wl::TenantSpec& spec : tenants) {
+    TenantRuntime runtime;
+    runtime.spec = spec;
+    runtime.source = std::make_unique<wl::TenantJobSource>(spec, world_.config().seed);
+    runtime.queue_handle =
+        queue_->register_tenant(spec.name, spec.weight, spec.capacity_floor);
+    tenants_.push_back(std::move(runtime));
+  }
+}
+
+std::vector<std::string> StreamPump::tenant_names() const {
+  std::vector<std::string> names;
+  for (const TenantRuntime& tenant : tenants_) names.push_back(tenant.spec.name);
+  return names;
+}
+
+double StreamPump::slot_count() const {
+  double slots = 0;
+  cluster::Cluster& cluster = world_.cluster();
+  for (cluster::NodeId id : cluster.workers()) {
+    slots += cluster.node(id).spec().cores;
+  }
+  return slots;
+}
+
+void StreamPump::schedule_next_arrival(std::size_t tenant) {
+  TenantRuntime& runtime = tenants_[tenant];
+  runtime.pending = runtime.source->next();
+  if (runtime.pending->submit_offset_seconds >= options_.horizon_seconds) {
+    // This tenant is done generating; the drawn-but-unsubmitted job is
+    // dropped (open loop: nothing past the horizon enters the system).
+    runtime.pending.reset();
+    assert(arrivals_open_ > 0);
+    --arrivals_open_;
+    maybe_stop();
+    return;
+  }
+  world_.simulation().schedule_at(
+      start_ + sim::SimDuration::seconds(runtime.pending->submit_offset_seconds),
+      [this, tenant] { on_arrival(tenant); }, {"stream:", "arrival"});
+}
+
+void StreamPump::on_arrival(std::size_t tenant) {
+  TenantRuntime& runtime = tenants_[tenant];
+  assert(runtime.pending.has_value());
+  wl::StreamedJob job = std::move(*runtime.pending);
+  runtime.pending.reset();
+
+  const std::size_t record_index = records_.size();
+  StreamJobRecord record;
+  record.tenant = static_cast<int>(tenant);
+  record.label = job.label;
+  record.submitted_s = (world_.simulation().now() - start_).as_seconds();
+  records_.push_back(std::move(record));
+
+  yarn::TenantQueue::PendingJob pending;
+  pending.label = records_[record_index].label;
+  pending.submitted = world_.simulation().now();
+  std::shared_ptr<wl::Workload> workload = job.workload;
+  pending.dispatch = [this, tenant, record_index,
+                      workload](sim::SimDuration queue_wait) {
+    dispatch(tenant, record_index, workload, queue_wait);
+  };
+  queue_->submit(runtime.queue_handle, std::move(pending));
+
+  // Open loop: the next arrival is drawn now, independent of how the
+  // system is coping with the backlog.
+  schedule_next_arrival(tenant);
+}
+
+void StreamPump::dispatch(std::size_t tenant, std::size_t record_index,
+                          std::shared_ptr<wl::Workload> workload,
+                          sim::SimDuration queue_wait) {
+  StreamJobRecord& record = records_[record_index];
+  record.dispatched_s = record.submitted_s + queue_wait.as_seconds();
+
+  mr::JobSpec spec = workload->make_spec(world_.hdfs());
+  spec.name = record.label;
+
+  auto on_complete = [this, tenant, record_index, workload](const mr::JobResult& result) {
+    on_job_done(tenant, record_index, workload, result);
+  };
+
+  switch (world_.mode()) {
+    case RunMode::kHadoop:
+    case RunMode::kUber:
+      world_.client().submit(spec, to_execution_mode(world_.mode()), on_complete);
+      break;
+    case RunMode::kDPlus:
+    case RunMode::kUPlus:
+      world_.framework().submit_in_mode(spec, to_execution_mode(world_.mode()), on_complete);
+      break;
+    case RunMode::kMRapidAuto:
+      world_.framework().submit(spec, on_complete);
+      break;
+    case RunMode::kSpark:
+      throw std::invalid_argument("StreamPump: Spark mode is not stream-driven");
+  }
+}
+
+void StreamPump::on_job_done(std::size_t tenant, std::size_t record_index,
+                             const std::shared_ptr<wl::Workload>& workload,
+                             const mr::JobResult& result) {
+  StreamJobRecord& record = records_[record_index];
+  assert(!record.completed && "job completed twice");
+  record.completed = true;
+  record.succeeded = result.succeeded && !result.killed;
+  record.completed_s = (world_.simulation().now() - start_).as_seconds();
+  double busy = 0.0;
+  for (const mr::TaskProfile& map : result.profile.maps) busy += map.duration_seconds();
+  for (const mr::TaskProfile& reduce : result.profile.reduces) busy += reduce.duration_seconds();
+  record.work_seconds = busy;
+  if (options_.on_job_complete) options_.on_job_complete(record, *workload, result);
+
+  queue_->on_job_finished(tenants_[tenant].queue_handle, busy);
+  maybe_stop();
+}
+
+void StreamPump::maybe_stop() {
+  if (arrivals_open_ == 0 && queue_->drained()) world_.simulation().stop();
+}
+
+bool StreamPump::run() {
+  assert(!ran_ && "StreamPump::run is one-shot");
+  ran_ = true;
+  if (!world_.booted()) world_.boot();
+  start_ = world_.simulation().now();
+
+  arrivals_open_ = tenants_.size();
+  for (std::size_t tenant = 0; tenant < tenants_.size(); ++tenant) {
+    schedule_next_arrival(tenant);
+  }
+
+  const sim::SimTime deadline =
+      start_ + sim::SimDuration::seconds(options_.horizon_seconds +
+                                         options_.drain_grace_seconds);
+  // run_until resets the stop flag, so an already-empty stream (every
+  // first arrival past the horizon) must not enter it at all.
+  if (arrivals_open_ > 0 || !queue_->drained()) {
+    world_.simulation().run_until(deadline);
+  }
+
+  const bool drained = arrivals_open_ == 0 && queue_->drained();
+  if (!drained) {
+    LOG_WARN("stream", "stream did not drain: %zu records, backlog %zu, running %d",
+             records_.size(), queue_->total_backlog(), queue_->total_running());
+  }
+  return drained;
+}
+
+StreamMetrics StreamPump::metrics(double warmup_seconds) const {
+  StreamMetricsOptions options;
+  options.warmup_seconds = warmup_seconds;
+  options.horizon_seconds = options_.horizon_seconds;
+  options.slot_count = slot_count();
+  return compute_stream_metrics(records_, tenant_names(), options);
+}
+
+}  // namespace mrapid::harness

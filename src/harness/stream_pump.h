@@ -1,0 +1,101 @@
+#pragma once
+
+// The open-loop stream pump: drives per-tenant TenantJobSource arrival
+// processes against one World as *simulation events* — each arrival
+// schedules only the next one, so hours of simulated load never
+// materialise a job list up front (and the arrival rate never adapts
+// to how fast the system drains, which is what "open loop" means).
+//
+// Submission is admission-controlled by a yarn::TenantQueue: an
+// arrival enqueues under its tenant; the queue dispatches the
+// most-underserved tenant's next job whenever a job slot frees. For
+// D+/U+ the root capacity defaults to the AM pool size, so queue
+// admission is exactly AM-pool admission; the baselines get the same
+// cap so the four modes contend under identical concurrency.
+//
+// Every job's life (submit, dispatch, completion, busy task-seconds)
+// lands in a StreamJobRecord; stream_metrics.h turns the records into
+// steady-state numbers after warm-up trimming.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "harness/stream_metrics.h"
+#include "harness/world.h"
+#include "workloads/jobstream.h"
+#include "yarn/tenant_queue.h"
+
+namespace mrapid::harness {
+
+struct StreamPumpOptions {
+  // Arrivals strictly before the horizon are submitted; generation
+  // stops there.
+  double horizon_seconds = 600.0;
+  // After the horizon, in-flight and queued jobs get this long to
+  // drain before the pump gives up (conservation then fails).
+  double drain_grace_seconds = 1200.0;
+  // Root concurrency cap; 0 derives it from the world (AM pool size).
+  int max_running_jobs = 0;
+  // Observation hook, called once per job right after its record turns
+  // terminal — with the record, the workload that produced it and the
+  // raw result. The differential oracle digests per-job outputs here.
+  std::function<void(const StreamJobRecord&, wl::Workload&, const mr::JobResult&)>
+      on_job_complete;
+};
+
+class StreamPump {
+ public:
+  // The world must be freshly constructed (not yet run); the pump
+  // boots it on run(). Tenant specs carry their own weights/floors,
+  // which register into the tenant queue in vector order.
+  StreamPump(World& world, const std::vector<wl::TenantSpec>& tenants,
+             StreamPumpOptions options);
+
+  // Runs the whole stream: boot, arrivals, drain. Returns true when
+  // every submitted job reached a terminal state (the conservation
+  // property); false when the drain grace expired with work stuck.
+  bool run();
+
+  const std::vector<StreamJobRecord>& records() const { return records_; }
+  const yarn::TenantQueue& queue() const { return *queue_; }
+  std::vector<std::string> tenant_names() const;
+  std::size_t submitted_jobs() const { return records_.size(); }
+
+  // Total worker vcores — the slot count utilization is measured
+  // against.
+  double slot_count() const;
+
+  // Metrics over this run's records with the pump's horizon as the
+  // window end and the given warm-up trim.
+  StreamMetrics metrics(double warmup_seconds) const;
+
+ private:
+  struct TenantRuntime {
+    wl::TenantSpec spec;
+    std::unique_ptr<wl::TenantJobSource> source;
+    std::optional<wl::StreamedJob> pending;  // next arrival, already drawn
+    int queue_handle = 0;
+  };
+
+  void schedule_next_arrival(std::size_t tenant);
+  void on_arrival(std::size_t tenant);
+  void dispatch(std::size_t tenant, std::size_t record_index,
+                std::shared_ptr<wl::Workload> workload, sim::SimDuration queue_wait);
+  void on_job_done(std::size_t tenant, std::size_t record_index,
+                   const std::shared_ptr<wl::Workload>& workload, const mr::JobResult& result);
+  void maybe_stop();
+
+  World& world_;
+  StreamPumpOptions options_;
+  std::unique_ptr<yarn::TenantQueue> queue_;
+  std::vector<TenantRuntime> tenants_;
+  std::vector<StreamJobRecord> records_;
+  sim::SimTime start_;
+  std::size_t arrivals_open_ = 0;  // tenants still generating
+  bool ran_ = false;
+};
+
+}  // namespace mrapid::harness

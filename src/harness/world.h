@@ -88,6 +88,7 @@ class World {
   // Brings up NMs (and, for MRapid modes, warms the AM pool), leaving
   // the simulation at the instant the system is ready for jobs.
   void boot();
+  bool booted() const { return booted_; }
 
   // Stages the workload, submits it in this world's mode, runs the
   // simulation until the client observes completion. Returns nullopt

@@ -1,17 +1,97 @@
 #include "workloads/jobstream.h"
 
-#include <cassert>
-#include <map>
+#include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace mrapid::wl {
 
-std::vector<StreamedJob> make_job_stream(const JobStreamParams& params) {
-  assert(params.jobs > 0);
-  RngStream rng(params.seed, "jobstream");
-  const double total_weight =
-      params.scan_weight + params.sort_weight + params.numeric_weight;
-  assert(total_weight > 0);
+namespace {
 
+// Draws one job's class and shape. Shared by the closed batch and the
+// per-tenant source so both sample the same mix distribution; the RNG
+// call sequence here is the historical make_job_stream one, which
+// keeps the original stream byte-stable.
+StreamedJob draw_job(RngStream& rng, double scan_weight, double sort_weight,
+                     double numeric_weight, int min_files, int max_files,
+                     Bytes min_file_bytes, Bytes max_file_bytes, std::uint64_t data_seed,
+                     std::map<std::string, std::shared_ptr<Workload>>& shapes) {
+  const double total_weight = scan_weight + sort_weight + numeric_weight;
+  const double pick = rng.next_real(0.0, total_weight);
+
+  StreamedJob job;
+  if (pick < scan_weight) {
+    const int files = static_cast<int>(rng.next_int(min_files, max_files));
+    // Quantise sizes to whole MB so shapes repeat and payload caches hit.
+    const Bytes size = megabytes(
+        static_cast<double>(rng.next_int(min_file_bytes / 1_MB, max_file_bytes / 1_MB)));
+    const std::string key =
+        "scan-" + std::to_string(files) + "x" + std::to_string(size / 1_MB) + "MB";
+    auto& shape = shapes[key];
+    if (!shape) {
+      WordCountParams wc;
+      wc.num_files = static_cast<std::size_t>(files);
+      wc.bytes_per_file = size;
+      wc.seed = data_seed;
+      shape = std::make_shared<WordCount>(wc);
+    }
+    job.label = key;
+    job.workload = shape;
+  } else if (pick < scan_weight + sort_weight) {
+    const std::int64_t rows = rng.next_int(1, 4) * 100000;
+    const std::string key = "sort-" + std::to_string(rows / 1000) + "k";
+    auto& shape = shapes[key];
+    if (!shape) {
+      TeraSortParams ts;
+      ts.rows = rows;
+      ts.seed = data_seed;
+      shape = std::make_shared<TeraSort>(ts);
+    }
+    job.label = key;
+    job.workload = shape;
+  } else {
+    const std::int64_t samples = rng.next_int(1, 4) * 100000000;
+    const std::string key = "numeric-" + std::to_string(samples / 1000000) + "m";
+    auto& shape = shapes[key];
+    if (!shape) {
+      PiParams pi;
+      pi.total_samples = samples;
+      shape = std::make_shared<Pi>(pi);
+    }
+    job.label = key;
+    job.workload = shape;
+  }
+  return job;
+}
+
+}  // namespace
+
+void validate_mix(const char* who, double scan_weight, double sort_weight,
+                  double numeric_weight, int min_files, int max_files) {
+  if (scan_weight < 0 || sort_weight < 0 || numeric_weight < 0) {
+    throw std::invalid_argument(std::string(who) + ": mix weights must be non-negative");
+  }
+  if (scan_weight + sort_weight + numeric_weight <= 0) {
+    throw std::invalid_argument(std::string(who) +
+                                ": mix weights sum to zero (no job class to draw)");
+  }
+  if (min_files < 1 || max_files < min_files) {
+    throw std::invalid_argument(std::string(who) + ": invalid file-count range");
+  }
+}
+
+std::vector<StreamedJob> make_job_stream(const JobStreamParams& params) {
+  if (params.jobs < 0) {
+    throw std::invalid_argument("make_job_stream: jobs must be >= 0");
+  }
+  validate_mix("make_job_stream", params.scan_weight, params.sort_weight,
+               params.numeric_weight, params.min_files, params.max_files);
+  if (params.mean_interarrival_seconds <= 0) {
+    throw std::invalid_argument("make_job_stream: mean inter-arrival must be > 0");
+  }
+  if (params.jobs == 0) return {};
+
+  RngStream rng(params.seed, "jobstream");
   // Cache one workload instance per concrete shape.
   std::map<std::string, std::shared_ptr<Workload>> shapes;
   std::vector<StreamedJob> stream;
@@ -19,56 +99,119 @@ std::vector<StreamedJob> make_job_stream(const JobStreamParams& params) {
 
   for (int i = 0; i < params.jobs; ++i) {
     clock += rng.next_exponential(params.mean_interarrival_seconds);
-    const double pick = rng.next_real(0.0, total_weight);
-
-    StreamedJob job;
+    StreamedJob job = draw_job(rng, params.scan_weight, params.sort_weight,
+                               params.numeric_weight, params.min_files, params.max_files,
+                               params.min_file_bytes, params.max_file_bytes, params.seed,
+                               shapes);
     job.submit_offset_seconds = clock;
-    if (pick < params.scan_weight) {
-      const int files =
-          static_cast<int>(rng.next_int(params.min_files, params.max_files));
-      // Quantise sizes to whole MB so shapes repeat and payload caches hit.
-      const Bytes size = megabytes(static_cast<double>(
-          rng.next_int(params.min_file_bytes / 1_MB, params.max_file_bytes / 1_MB)));
-      const std::string key =
-          "scan-" + std::to_string(files) + "x" + std::to_string(size / 1_MB) + "MB";
-      auto& shape = shapes[key];
-      if (!shape) {
-        WordCountParams wc;
-        wc.num_files = static_cast<std::size_t>(files);
-        wc.bytes_per_file = size;
-        wc.seed = params.seed;
-        shape = std::make_shared<WordCount>(wc);
-      }
-      job.label = key;
-      job.workload = shape;
-    } else if (pick < params.scan_weight + params.sort_weight) {
-      const std::int64_t rows = rng.next_int(1, 4) * 100000;
-      const std::string key = "sort-" + std::to_string(rows / 1000) + "k";
-      auto& shape = shapes[key];
-      if (!shape) {
-        TeraSortParams ts;
-        ts.rows = rows;
-        ts.seed = params.seed;
-        shape = std::make_shared<TeraSort>(ts);
-      }
-      job.label = key;
-      job.workload = shape;
-    } else {
-      const std::int64_t samples = rng.next_int(1, 4) * 100000000;
-      const std::string key = "numeric-" + std::to_string(samples / 1000000) + "m";
-      auto& shape = shapes[key];
-      if (!shape) {
-        PiParams pi;
-        pi.total_samples = samples;
-        shape = std::make_shared<Pi>(pi);
-      }
-      job.label = key;
-      job.workload = shape;
-    }
     job.label += "#" + std::to_string(i);
     stream.push_back(std::move(job));
   }
   return stream;
+}
+
+// ---- open-loop tenants ----------------------------------------------
+
+const char* arrival_process_name(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBursty: return "bursty";
+    case ArrivalProcess::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+ArrivalProcess arrival_process_from_name(const std::string& name) {
+  if (name == "poisson") return ArrivalProcess::kPoisson;
+  if (name == "bursty") return ArrivalProcess::kBursty;
+  if (name == "diurnal") return ArrivalProcess::kDiurnal;
+  throw std::invalid_argument("unknown arrival process '" + name + "'");
+}
+
+TenantJobSource::TenantJobSource(TenantSpec spec, std::uint64_t master_seed)
+    : spec_(std::move(spec)),
+      rng_(master_seed, "tenant." + spec_.name),
+      data_seed_(rng_.fork("payload").next_u64()) {
+  validate_mix(("tenant '" + spec_.name + "'").c_str(), spec_.scan_weight, spec_.sort_weight,
+               spec_.numeric_weight, spec_.min_files, spec_.max_files);
+  const ArrivalParams& a = spec_.arrival;
+  if (a.mean_interarrival_seconds <= 0) {
+    throw std::invalid_argument("tenant '" + spec_.name + "': mean inter-arrival must be > 0");
+  }
+  if (a.process == ArrivalProcess::kBursty &&
+      (a.burst_factor < 1.0 || a.mean_on_seconds <= 0 || a.mean_off_seconds < 0)) {
+    throw std::invalid_argument("tenant '" + spec_.name + "': invalid burst shape");
+  }
+  if (a.process == ArrivalProcess::kDiurnal &&
+      (a.diurnal_amplitude < 0.0 || a.diurnal_amplitude > 1.0 ||
+       a.diurnal_period_seconds <= 0)) {
+    throw std::invalid_argument("tenant '" + spec_.name + "': invalid diurnal shape");
+  }
+  if (spec_.weight <= 0 || spec_.capacity_floor < 0 || spec_.capacity_floor > 1) {
+    throw std::invalid_argument("tenant '" + spec_.name + "': invalid share entitlement");
+  }
+}
+
+double TenantJobSource::next_interarrival() {
+  const ArrivalParams& a = spec_.arrival;
+  switch (a.process) {
+    case ArrivalProcess::kPoisson:
+      return rng_.next_exponential(a.mean_interarrival_seconds);
+
+    case ArrivalProcess::kBursty: {
+      // Walk the on/off phase chain until an arrival lands inside an
+      // ON phase; OFF phases contribute pure gap. Phase durations are
+      // exponential, so the process is a 2-state MMPP with rate 0 in
+      // OFF and burst_factor/mean in ON.
+      const double on_mean_gap = a.mean_interarrival_seconds / a.burst_factor;
+      double gap = 0.0;
+      for (;;) {
+        if (phase_left_seconds_ <= 0.0) {
+          burst_on_ = !burst_on_;
+          phase_left_seconds_ = rng_.next_exponential(burst_on_ ? a.mean_on_seconds
+                                                                : a.mean_off_seconds);
+        }
+        if (!burst_on_) {
+          gap += phase_left_seconds_;
+          phase_left_seconds_ = 0.0;
+          continue;
+        }
+        const double draw = rng_.next_exponential(on_mean_gap);
+        if (draw <= phase_left_seconds_) {
+          phase_left_seconds_ -= draw;
+          return gap + draw;
+        }
+        gap += phase_left_seconds_;
+        phase_left_seconds_ = 0.0;
+      }
+    }
+
+    case ArrivalProcess::kDiurnal: {
+      // Non-homogeneous Poisson by thinning: propose at the peak rate
+      // (1 + amplitude) / mean, accept with probability rate(t)/peak.
+      const double base_rate = 1.0 / a.mean_interarrival_seconds;
+      const double peak_rate = base_rate * (1.0 + a.diurnal_amplitude);
+      double t = clock_seconds_;
+      for (;;) {
+        t += rng_.next_exponential(1.0 / peak_rate);
+        const double phase = 2.0 * M_PI * t / a.diurnal_period_seconds;
+        const double rate = base_rate * (1.0 + a.diurnal_amplitude * std::sin(phase));
+        if (rng_.next_double() * peak_rate <= rate) return t - clock_seconds_;
+      }
+    }
+  }
+  return a.mean_interarrival_seconds;  // unreachable
+}
+
+StreamedJob TenantJobSource::next() {
+  clock_seconds_ += next_interarrival();
+  StreamedJob job = draw_job(rng_, spec_.scan_weight, spec_.sort_weight, spec_.numeric_weight,
+                             spec_.min_files, spec_.max_files, spec_.min_file_bytes,
+                             spec_.max_file_bytes, data_seed_, shapes_);
+  job.submit_offset_seconds = clock_seconds_;
+  job.label = spec_.name + ":" + job.label + "#" + std::to_string(produced_);
+  ++produced_;
+  return job;
 }
 
 }  // namespace mrapid::wl

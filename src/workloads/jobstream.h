@@ -1,17 +1,29 @@
 #pragma once
 
-// Synthetic short-job stream generator — the paper's motivation in
+// Synthetic short-job stream generators — the paper's motivation in
 // workload form: "the MapReduce jobs at Google in 2004 took 634
 // seconds on the average, and over 80% of Yahoo's jobs finished
 // within 10 minutes", and SQL frontends "break a longer running job
 // into a collection of shorter jobs".
 //
-// A JobStream draws a deterministic sequence of jobs: mostly small
-// scan/aggregate stages (WordCount-shaped), some sorts, some numeric
-// stages, with Poisson-ish inter-arrival gaps. The throughput bench
-// and the ad-hoc example replay such streams against the baseline and
-// against MRapid.
+// Two layers:
+//
+//   1. make_job_stream(JobStreamParams) — the original closed batch: a
+//      fixed number of jobs with Poisson inter-arrival gaps, expanded
+//      eagerly into a list. Used by the `jobstream` replay experiment.
+//
+//   2. TenantSpec + TenantJobSource — the open-loop layer: one named
+//      tenant with an arrival *process* (Poisson, bursty on/off,
+//      diurnal), a workload mix, a size distribution and a fair-share
+//      entitlement (weight + capacity floor). A TenantJobSource yields
+//      jobs lazily, one arrival at a time, so the harness stream pump
+//      can schedule submissions as simulation events over hours of
+//      simulated time without ever materialising the whole stream.
+//
+// Both layers draw everything from named RngStreams, so the same
+// (seed, spec) always produces the same stream.
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,7 +58,102 @@ struct StreamedJob {
 
 // Deterministically expands the params into a concrete job list.
 // Workload instances are shared between jobs of identical shape so
-// generated payloads are built once.
+// generated payloads are built once. `jobs == 0` yields an empty
+// stream; negative `jobs`, a non-positive mix total or any negative
+// mix weight throw std::invalid_argument.
 std::vector<StreamedJob> make_job_stream(const JobStreamParams& params);
+
+// ---- open-loop tenants ----------------------------------------------
+
+// How a tenant's jobs arrive over time. All three processes are
+// parameterised by ArrivalParams and share the long-run scale
+// `mean_interarrival_seconds`.
+enum class ArrivalProcess {
+  kPoisson,  // homogeneous: gaps ~ Exp(mean)
+  kBursty,   // Markov-modulated on/off: Poisson bursts separated by silence
+  kDiurnal,  // sinusoidal-rate Poisson (thinning), modelling day/night load
+};
+
+const char* arrival_process_name(ArrivalProcess process);
+// "poisson" | "bursty" | "diurnal"; throws std::invalid_argument.
+ArrivalProcess arrival_process_from_name(const std::string& name);
+
+struct ArrivalParams {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  // Poisson: the mean gap. Bursty: the mean gap *inside a burst* is
+  // mean / burst_factor (the long-run rate also depends on the on/off
+  // duty cycle). Diurnal: the mean gap at the baseline rate; the
+  // instantaneous rate swings by ±amplitude around it.
+  double mean_interarrival_seconds = 5.0;
+  // Bursty (on/off) shape: exponential phase durations; arrivals only
+  // occur during ON phases, at burst_factor times the base rate.
+  double burst_factor = 4.0;
+  double mean_on_seconds = 30.0;
+  double mean_off_seconds = 60.0;
+  // Diurnal shape: rate(t) = base * (1 + amplitude * sin(2*pi*t/period)).
+  double diurnal_period_seconds = 3600.0;
+  double diurnal_amplitude = 0.8;  // must stay in [0, 1]
+};
+
+// One tenant of a multi-tenant stream: who they are, how their jobs
+// arrive, what they run, and what share of the cluster they are
+// entitled to in the hierarchical tenant queue.
+struct TenantSpec {
+  std::string name = "tenant";
+  ArrivalParams arrival;
+
+  // Workload mix (normalised internally; same semantics and validation
+  // as JobStreamParams).
+  double scan_weight = 0.6;
+  double sort_weight = 0.25;
+  double numeric_weight = 0.15;
+  int min_files = 1;
+  int max_files = 8;
+  Bytes min_file_bytes = 2_MB;
+  Bytes max_file_bytes = 10_MB;
+
+  // Fair-share entitlement (yarn::TenantQueue): relative weight for
+  // the fair tier and a guaranteed fraction [0, 1] of the concurrent
+  // job slots (the capacity floor).
+  double weight = 1.0;
+  double capacity_floor = 0.0;
+};
+
+// Lazily draws one tenant's jobs in arrival order. Deterministic per
+// (master seed, spec): two sources built alike yield identical
+// sequences. Workload instances are cached per concrete shape, so a
+// long stream builds each payload once. Throws std::invalid_argument
+// on an invalid spec (bad mix, non-positive mean, amplitude outside
+// [0, 1], non-positive weight).
+class TenantJobSource {
+ public:
+  TenantJobSource(TenantSpec spec, std::uint64_t master_seed);
+
+  const TenantSpec& spec() const { return spec_; }
+
+  // The next job; submit_offset_seconds is absolute (since stream
+  // start) and non-decreasing across calls.
+  StreamedJob next();
+
+  std::size_t produced() const { return produced_; }
+
+ private:
+  double next_interarrival();
+
+  TenantSpec spec_;
+  RngStream rng_;
+  std::uint64_t data_seed_;  // payload seed shared by this tenant's shapes
+  double clock_seconds_ = 0.0;
+  // Bursty process state: time left in the current phase.
+  bool burst_on_ = false;
+  double phase_left_seconds_ = 0.0;
+  std::size_t produced_ = 0;
+  std::map<std::string, std::shared_ptr<Workload>> shapes_;
+};
+
+// Validates the shared mix/size fields; throws std::invalid_argument
+// with a message naming `who` on any violation.
+void validate_mix(const char* who, double scan_weight, double sort_weight,
+                  double numeric_weight, int min_files, int max_files);
 
 }  // namespace mrapid::wl

@@ -1,0 +1,128 @@
+#include "yarn/tenant_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/log.h"
+
+namespace mrapid::yarn {
+
+TenantQueue::TenantQueue(sim::Simulation& sim, TenantQueueOptions options)
+    : sim_(sim), options_(options) {
+  if (options_.max_running_jobs < 1) {
+    throw std::invalid_argument("TenantQueue: max_running_jobs must be >= 1");
+  }
+}
+
+int TenantQueue::register_tenant(std::string name, double weight, double capacity_floor) {
+  if (weight <= 0) {
+    throw std::invalid_argument("TenantQueue: tenant '" + name + "' needs a positive weight");
+  }
+  if (capacity_floor < 0 || capacity_floor > 1) {
+    throw std::invalid_argument("TenantQueue: tenant '" + name + "' floor outside [0, 1]");
+  }
+  TenantState state;
+  state.name = std::move(name);
+  state.weight = weight;
+  state.capacity_floor = capacity_floor;
+  tenants_.push_back(std::move(state));
+  return static_cast<int>(tenants_.size()) - 1;
+}
+
+void TenantQueue::submit(int tenant, PendingJob job) {
+  TenantState& state = tenants_.at(static_cast<std::size_t>(tenant));
+  ++state.submitted;
+  state.backlog.push_back(std::move(job));
+  pump();
+}
+
+void TenantQueue::on_job_finished(int tenant, double work_seconds) {
+  TenantState& state = tenants_.at(static_cast<std::size_t>(tenant));
+  if (state.running <= 0) {
+    throw std::logic_error("TenantQueue: finish without a running job for '" + state.name +
+                           "'");
+  }
+  --state.running;
+  --total_running_;
+  ++state.finished;
+  state.completed_work_seconds += work_seconds;
+  pump();
+}
+
+int TenantQueue::pick_tenant() const {
+  // Tier 1: capacity floors. The floor entitles a tenant to
+  // floor * root_cap running jobs; the most relatively-deprived tenant
+  // below its floor (and with backlog) dispatches first.
+  int best = -1;
+  double best_deficit = 0.0;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const TenantState& t = tenants_[i];
+    if (t.backlog.empty() || t.capacity_floor <= 0) continue;
+    const double entitled = t.capacity_floor * options_.max_running_jobs;
+    if (t.running >= entitled) continue;
+    const double deficit = (entitled - t.running) / entitled;
+    if (deficit > best_deficit + 1e-12) {
+      best = static_cast<int>(i);
+      best_deficit = deficit;
+    }
+  }
+  if (best >= 0) return best;
+
+  // Tier 2: weighted fair share — the most underserved tenant by
+  // running/weight. Strict '<' keeps ties on registration order.
+  double best_share = 0.0;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const TenantState& t = tenants_[i];
+    if (t.backlog.empty()) continue;
+    const double share = t.running / t.weight;
+    if (best < 0 || share < best_share - 1e-12) {
+      best = static_cast<int>(i);
+      best_share = share;
+    }
+  }
+  return best;
+}
+
+void TenantQueue::pump() {
+  // A dispatch closure may submit or finish re-entrantly (the MRapid
+  // proxy answers some submissions at the same simulated instant);
+  // the outermost pump keeps draining, so re-entrant calls return.
+  if (pumping_) return;
+  pumping_ = true;
+  while (total_running_ < options_.max_running_jobs) {
+    const int pick = pick_tenant();
+    if (pick < 0) break;
+    TenantState& state = tenants_[static_cast<std::size_t>(pick)];
+    PendingJob job = std::move(state.backlog.front());
+    state.backlog.pop_front();
+    ++state.running;
+    ++state.dispatched;
+    ++total_running_;
+    const sim::SimDuration wait = sim_.now() - job.submitted;
+    LOG_DEBUG("tenantq", "dispatch %s (tenant %s, waited %.3fs, running %d/%d)",
+              job.label.c_str(), state.name.c_str(), wait.as_seconds(), total_running_,
+              options_.max_running_jobs);
+    job.dispatch(wait);
+  }
+  pumping_ = false;
+}
+
+std::size_t TenantQueue::total_backlog() const {
+  std::size_t total = 0;
+  for (const TenantState& t : tenants_) total += t.backlog.size();
+  return total;
+}
+
+const TenantQueue::TenantState& TenantQueue::tenant(int index) const {
+  return tenants_.at(static_cast<std::size_t>(index));
+}
+
+bool TenantQueue::drained() const {
+  if (total_running_ != 0) return false;
+  for (const TenantState& t : tenants_) {
+    if (!t.backlog.empty() || t.finished != t.submitted) return false;
+  }
+  return true;
+}
+
+}  // namespace mrapid::yarn

@@ -1,0 +1,103 @@
+#pragma once
+
+// Hierarchical fair/capacity queues for multi-tenant job admission —
+// the layer *above* the container Scheduler. The Scheduler places
+// container asks of already-running applications; the TenantQueue
+// decides which tenant's next *job* may start at all, which is what
+// sustained open-loop load needs: without it, one chatty tenant's
+// backlog starves everyone else through the FIFO submission path.
+//
+// Two-level hierarchy, modelled on YARN's CapacityScheduler queues:
+//
+//   root            — a cluster-wide cap on concurrently running jobs
+//                     (for the MRapid modes this is the AM pool size,
+//                     so admission is exactly AM-pool admission);
+//   └─ tenant[i]    — a weight (fair tier) and a capacity floor
+//                     (guaranteed fraction of the root cap).
+//
+// Dispatch order, evaluated whenever a slot frees or a job arrives:
+//   1. any tenant below its capacity floor with backlog goes first
+//      (largest relative deficit wins);
+//   2. otherwise the most-underserved tenant by weighted running
+//      share (min running/weight) wins;
+//   ties break by registration order, so dispatch is deterministic.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace mrapid::yarn {
+
+struct TenantQueueOptions {
+  // Root capacity: jobs running concurrently across all tenants. For
+  // D+/U+ streams this should equal the AM pool size so the queue —
+  // not the framework's internal FIFO — decides who gets a warm AM.
+  int max_running_jobs = 3;
+};
+
+class TenantQueue {
+ public:
+  // One admitted-but-not-yet-running job. `dispatch` starts it; the
+  // queue hands it the time the job spent waiting for admission.
+  struct PendingJob {
+    std::string label;
+    sim::SimTime submitted;
+    std::function<void(sim::SimDuration queue_wait)> dispatch;
+  };
+
+  struct TenantState {
+    std::string name;
+    double weight = 1.0;
+    double capacity_floor = 0.0;  // fraction of max_running_jobs
+    int running = 0;
+    std::size_t submitted = 0;
+    std::size_t dispatched = 0;
+    std::size_t finished = 0;
+    double completed_work_seconds = 0.0;
+    std::deque<PendingJob> backlog;
+  };
+
+  TenantQueue(sim::Simulation& sim, TenantQueueOptions options);
+
+  // Registration order is the deterministic tie-break order. Returns
+  // the tenant handle used by submit/on_job_finished. Throws
+  // std::invalid_argument on a non-positive weight or a floor outside
+  // [0, 1].
+  int register_tenant(std::string name, double weight, double capacity_floor);
+
+  // Enqueues a job; dispatches immediately (same simulated instant,
+  // re-entrantly) when this tenant is next in line and a slot is free.
+  void submit(int tenant, PendingJob job);
+
+  // A dispatched job of `tenant` reached a terminal state; credits its
+  // completed work and pulls the next most-underserved tenant's job.
+  void on_job_finished(int tenant, double work_seconds);
+
+  // Introspection.
+  int total_running() const { return total_running_; }
+  std::size_t total_backlog() const;
+  const TenantState& tenant(int index) const;
+  std::size_t tenant_count() const { return tenants_.size(); }
+  const TenantQueueOptions& options() const { return options_; }
+
+  // True when every submitted job has finished (nothing queued or
+  // running) — the stream conservation check.
+  bool drained() const;
+
+ private:
+  // The next tenant to dispatch from, or -1 when none has backlog.
+  int pick_tenant() const;
+  void pump();
+
+  sim::Simulation& sim_;
+  TenantQueueOptions options_;
+  std::vector<TenantState> tenants_;
+  int total_running_ = 0;
+  bool pumping_ = false;  // submit/finish during dispatch re-enter pump()
+};
+
+}  // namespace mrapid::yarn

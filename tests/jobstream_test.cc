@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 #include "harness/world.h"
 #include "workloads/jobstream.h"
@@ -102,6 +103,177 @@ TEST(JobStream, SmallStreamReplaysOnOneWorld) {
   }
   world.simulation().run_until(world.simulation().now() + sim::SimDuration::seconds(900));
   EXPECT_EQ(completed, 3);
+}
+
+// ---- edge cases ------------------------------------------------------
+
+TEST(JobStream, ZeroJobsYieldsEmptyStream) {
+  JobStreamParams params;
+  params.jobs = 0;
+  EXPECT_TRUE(make_job_stream(params).empty());
+}
+
+TEST(JobStream, NegativeJobsThrows) {
+  JobStreamParams params;
+  params.jobs = -1;
+  EXPECT_THROW(make_job_stream(params), std::invalid_argument);
+}
+
+TEST(JobStream, AllZeroMixThrows) {
+  JobStreamParams params;
+  params.scan_weight = 0.0;
+  params.sort_weight = 0.0;
+  params.numeric_weight = 0.0;
+  EXPECT_THROW(make_job_stream(params), std::invalid_argument);
+}
+
+TEST(JobStream, NegativeMixWeightThrows) {
+  JobStreamParams params;
+  params.scan_weight = -0.5;
+  EXPECT_THROW(make_job_stream(params), std::invalid_argument);
+}
+
+TEST(JobStream, InvalidFileRangeThrows) {
+  JobStreamParams params;
+  params.min_files = 4;
+  params.max_files = 2;
+  EXPECT_THROW(make_job_stream(params), std::invalid_argument);
+}
+
+TEST(JobStream, NonPositiveInterarrivalThrows) {
+  JobStreamParams params;
+  params.mean_interarrival_seconds = 0.0;
+  EXPECT_THROW(make_job_stream(params), std::invalid_argument);
+}
+
+// ---- open-loop tenant sources ---------------------------------------
+
+TEST(TenantSource, DeterministicPerSeedAndSpec) {
+  TenantSpec spec;
+  spec.name = "alpha";
+  TenantJobSource a(spec, 42), b(spec, 42);
+  for (int i = 0; i < 50; ++i) {
+    const StreamedJob ja = a.next(), jb = b.next();
+    EXPECT_EQ(ja.label, jb.label);
+    EXPECT_DOUBLE_EQ(ja.submit_offset_seconds, jb.submit_offset_seconds);
+  }
+  // A different master seed diverges.
+  TenantJobSource c(spec, 43);
+  bool any_diff = false;
+  TenantJobSource a2(spec, 42);
+  for (int i = 0; i < 50; ++i) {
+    if (a2.next().submit_offset_seconds != c.next().submit_offset_seconds) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TenantSource, DistinctTenantsDrawIndependentStreams) {
+  TenantSpec alpha, beta;
+  alpha.name = "alpha";
+  beta.name = "beta";
+  TenantJobSource a(alpha, 42), b(beta, 42);
+  bool any_diff = false;
+  for (int i = 0; i < 30; ++i) {
+    if (a.next().submit_offset_seconds != b.next().submit_offset_seconds) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TenantSource, ArrivalsAreMonotonicAcrossProcesses) {
+  for (const ArrivalProcess process :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kBursty, ArrivalProcess::kDiurnal}) {
+    TenantSpec spec;
+    spec.name = std::string("mono-") + arrival_process_name(process);
+    spec.arrival.process = process;
+    spec.arrival.mean_interarrival_seconds = 3.0;
+    TenantJobSource source(spec, 7);
+    double last = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      const double at = source.next().submit_offset_seconds;
+      EXPECT_GE(at, last) << arrival_process_name(process);
+      last = at;
+    }
+  }
+}
+
+TEST(TenantSource, LabelsCarryTenantNameAndIndex) {
+  TenantSpec spec;
+  spec.name = "alpha";
+  TenantJobSource source(spec, 42);
+  const StreamedJob first = source.next();
+  EXPECT_EQ(first.label.rfind("alpha:", 0), 0u);
+  EXPECT_NE(first.label.find("#0"), std::string::npos);
+  EXPECT_EQ(source.produced(), 1u);
+}
+
+TEST(TenantSource, LongRunRateTracksMeanInterarrival) {
+  // Over many Poisson arrivals the empirical mean gap approaches the
+  // configured mean.
+  TenantSpec spec;
+  spec.name = "rate";
+  spec.arrival.mean_interarrival_seconds = 5.0;
+  TenantJobSource source(spec, 11);
+  const int n = 4000;
+  double last = 0.0;
+  for (int i = 0; i < n; ++i) last = source.next().submit_offset_seconds;
+  EXPECT_NEAR(last / n, 5.0, 0.5);
+}
+
+TEST(TenantSource, BurstyProducesTighterClusters) {
+  // With a high burst factor, gaps inside bursts are much shorter than
+  // the overall mean, so the min gap is far below Poisson's typical.
+  TenantSpec spec;
+  spec.name = "bursts";
+  spec.arrival.process = ArrivalProcess::kBursty;
+  spec.arrival.mean_interarrival_seconds = 10.0;
+  spec.arrival.burst_factor = 10.0;
+  spec.arrival.mean_on_seconds = 20.0;
+  spec.arrival.mean_off_seconds = 60.0;
+  TenantJobSource source(spec, 3);
+  double prev = 0.0;
+  int tight_gaps = 0, long_gaps = 0;
+  for (int i = 0; i < 300; ++i) {
+    const double at = source.next().submit_offset_seconds;
+    const double gap = at - prev;
+    if (gap < 2.0) ++tight_gaps;    // inside a burst
+    if (gap > 30.0) ++long_gaps;    // an off phase passed
+    prev = at;
+  }
+  EXPECT_GT(tight_gaps, 100);
+  EXPECT_GT(long_gaps, 5);
+}
+
+TEST(TenantSource, InvalidSpecsThrow) {
+  const auto build = [](auto&& tweak) {
+    TenantSpec spec;
+    spec.name = "bad";
+    tweak(spec);
+    TenantJobSource source(spec, 1);
+  };
+  EXPECT_THROW(build([](TenantSpec& s) { s.scan_weight = s.sort_weight = s.numeric_weight = 0; }),
+               std::invalid_argument);
+  EXPECT_THROW(build([](TenantSpec& s) { s.arrival.mean_interarrival_seconds = 0; }),
+               std::invalid_argument);
+  EXPECT_THROW(build([](TenantSpec& s) {
+                 s.arrival.process = ArrivalProcess::kBursty;
+                 s.arrival.burst_factor = 0.5;
+               }),
+               std::invalid_argument);
+  EXPECT_THROW(build([](TenantSpec& s) {
+                 s.arrival.process = ArrivalProcess::kDiurnal;
+                 s.arrival.diurnal_amplitude = 1.5;
+               }),
+               std::invalid_argument);
+  EXPECT_THROW(build([](TenantSpec& s) { s.weight = 0; }), std::invalid_argument);
+  EXPECT_THROW(build([](TenantSpec& s) { s.capacity_floor = 1.5; }), std::invalid_argument);
+}
+
+TEST(TenantSource, ArrivalProcessNamesRoundTrip) {
+  for (const ArrivalProcess process :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kBursty, ArrivalProcess::kDiurnal}) {
+    EXPECT_EQ(arrival_process_from_name(arrival_process_name(process)), process);
+  }
+  EXPECT_THROW(arrival_process_from_name("fractal"), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,190 @@
+// Unit suite for the steady-state stream metrics: exact quantiles
+// against a sort-based oracle, warm-up trimming boundary cases, Jain's
+// index degenerate inputs, and the full compute_stream_metrics roll-up
+// over synthetic records.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "harness/stream_metrics.h"
+
+namespace mrapid::harness {
+namespace {
+
+// The straightforward reference: full sort + the Percentiles
+// convention (pos = q * (n - 1), linear interpolation).
+double sorted_quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  q = std::min(1.0, std::max(0.0, q));
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+TEST(ExactQuantile, MatchesSortOracleOnRandomSamples) {
+  RngStream rng(7, "quantile-test");
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 1 + static_cast<int>(rng.next_int(0, 200));
+    std::vector<double> samples;
+    for (int i = 0; i < n; ++i) samples.push_back(rng.next_real(0.0, 1000.0));
+    for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+      EXPECT_NEAR(exact_quantile(samples, q), sorted_quantile(samples, q), 1e-9)
+          << "n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST(ExactQuantile, EmptyAndSingleton) {
+  EXPECT_EQ(exact_quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(exact_quantile({42.0}, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(exact_quantile({42.0}, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(exact_quantile({42.0}, 1.0), 42.0);
+}
+
+TEST(ExactQuantile, ClampsQOutsideUnitInterval) {
+  const std::vector<double> samples = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(exact_quantile(samples, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(exact_quantile(samples, 1.5), 3.0);
+}
+
+TEST(ExactQuantile, InterpolatesBetweenRanks) {
+  // pos = 0.5 * 3 = 1.5 -> halfway between 2 and 3.
+  EXPECT_DOUBLE_EQ(exact_quantile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+}
+
+TEST(JainIndex, PerfectFairnessIsOne) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({5.0, 5.0, 5.0, 5.0}), 1.0);
+}
+
+TEST(JainIndex, MaximallyUnfairIsOneOverN) {
+  EXPECT_NEAR(jain_fairness_index({10.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(JainIndex, SingleTenantIsOne) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({3.0}), 1.0);
+}
+
+TEST(JainIndex, DegenerateInputsAreDefined) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({}), 1.0);          // nobody to treat unfairly
+  EXPECT_DOUBLE_EQ(jain_fairness_index({0.0, 0.0}), 1.0);  // no work done at all
+}
+
+TEST(JainIndex, ZeroThroughputTenantLowersIndex) {
+  const double with_zero = jain_fairness_index({4.0, 4.0, 0.0});
+  const double without = jain_fairness_index({4.0, 4.0});
+  EXPECT_LT(with_zero, without);
+  EXPECT_NEAR(with_zero, 2.0 / 3.0, 1e-12);
+}
+
+// ---- compute_stream_metrics -----------------------------------------
+
+StreamJobRecord record(int tenant, double submitted, double wait, double run,
+                       double work = 1.0) {
+  StreamJobRecord r;
+  r.tenant = tenant;
+  r.label = "job";
+  r.submitted_s = submitted;
+  r.dispatched_s = submitted + wait;
+  r.completed_s = submitted + wait + run;
+  r.completed = true;
+  r.succeeded = true;
+  r.work_seconds = work;
+  return r;
+}
+
+TEST(StreamMetrics, WarmupTrimBoundaryIsInclusive) {
+  std::vector<StreamJobRecord> records = {
+      record(0, 9.999, 0.0, 1.0),  // before warm-up: trimmed
+      record(0, 10.0, 0.0, 2.0),   // exactly at warm-up: kept
+      record(0, 50.0, 0.0, 4.0),   // inside
+      record(0, 100.0, 0.0, 8.0),  // exactly at horizon: trimmed
+  };
+  StreamMetricsOptions options;
+  options.warmup_seconds = 10.0;
+  options.horizon_seconds = 100.0;
+  const StreamMetrics metrics = compute_stream_metrics(records, {"only"}, options);
+  EXPECT_EQ(metrics.measured_jobs, 2u);
+  EXPECT_EQ(metrics.trimmed_jobs, 2u);
+  EXPECT_DOUBLE_EQ(metrics.mean_latency_s, 3.0);  // (2 + 4) / 2
+}
+
+TEST(StreamMetrics, NoHorizonMeansNoUpperTrim) {
+  std::vector<StreamJobRecord> records = {record(0, 0.0, 0.0, 1.0),
+                                          record(0, 1e6, 0.0, 1.0)};
+  StreamMetricsOptions options;  // horizon 0 = unbounded
+  const StreamMetrics metrics = compute_stream_metrics(records, {"only"}, options);
+  EXPECT_EQ(metrics.measured_jobs, 2u);
+  EXPECT_EQ(metrics.trimmed_jobs, 0u);
+}
+
+TEST(StreamMetrics, UnfinishedJobsAreCountedNotMeasured) {
+  StreamJobRecord stuck = record(0, 5.0, 1.0, 1.0);
+  stuck.completed = false;
+  const std::vector<StreamJobRecord> records = {record(0, 5.0, 1.0, 3.0), stuck};
+  const StreamMetrics metrics = compute_stream_metrics(records, {"only"}, {});
+  EXPECT_EQ(metrics.measured_jobs, 1u);
+  EXPECT_EQ(metrics.unfinished_jobs, 1u);
+}
+
+TEST(StreamMetrics, WaitAndLatencyQuantiles) {
+  std::vector<StreamJobRecord> records;
+  for (int i = 1; i <= 100; ++i) {
+    records.push_back(record(0, static_cast<double>(i), static_cast<double>(i) / 10.0,
+                             static_cast<double>(i)));
+  }
+  const StreamMetrics metrics = compute_stream_metrics(records, {"only"}, {});
+  // latency = wait + run = 1.1 * i; p50 over 1.1*{1..100}.
+  EXPECT_NEAR(metrics.p50_latency_s, 1.1 * 50.5, 1e-9);
+  EXPECT_NEAR(metrics.p99_wait_s, sorted_quantile([] {
+                std::vector<double> waits;
+                for (int i = 1; i <= 100; ++i) waits.push_back(i / 10.0);
+                return waits;
+              }(),
+                                                  0.99),
+              1e-9);
+}
+
+TEST(StreamMetrics, UtilizationAgainstSlotSeconds) {
+  // 2 jobs x 30 busy slot-seconds over a 10-slot, 20-second window.
+  std::vector<StreamJobRecord> records = {record(0, 2.0, 0.0, 1.0, 30.0),
+                                          record(0, 5.0, 0.0, 1.0, 30.0)};
+  StreamMetricsOptions options;
+  options.warmup_seconds = 0.0;
+  options.horizon_seconds = 20.0;
+  options.slot_count = 10.0;
+  const StreamMetrics metrics = compute_stream_metrics(records, {"only"}, options);
+  EXPECT_NEAR(metrics.utilization, 60.0 / 200.0, 1e-12);
+}
+
+TEST(StreamMetrics, PerTenantSharesAndJain) {
+  std::vector<StreamJobRecord> records = {record(0, 1.0, 0.0, 1.0, 30.0),
+                                          record(1, 2.0, 0.0, 1.0, 10.0)};
+  const StreamMetrics metrics = compute_stream_metrics(records, {"a", "b"}, {});
+  ASSERT_EQ(metrics.tenants.size(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.tenants[0].work_share, 0.75);
+  EXPECT_DOUBLE_EQ(metrics.tenants[1].work_share, 0.25);
+  EXPECT_NEAR(metrics.jain_fairness, jain_fairness_index({0.75, 0.25}), 1e-12);
+}
+
+TEST(StreamMetrics, OutOfRangeTenantThrows) {
+  const std::vector<StreamJobRecord> records = {record(2, 1.0, 0.0, 1.0)};
+  EXPECT_THROW(compute_stream_metrics(records, {"only"}, {}), std::out_of_range);
+}
+
+TEST(StreamMetrics, EmptyRecordsAreDefined) {
+  const StreamMetrics metrics = compute_stream_metrics({}, {"a", "b"}, {});
+  EXPECT_EQ(metrics.measured_jobs, 0u);
+  EXPECT_DOUBLE_EQ(metrics.p99_latency_s, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.jain_fairness, 1.0);
+}
+
+}  // namespace
+}  // namespace mrapid::harness
