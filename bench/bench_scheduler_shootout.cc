@@ -1,0 +1,157 @@
+// Extension experiment: the scheduler shootout. Every registered
+// scheduling policy (the Hadoop capacity baseline, MRapid's D+
+// locality packer, FCFS, EASY and conservative backfilling) drives the
+// same open-loop multi-tenant job streams across the four execution
+// modes and two offered loads. The report gives steady-state p50/p99
+// latency and queue wait per policy plus each policy's backfill rate
+// and the waiting-time estimator's view (predicted vs observed wait) —
+// the head-to-head the pluggable scheduler core exists for.
+
+#include <cmath>
+
+#include "bench/figures.h"
+#include "harness/stream_pump.h"
+#include "mrapid/scheduler_registry.h"
+#include "yarn/scheduling_algorithm.h"
+#include "yarn/wait_estimator.h"
+
+namespace mrapid::bench {
+namespace {
+
+// Two-tenant fleet (latency-sensitive Poisson + bursty batch), the
+// same operating regime as the tenant_stream experiment so results are
+// comparable across the two reports. `load` scales both arrival rates.
+std::vector<wl::TenantSpec> make_tenants(double load, bool smoke) {
+  std::vector<wl::TenantSpec> tenants;
+
+  wl::TenantSpec interactive;
+  interactive.name = "interactive";
+  interactive.arrival.process = wl::ArrivalProcess::kPoisson;
+  interactive.arrival.mean_interarrival_seconds = (smoke ? 15.0 : 40.0) / load;
+  interactive.scan_weight = 1.0;
+  interactive.sort_weight = 0.0;
+  interactive.numeric_weight = 0.0;
+  interactive.min_files = 1;
+  interactive.max_files = 2;
+  interactive.min_file_bytes = 1_MB;
+  interactive.max_file_bytes = 3_MB;
+  interactive.weight = 2.0;
+  interactive.capacity_floor = 0.34;
+  tenants.push_back(interactive);
+
+  wl::TenantSpec batch;
+  batch.name = "batch";
+  batch.arrival.process = wl::ArrivalProcess::kBursty;
+  batch.arrival.mean_interarrival_seconds = (smoke ? 20.0 : 60.0) / load;
+  batch.arrival.burst_factor = 4.0;
+  batch.arrival.mean_on_seconds = smoke ? 40.0 : 60.0;
+  batch.arrival.mean_off_seconds = smoke ? 40.0 : 120.0;
+  batch.scan_weight = 0.7;
+  batch.sort_weight = 0.3;
+  batch.numeric_weight = 0.0;
+  batch.min_files = 2;
+  batch.max_files = 4;
+  batch.min_file_bytes = 1_MB;
+  batch.max_file_bytes = 4_MB;
+  batch.weight = 1.0;
+  tenants.push_back(batch);
+  return tenants;
+}
+
+exp::ScenarioSpec make(const exp::SweepOptions& opt) {
+  exp::ScenarioSpec spec;
+  spec.title = "Scheduler shootout — policy zoo over open-loop tenant streams";
+  spec.x_axis = "load";
+  spec.x_label = "offered load (x base)";
+  spec.axes = {
+      exp::label_axis("policy", core::SchedulerRegistry::instance().names()),
+      exp::num_axis("load", opt.smoke ? std::vector<double>{1.5}
+                                      : std::vector<double>{1.0, 2.0}),
+  };
+  spec.modes = exp::figure_modes();
+  const double horizon = opt.smoke ? 120.0 : 600.0;
+  const double warmup = opt.smoke ? 30.0 : 120.0;
+  const bool smoke = opt.smoke;
+
+  spec.run = [horizon, warmup, smoke](const exp::Trial& trial) {
+    harness::WorldConfig config = a3_config(trial);
+    config.scheduler = trial.str("policy");
+    harness::World world(config, *trial.mode);
+
+    harness::StreamPumpOptions pump_options;
+    pump_options.horizon_seconds = horizon;
+    harness::StreamPump pump(world, make_tenants(trial.num("load"), smoke), pump_options);
+    if (!pump.run()) {
+      throw exp::TrialFailure(exp::strprintf(
+          "stream did not drain under %s/%s (%zu submitted, backlog %zu)",
+          trial.str("policy").c_str(), trial.mode_name().c_str(), pump.submitted_jobs(),
+          pump.queue().total_backlog()));
+    }
+    for (const harness::StreamJobRecord& record : pump.records()) {
+      if (!record.completed || !record.succeeded) {
+        throw exp::TrialFailure(exp::strprintf(
+            "job %s not conserved under %s/%s", record.label.c_str(),
+            trial.str("policy").c_str(), trial.mode_name().c_str()));
+      }
+    }
+
+    const harness::StreamMetrics metrics = pump.metrics(warmup);
+    exp::TrialResult result;
+    result.trial = trial;
+    result.ok = true;
+    result.elapsed_seconds = metrics.mean_latency_s;
+    result.set_metric("jobs", static_cast<double>(pump.submitted_jobs()));
+    result.set_metric("p50_latency_s", metrics.p50_latency_s);
+    result.set_metric("p99_latency_s", metrics.p99_latency_s);
+    result.set_metric("mean_wait_s", metrics.mean_wait_s);
+    result.set_metric("p99_wait_s", metrics.p99_wait_s);
+    result.set_metric("utilization", metrics.utilization);
+
+    // Every registry policy is a PolicyScheduler, so the ask counters
+    // and the waiting-time estimator are always available.
+    const auto* policy =
+        dynamic_cast<const yarn::PolicyScheduler*>(&world.rm().scheduler());
+    if (policy != nullptr) {
+      const yarn::PolicyScheduler::Counters& counters = policy->counters();
+      result.set_metric("asks", static_cast<double>(counters.queued));
+      result.set_metric("backfill_rate",
+                        counters.delivered > 0
+                            ? static_cast<double>(counters.backfilled) /
+                                  static_cast<double>(counters.delivered)
+                            : 0.0);
+      const yarn::WaitingTimeEstimator* estimator = policy->wait_estimator();
+      if (estimator != nullptr) {
+        result.set_metric("predicted_wait_s", estimator->predicted_wait_s());
+        result.set_metric("observed_wait_s", estimator->observed_wait_ewma_s());
+      }
+    }
+    return result;
+  };
+
+  spec.render = [](const std::vector<exp::TrialResult>& results, std::ostream& os) {
+    Table table({"policy", "load", "mode", "jobs", "p50 (s)", "p99 (s)", "p99 wait (s)",
+                 "util", "backfill", "pred wait (s)", "obs wait (s)"});
+    table.with_title("Scheduler shootout (steady state, warm-up trimmed)");
+    for (const exp::TrialResult& result : results) {
+      if (!result.ok) continue;  // failures are listed by the sink
+      table.add_row({result.trial.str("policy"), Table::num(result.trial.num("load"), 1),
+                     result.trial.mode_name(),
+                     std::to_string(static_cast<int>(result.metric("jobs"))),
+                     Table::num(result.metric("p50_latency_s")),
+                     Table::num(result.metric("p99_latency_s")),
+                     Table::num(result.metric("p99_wait_s")),
+                     Table::num(result.metric("utilization"), 3),
+                     Table::pct(result.metric("backfill_rate")),
+                     Table::num(result.metric("predicted_wait_s"), 3),
+                     Table::num(result.metric("observed_wait_s"), 3)});
+    }
+    table.print(os);
+  };
+  return spec;
+}
+
+const exp::Registrar reg("scheduler_shootout",
+                         "Scheduler policy zoo head-to-head on tenant streams", make);
+
+}  // namespace
+}  // namespace mrapid::bench

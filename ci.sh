@@ -49,6 +49,13 @@ run_config() {
   # checked inside each trial.
   "$dir/bench/mrapid_bench" --filter tenant_stream --smoke --jobs 2 \
     --json /tmp/smoke_stream.json > /dev/null
+  # The scheduler-zoo shootout in isolation (docs/SCHEDULERS.md):
+  # every registry policy x all four modes on the same streams, with
+  # drain and per-job conservation asserted inside each trial — the
+  # backfilling policies' only full-stack CI exercise besides the
+  # fuzzer's policy seeds.
+  "$dir/bench/mrapid_bench" --filter scheduler_shootout --smoke --jobs 2 \
+    --json /tmp/smoke_shootout.json > /dev/null
   echo "=== [$name] fuzz smoke ==="
   # A bounded differential-fuzz campaign (docs/FUZZING.md): every
   # scenario runs all four modes against the reference executor with

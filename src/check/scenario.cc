@@ -7,6 +7,7 @@
 
 #include "cluster/azure.h"
 #include "common/rng.h"
+#include "mrapid/scheduler_registry.h"
 #include "workloads/pi.h"
 #include "workloads/terasort.h"
 #include "workloads/wordcount.h"
@@ -154,6 +155,18 @@ FuzzScenario generate_scenario(std::uint64_t seed) {
     }
     s.stream_horizon_ms = 1000 * tenant_rng.next_int(30, 60);
   }
+
+  // Scheduling-policy axis. A fresh named stream (like the tenant axis
+  // above) so every legacy field keeps its historical per-seed value;
+  // ~30% of seeds swap the mode-default scheduler for one of the zoo
+  // policies. The default-keeping seeds pin the historical behaviour,
+  // the rest drive the FIFO/backfilling paths through the full
+  // differential oracle.
+  RngStream policy_rng(seed, "fuzz.policy");
+  if (policy_rng.next_double() < 0.3) {
+    const char* policies[] = {"fcfs", "easy-backfill", "conservative-backfill"};
+    s.policy = policies[policy_rng.next_int(0, 2)];
+  }
   return s;
 }
 
@@ -236,6 +249,7 @@ harness::WorldConfig world_config(const FuzzScenario& scenario) {
   config.yarn.am_max_attempts = 8;
   config.faults.events = scenario.faults;
   config.faults.enable = true;
+  config.scheduler = scenario.policy;  // empty = mode default
   config.seed = scenario.seed;
   config.log_level = LogLevel::kError;
   return config;
@@ -259,8 +273,11 @@ std::string serialize_scenario(const FuzzScenario& scenario) {
   out << "reducers " << scenario.reducers << "\n";
   out << "block_kb " << scenario.block_kb << "\n";
   out << "nm_expiry_ms " << scenario.nm_expiry_ms << "\n";
-  // Stream fields only when present, so pre-stream reproducer files
-  // keep round-tripping byte-identically.
+  // Optional fields only when present, so pre-policy and pre-stream
+  // reproducer files keep round-tripping byte-identically.
+  if (!scenario.policy.empty()) {
+    out << "policy " << scenario.policy << "\n";
+  }
   if (is_stream(scenario)) {
     out << "stream_horizon_ms " << scenario.stream_horizon_ms << "\n";
     for (const FuzzTenant& tenant : scenario.tenants) {
@@ -323,6 +340,11 @@ FuzzScenario parse_scenario(const std::string& text) {
       ok = static_cast<bool>(fields >> s.block_kb);
     } else if (key == "nm_expiry_ms") {
       ok = static_cast<bool>(fields >> s.nm_expiry_ms);
+    } else if (key == "policy") {
+      ok = static_cast<bool>(fields >> s.policy);
+      if (ok && !core::SchedulerRegistry::instance().contains(s.policy)) {
+        throw std::invalid_argument("unknown scheduler policy '" + s.policy + "'");
+      }
     } else if (key == "stream_horizon_ms") {
       ok = static_cast<bool>(fields >> s.stream_horizon_ms);
     } else if (key == "tenant") {

@@ -56,6 +56,12 @@ struct FuzzScenario {
   int block_kb = 0;
   long long nm_expiry_ms = 10000;
 
+  // Scheduling policy by registry name (see mrapid/scheduler_registry.h);
+  // empty keeps the mode's historical default (CapacityScheduler for
+  // Hadoop modes, DPlusScheduler for MRapid modes), so pre-policy
+  // reproducer files and legacy seeds replay byte-identically.
+  std::string policy;
+
   // Explicit, already-expanded fault schedule (plan probabilities are
   // resolved at generation time so the schedule is shrinkable).
   std::vector<harness::FaultSpec> faults;

@@ -27,7 +27,15 @@ std::vector<std::function<bool(FuzzScenario&)>> round_candidates(const FuzzScena
     });
   }
 
-  // 2. Stream scenarios: drop tenants, shorten the horizon, simplify
+  // 2. Revert a zoo policy to the mode default: if the failure was
+  // never about the scheduler, the reproducer should say so.
+  candidates.push_back([](FuzzScenario& s) {
+    if (s.policy.empty()) return false;
+    s.policy.clear();
+    return true;
+  });
+
+  // 3. Stream scenarios: drop tenants, shorten the horizon, simplify
   // arrival processes and entitlements. The single-job geometry
   // candidates below are skipped for streams (those fields are ignored
   // on the stream path, so mutating them would only waste oracle runs).
@@ -68,7 +76,7 @@ std::vector<std::function<bool(FuzzScenario&)>> round_candidates(const FuzzScena
     }
   }
 
-  // 3. Collapse to a single reducer and halve the single-job workload
+  // 4. Collapse to a single reducer and halve the single-job workload
   // geometry toward its floor — skipped for streams, where these
   // fields are ignored.
   const bool stream = is_stream(base);
@@ -113,7 +121,7 @@ std::vector<std::function<bool(FuzzScenario&)>> round_candidates(const FuzzScena
     return true;
   });
 
-  // 4. Remove the highest-numbered worker (dropping fault events that
+  // 5. Remove the highest-numbered worker (dropping fault events that
   // target it) and flatten to one rack.
   candidates.push_back([](FuzzScenario& s) {
     if (s.workers <= min_workers(s)) return false;

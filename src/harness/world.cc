@@ -43,10 +43,15 @@ World::World(const WorldConfig& config, RunMode mode) : config_(config), mode_(m
   cluster_ = std::make_unique<cluster::Cluster>(*sim_, config.cluster);
   hdfs_ = std::make_unique<hdfs::Hdfs>(*cluster_, config.hdfs);
 
-  // MRapid modes run the D+ scheduler in the RM; baselines run the
+  // An explicit policy name overrides the mode default; otherwise
+  // MRapid modes run the D+ scheduler in the RM and baselines run the
   // stock CapacityScheduler.
   std::unique_ptr<yarn::Scheduler> scheduler;
-  if (is_mrapid_mode(mode)) {
+  if (!config.scheduler.empty()) {
+    core::SchedulerBuildConfig build;
+    build.dplus = config.dplus;
+    scheduler = core::SchedulerRegistry::instance().make(config.scheduler, build);
+  } else if (is_mrapid_mode(mode)) {
     scheduler = std::make_unique<core::DPlusScheduler>(config.dplus);
   } else {
     scheduler = std::make_unique<yarn::HadoopCapacityScheduler>();

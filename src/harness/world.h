@@ -20,6 +20,7 @@
 #include "mapreduce/job_client.h"
 #include "mrapid/dplus_scheduler.h"
 #include "mrapid/framework.h"
+#include "mrapid/scheduler_registry.h"
 #include "spark/spark.h"
 #include "workloads/workload.h"
 #include "yarn/capacity_scheduler.h"
@@ -47,6 +48,11 @@ struct WorldConfig {
   yarn::YarnConfig yarn;
   mr::MRConfig mr;
   core::DPlusOptions dplus;
+  // Scheduling policy by registry name (core::SchedulerRegistry:
+  // hadoop-capacity, mrapid-d+, fcfs, easy-backfill,
+  // conservative-backfill). Empty keeps the mode default: D+ for
+  // MRapid modes, hadoop-capacity for the baselines.
+  std::string scheduler;
   core::FrameworkOptions framework;
   spark::SparkConfig spark;
   // Fault injection; an active plan also switches on the RM's node

@@ -73,15 +73,18 @@ int AmPool::free_slots() const {
 
 std::optional<AmPool::Slot> AmPool::acquire() {
   SlotState* best = nullptr;
-  std::int64_t best_free_cores = -1;
+  std::int64_t best_free_cores = 0;
   for (auto& state : slots_) {
     if (!state.warm || state.busy) continue;
     auto& node = cluster_.node(state.slot.container.node);
     // Free CPU estimated from the fluid resource: fewer active compute
-    // streams means a less loaded node.
+    // streams means a less loaded node. This can go below zero on an
+    // oversubscribed node (backfilling policies pack hard), so a free
+    // slot must win even at negative headroom — never start the best
+    // at a sentinel a real candidate could lose to.
     const std::int64_t free_cores =
         node.spec().cores - static_cast<std::int64_t>(node.cpu().active_transfers());
-    if (free_cores > best_free_cores) {
+    if (best == nullptr || free_cores > best_free_cores) {
       best_free_cores = free_cores;
       best = &state;
     }

@@ -3,12 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "yarn/wait_estimator.h"
+
 namespace mrapid::core {
+
+double DecisionMaker::predicted_wait_seconds() const {
+  if (wait_estimator_ == nullptr) return 0.0;
+  return std::max(0.0, wait_estimator_->predicted_wait_s());
+}
 
 Decision DecisionMaker::decide(double t_m, double s_i, double s_o,
                                const DecisionContext& context) const {
   EstimatorInputs in;
   in.t_l = defaults_.t_l;
+  in.t_w = predicted_wait_seconds();
   in.t_m = t_m;
   in.s_i = s_i;
   in.s_o = s_o;

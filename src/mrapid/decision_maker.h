@@ -9,6 +9,10 @@
 #include "mrapid/estimator.h"
 #include "mrapid/history.h"
 
+namespace mrapid::yarn {
+class WaitingTimeEstimator;
+}
+
 namespace mrapid::core {
 
 // Cluster-derived constants the estimator needs; the job-specific
@@ -57,10 +61,21 @@ class DecisionMaker {
   // The shared Eq. 2/3 evaluation given pooled measurements.
   Decision decide(double t_m, double s_i, double s_o, const DecisionContext& context) const;
 
+  // The scheduler's per-queue waiting-time predictor. When set, Eq. 3
+  // charges D+ the predicted container queue delay instead of the
+  // structural idle-cluster assumption (t_w = 0). Not owned; null
+  // keeps the original behaviour byte-for-byte.
+  void set_wait_estimator(const yarn::WaitingTimeEstimator* estimator) {
+    wait_estimator_ = estimator;
+  }
+  // The wait value decide() will charge Eq. 3 right now.
+  double predicted_wait_seconds() const;
+
  private:
   const HistoryStore& history_;
   EstimatorDefaults defaults_;
   double margin_;
+  const yarn::WaitingTimeEstimator* wait_estimator_ = nullptr;
 };
 
 }  // namespace mrapid::core

@@ -1,39 +1,31 @@
 #include "mrapid/dplus_scheduler.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace mrapid::core {
 
 using cluster::Locality;
 using yarn::Ask;
 using yarn::NodeState;
+using yarn::PolicyScheduler;
+using yarn::SchedulingEvent;
 
-DPlusScheduler::DPlusScheduler(DPlusOptions options) : options_(options) {}
-
-void DPlusScheduler::on_container_request(std::vector<Ask> asks) {
-  for (auto& ask : asks) queue_.push_back(std::move(ask));
-  if (options_.immediate_response) run_algorithm();
+void DPlusAlgorithm::schedule(PolicyScheduler& scheduler, const SchedulingEvent& event) {
+  if (event.kind == SchedulingEvent::Kind::kAsksAdded && !options_.immediate_response) {
+    return;
+  }
+  // kAsksAdded with immediate_response: answer in the same heartbeat.
+  // kNodeUpdated: freed resources just became visible in the
+  // ClusterResource snapshot; serve whatever is still queued.
+  run_algorithm(scheduler);
 }
 
-void DPlusScheduler::on_node_update(cluster::NodeId) {
-  // Freed resources just became visible in the ClusterResource
-  // snapshot; serve whatever is still queued.
-  run_algorithm();
-}
-
-void DPlusScheduler::cancel_asks(yarn::AppId app) {
-  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
-                              [app](const Ask& a) { return a.app == app; }),
-               queue_.end());
-}
-
-DPlusScheduler::Dominant DPlusScheduler::dominant_resource() const {
+DPlusAlgorithm::Dominant DPlusAlgorithm::dominant_resource(PolicyScheduler& scheduler) const {
   std::int64_t total_vcores = 0;
   std::int64_t used_vcores = 0;
   std::int64_t total_mem = 0;
   std::int64_t used_mem = 0;
-  for (const auto& node : context_->nodes()) {
+  for (const auto& node : scheduler.context().nodes()) {
     if (!node.schedulable()) continue;  // degraded capacity excluded
     total_vcores += node.capacity.vcores;
     used_vcores += node.used.vcores;
@@ -46,9 +38,9 @@ DPlusScheduler::Dominant DPlusScheduler::dominant_resource() const {
   return vcore_ratio >= mem_ratio ? Dominant::kVcores : Dominant::kMemory;
 }
 
-std::vector<NodeState*> DPlusScheduler::sorted_nodes() const {
+std::vector<NodeState*> DPlusAlgorithm::sorted_nodes(PolicyScheduler& scheduler) const {
   std::vector<NodeState*> nodes;
-  for (auto& node : context_->nodes()) {
+  for (auto& node : scheduler.context().nodes()) {
     if (!node.schedulable()) continue;  // dead or blacklisted
     nodes.push_back(&node);
   }
@@ -56,7 +48,7 @@ std::vector<NodeState*> DPlusScheduler::sorted_nodes() const {
     // Packing behaviour: fixed node order, first fit.
     return nodes;
   }
-  const Dominant dominant = dominant_resource();
+  const Dominant dominant = dominant_resource(scheduler);
   std::stable_sort(nodes.begin(), nodes.end(), [dominant](const NodeState* a,
                                                           const NodeState* b) {
     const std::int64_t avail_a = dominant == Dominant::kVcores
@@ -71,9 +63,8 @@ std::vector<NodeState*> DPlusScheduler::sorted_nodes() const {
   return nodes;
 }
 
-void DPlusScheduler::run_algorithm() {
-  assert(context_ != nullptr);
-  if (queue_.empty()) return;
+void DPlusAlgorithm::run_algorithm(PolicyScheduler& scheduler) {
+  if (scheduler.queue().empty()) return;
 
   // Algorithm 1: types = {NodeLocal, RackLocal, ANY}. For each tier we
   // serve queued asks FIFO, placing each on the idlest matching node
@@ -91,24 +82,23 @@ void DPlusScheduler::run_algorithm() {
       // task lands on the currently idlest matching node — the
       // round-robin effect of Fig. 14.
       bool progress = true;
-      while (progress && !queue_.empty()) {
+      while (progress && !scheduler.queue().empty()) {
         progress = false;
-        const auto nodes = sorted_nodes();  // lines 3-4: dominant sort
-        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-          const Ask& ask = *it;
+        const auto nodes = sorted_nodes(scheduler);  // lines 3-4: dominant sort
+        for (std::size_t i = 0; i < scheduler.queue().size(); ++i) {
+          const Ask& ask = scheduler.queue()[i].ask;
           NodeState* chosen = nullptr;
           for (NodeState* node : nodes) {
             if (!ask.capability.fits_in(node->available())) continue;
             if (options_.locality_aware && tier != Locality::kAny &&
-                judge_locality(ask, node->id) != tier) {
+                scheduler.locality_of(ask, node->id) != tier) {
               continue;
             }
             chosen = node;
             break;
           }
           if (chosen == nullptr) continue;
-          allocate(*chosen, *it);
-          queue_.erase(it);
+          scheduler.allocate(i, *chosen);
           progress = true;
           break;  // re-sort nodes before placing the next ask
         }
@@ -117,33 +107,22 @@ void DPlusScheduler::run_algorithm() {
       // Ablation (spread disabled): the paper's literal node-major
       // loop without the sort — fill each node with every matching
       // task before moving on, i.e. greedy packing.
-      for (NodeState* node : sorted_nodes()) {
-        for (auto it = queue_.begin(); it != queue_.end();) {
-          const Ask& ask = *it;
+      for (NodeState* node : sorted_nodes(scheduler)) {
+        for (std::size_t i = 0; i < scheduler.queue().size();) {
+          const Ask& ask = scheduler.queue()[i].ask;
           const bool fits = ask.capability.fits_in(node->available());
           const bool tier_ok = !options_.locality_aware || tier == Locality::kAny ||
-                               judge_locality(ask, node->id) == tier;
+                               scheduler.locality_of(ask, node->id) == tier;
           if (fits && tier_ok) {
-            allocate(*node, ask);
-            it = queue_.erase(it);
+            scheduler.allocate(i, *node);
           } else {
-            ++it;
+            ++i;
           }
         }
       }
     }
-    if (queue_.empty()) break;  // lines 12-13: request satisfied
+    if (scheduler.queue().empty()) break;  // lines 12-13: request satisfied
   }
-}
-
-void DPlusScheduler::allocate(NodeState& node, const Ask& ask) {
-  node.used = node.used + ask.capability;
-  yarn::Allocation allocation;
-  allocation.ask = ask.id;
-  allocation.container =
-      yarn::Container{context_->next_container_id(), ask.app, node.id, ask.capability};
-  allocation.locality = judge_locality(ask, node.id);
-  context_->deliver_allocation(allocation);
 }
 
 }  // namespace mrapid::core

@@ -15,10 +15,16 @@
 //
 // With all three off this degenerates to baseline behaviour (FIFO
 // greedy packing at node-heartbeat time).
+//
+// Since the scheduler-zoo refactor the algorithm is a pure
+// ISchedulingAlgorithm and DPlusScheduler is its PolicyScheduler
+// adapter; the class survives so construction sites and tests keep
+// working unchanged.
 
-#include <deque>
+#include <memory>
+#include <vector>
 
-#include "yarn/scheduler.h"
+#include "yarn/scheduling_algorithm.h"
 
 namespace mrapid::core {
 
@@ -28,32 +34,39 @@ struct DPlusOptions {
   bool locality_aware = true;
 };
 
-class DPlusScheduler : public yarn::Scheduler {
+class DPlusAlgorithm : public yarn::ISchedulingAlgorithm {
  public:
-  explicit DPlusScheduler(DPlusOptions options = {});
+  explicit DPlusAlgorithm(DPlusOptions options) : options_(options) {}
 
   const char* name() const override { return "DPlusScheduler"; }
   bool allocates_immediately() const override { return options_.immediate_response; }
-
-  void on_container_request(std::vector<yarn::Ask> asks) override;
-  void on_node_update(cluster::NodeId node) override;
-  void cancel_asks(yarn::AppId app) override;
-  std::size_t queued_asks() const override { return queue_.size(); }
+  void schedule(yarn::PolicyScheduler& scheduler, const yarn::SchedulingEvent& event) override;
 
   const DPlusOptions& options() const { return options_; }
 
  private:
   // One pass of Algorithm 1 over the current queue; leftovers stay
   // queued for the next resource event.
-  void run_algorithm();
+  void run_algorithm(yarn::PolicyScheduler& scheduler);
   // Which resource dimension is currently dominant cluster-wide.
   enum class Dominant { kVcores, kMemory };
-  Dominant dominant_resource() const;
-  std::vector<yarn::NodeState*> sorted_nodes() const;
-  void allocate(yarn::NodeState& node, const yarn::Ask& ask);
+  Dominant dominant_resource(yarn::PolicyScheduler& scheduler) const;
+  std::vector<yarn::NodeState*> sorted_nodes(yarn::PolicyScheduler& scheduler) const;
 
   DPlusOptions options_;
-  std::deque<yarn::Ask> queue_;
+};
+
+class DPlusScheduler : public yarn::PolicyScheduler {
+ public:
+  explicit DPlusScheduler(DPlusOptions options = {},
+                          yarn::PolicySchedulerOptions policy_options = {})
+      : PolicyScheduler(std::make_unique<DPlusAlgorithm>(options), policy_options),
+        options_(options) {}
+
+  const DPlusOptions& options() const { return options_; }
+
+ private:
+  DPlusOptions options_;
 };
 
 }  // namespace mrapid::core

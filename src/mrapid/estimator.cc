@@ -40,7 +40,11 @@ double estimate_uplus_seconds(const EstimatorInputs& in) {
 double estimate_dplus_seconds(const EstimatorInputs& in) {
   const double spill = in.d_i > 0 ? in.s_o / in.d_i : 0.0;
   const double shuffle = in.b_i > 0 ? (in.s_o * in.n_c) / in.b_i : 0.0;
-  return (in.t_l + in.t_m + spill) * wave_count(in.n_m, in.n_c) + shuffle;
+  // t_w: D+ containers queue at the RM before their first wave under
+  // contention; U+ reuses the AM's own container and never waits. The
+  // scheduler's WaitingTimeEstimator supplies it (0 = idle cluster,
+  // the paper's original structural assumption).
+  return in.t_w + (in.t_l + in.t_m + spill) * wave_count(in.n_m, in.n_c) + shuffle;
 }
 
 }  // namespace mrapid::core

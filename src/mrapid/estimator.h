@@ -20,6 +20,8 @@ namespace mrapid::core {
 // *average per map task*.
 struct EstimatorInputs {
   double t_l = 0.0;      // container launch time
+  double t_w = 0.0;      // predicted container queue wait (Eq. 3 only;
+                         // 0 = the paper's idle-cluster assumption)
   double t_m = 0.0;      // map sub-phase (compute) time, from history/profiler
   double t_reduce = 0.0; // reduce phase time (cancels between modes; kept for Eq. 1)
   double s_i = 0.0;      // average map input bytes

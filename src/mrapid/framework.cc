@@ -52,6 +52,10 @@ MRapidFramework::MRapidFramework(cluster::Cluster& cluster, hdfs::Hdfs& hdfs,
       decision_maker_(history_, options.estimator, options.confidence_margin) {
   pool_.set_slot_lost([this](int index) { on_slot_lost(index); });
   pool_.set_slot_warm([this] { pump_queue(); });
+  // Eq. 3's queue-delay term comes straight from the scheduler's own
+  // waiting-time estimator (null for a scheduler that keeps none,
+  // which preserves the structural t_w = 0).
+  decision_maker_.set_wait_estimator(rm_.scheduler().wait_estimator());
 }
 
 void MRapidFramework::start(std::function<void()> on_ready) {
@@ -174,6 +178,17 @@ void MRapidFramework::run_on_slot(const JobSpec& spec, ExecutionMode mode,
       });
   job->am = am;
   active_jobs_[slot.index] = job;
+  // Seed the scheduler's shadow schedules with this app's expected
+  // per-container runtime (launch + historical map compute, scaled to
+  // the job at hand) — backfilling is only as good as these hints.
+  const HistoryRecord* record = history_.find(spec.logic->signature());
+  if (record != nullptr && record->map_compute_seconds.count() > 0) {
+    double t_m = record->map_compute_seconds.mean();
+    const DecisionContext context = make_context(spec);
+    const double s_i = record->map_input_bytes.mean();
+    if (context.s_i_now > 0.0 && s_i > 0.0) t_m *= context.s_i_now / s_i;
+    rm_.scheduler().set_app_runtime_hint(slot.app, options_.estimator.t_l + t_m);
+  }
   am->set_managed_by_pool(true);
   am->set_app_id(slot.app);
   am->set_submit_time(submit_time);

@@ -1,0 +1,86 @@
+#include "mrapid/scheduler_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "yarn/capacity_scheduler.h"
+#include "yarn/policies.h"
+
+namespace mrapid::core {
+
+SchedulerRegistry& SchedulerRegistry::instance() {
+  static SchedulerRegistry registry;
+  return registry;
+}
+
+SchedulerRegistry::SchedulerRegistry() {
+  add(kPolicyHadoopCapacity,
+      "baseline Hadoop CapacityScheduler: FIFO, NM-heartbeat-driven greedy packing",
+      [](const SchedulerBuildConfig& config) -> std::unique_ptr<yarn::Scheduler> {
+        return std::make_unique<yarn::HadoopCapacityScheduler>(config.policy);
+      });
+  add(kPolicyMRapidDPlus,
+      "MRapid D+ (Algorithm 1): immediate response, balanced spread, locality tiers",
+      [](const SchedulerBuildConfig& config) -> std::unique_ptr<yarn::Scheduler> {
+        return std::make_unique<DPlusScheduler>(config.dplus, config.policy);
+      });
+  add(kPolicyFcfs,
+      "strict cluster-wide FCFS with head-of-line blocking",
+      [](const SchedulerBuildConfig& config) -> std::unique_ptr<yarn::Scheduler> {
+        return std::make_unique<yarn::PolicyScheduler>(
+            std::make_unique<yarn::FcfsAlgorithm>(), config.policy);
+      });
+  add(kPolicyEasyBackfill,
+      "EASY backfilling: head-of-queue reservation, later asks fill harmless gaps",
+      [](const SchedulerBuildConfig& config) -> std::unique_ptr<yarn::Scheduler> {
+        return std::make_unique<yarn::PolicyScheduler>(
+            std::make_unique<yarn::EasyBackfillAlgorithm>(), config.policy);
+      });
+  add(kPolicyConservativeBackfill,
+      "conservative backfilling: per-ask reservations, no earlier reservation delayed",
+      [](const SchedulerBuildConfig& config) -> std::unique_ptr<yarn::Scheduler> {
+        return std::make_unique<yarn::PolicyScheduler>(
+            std::make_unique<yarn::ConservativeBackfillAlgorithm>(), config.policy);
+      });
+}
+
+void SchedulerRegistry::add(std::string name, std::string description, Factory factory) {
+  auto [it, inserted] =
+      entries_.emplace(std::move(name), Entry{std::move(description), std::move(factory)});
+  if (!inserted) {
+    throw std::invalid_argument("scheduler policy registered twice: " + it->first);
+  }
+}
+
+bool SchedulerRegistry::contains(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+std::unique_ptr<yarn::Scheduler> SchedulerRegistry::make(
+    const std::string& name, const SchedulerBuildConfig& config) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [key, entry] : entries_) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    throw std::invalid_argument("unknown scheduler policy '" + name + "' (known: " + known +
+                                ")");
+  }
+  return it->second.factory(config);
+}
+
+std::vector<std::pair<std::string, std::string>> SchedulerRegistry::entries() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [name, entry] : entries_) out.emplace_back(name, entry.description);
+  return out;
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace mrapid::core

@@ -1,0 +1,68 @@
+#pragma once
+
+// String-keyed construction of scheduling policies, so WorldConfig,
+// the fuzzer's policy axis and the scheduler_shootout experiment all
+// select schedulers by the same names:
+//
+//   hadoop-capacity | mrapid-d+ | fcfs | easy-backfill |
+//   conservative-backfill
+//
+// Lives in the mrapid layer (not yarn) because "mrapid-d+" constructs
+// DPlusScheduler and mrapid_core links mrapid_yarn, not vice versa.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mrapid/dplus_scheduler.h"
+#include "yarn/scheduling_algorithm.h"
+
+namespace mrapid::core {
+
+inline constexpr const char* kPolicyHadoopCapacity = "hadoop-capacity";
+inline constexpr const char* kPolicyMRapidDPlus = "mrapid-d+";
+inline constexpr const char* kPolicyFcfs = "fcfs";
+inline constexpr const char* kPolicyEasyBackfill = "easy-backfill";
+inline constexpr const char* kPolicyConservativeBackfill = "conservative-backfill";
+
+// Everything a factory may need; callers fill only what they care
+// about (defaults match WorldConfig defaults).
+struct SchedulerBuildConfig {
+  DPlusOptions dplus;
+  yarn::PolicySchedulerOptions policy;
+};
+
+class SchedulerRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<yarn::Scheduler>(const SchedulerBuildConfig&)>;
+
+  // The process-wide registry, pre-seeded with the built-in policies.
+  static SchedulerRegistry& instance();
+
+  // Throws std::invalid_argument on a duplicate name.
+  void add(std::string name, std::string description, Factory factory);
+
+  bool contains(const std::string& name) const;
+  // Throws std::invalid_argument on an unknown name, listing the known
+  // ones.
+  std::unique_ptr<yarn::Scheduler> make(const std::string& name,
+                                        const SchedulerBuildConfig& config = {}) const;
+
+  // Sorted name -> one-line description (docs, --list, error text).
+  std::vector<std::pair<std::string, std::string>> entries() const;
+  std::vector<std::string> names() const;
+
+ private:
+  SchedulerRegistry();  // registers the built-ins
+
+  struct Entry {
+    std::string description;
+    Factory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace mrapid::core

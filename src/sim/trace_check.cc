@@ -41,6 +41,13 @@ struct FlowState {
   bool done = false;
 };
 
+// One container ask's lifecycle: requested -> delivered XOR cancelled.
+struct AskState {
+  std::int64_t app = -1;
+  bool delivered = false;
+  bool cancelled = false;
+};
+
 class Checker {
  public:
   explicit Checker(const TraceCheckOptions& options) : options_(options) {}
@@ -65,6 +72,10 @@ class Checker {
     check_crash_silence(event);
     if (event.name == "node.capacity") {
       capacity_[event.arg_or("node", -1)] = {event.arg_or("vcores", 0), event.arg_or("mem", 0)};
+    } else if (event.name == "container.requested") {
+      on_requested(event);
+    } else if (event.name == "ask.cancelled") {
+      on_ask_cancelled(event);
     } else if (event.name == "container.allocated") {
       on_allocated(event);
     } else if (event.name == "container.launched") {
@@ -85,6 +96,8 @@ class Checker {
       if (it != lost_maps_.end() && event.arg_or("attempt", 0) >= it->second) {
         lost_maps_.erase(it);
       }
+    } else if (event.name == "app.finished") {
+      on_app_finished(event);
     } else if (event.name == "job.failed") {
       failed_jobs_.insert(std::to_string(event.arg_or("app", -1)) + "|" +
                           std::to_string(event.arg_or("job", 0)));
@@ -169,7 +182,55 @@ class Checker {
     }
   }
 
+  // Ask conservation: every ask is requested exactly once and then
+  // either satisfied by exactly one allocation or cancelled with its
+  // app — never both, never twice, and never left dangling once the
+  // app finishes. This is the invariant a scheduler with internal
+  // queues/reservations (the backfilling policies) is most likely to
+  // break by leaking a cancelled ask.
+  void on_requested(const TraceEvent& event) {
+    const std::int64_t ask = event.arg_or("ask", -1);
+    if (!asks_.emplace(ask, AskState{event.arg_or("app", -1), false, false}).second) {
+      fail(event, "ask %" PRId64 " requested twice", ask);
+    }
+  }
+
+  void on_ask_cancelled(const TraceEvent& event) {
+    const std::int64_t ask = event.arg_or("ask", -1);
+    auto it = asks_.find(ask);
+    if (it == asks_.end()) {
+      fail(event, "cancel of unknown ask %" PRId64, ask);
+      return;
+    }
+    if (it->second.delivered) fail(event, "ask %" PRId64 " cancelled after delivery", ask);
+    if (it->second.cancelled) fail(event, "ask %" PRId64 " cancelled twice", ask);
+    it->second.cancelled = true;
+  }
+
+  void on_app_finished(const TraceEvent& event) {
+    const std::int64_t app = event.arg_or("app", -1);
+    for (const auto& [ask, state] : asks_) {
+      if (state.app == app && !state.delivered && !state.cancelled) {
+        fail(event, "ask %" PRId64 " of app %" PRId64 " still pending at app finish", ask, app);
+      }
+    }
+  }
+
   void on_allocated(const TraceEvent& event) {
+    // Synthetic test streams may omit the ask id; real RM traces always
+    // carry it, so a missing arg just skips the conservation ledger.
+    const std::int64_t ask = event.arg_or("ask", -1);
+    if (ask >= 0) {
+      auto ask_it = asks_.find(ask);
+      if (ask_it == asks_.end()) {
+        fail(event, "allocation satisfies unknown ask %" PRId64, ask);
+      } else {
+        if (ask_it->second.delivered) fail(event, "ask %" PRId64 " satisfied twice", ask);
+        if (ask_it->second.cancelled) fail(event, "ask %" PRId64 " satisfied after cancel", ask);
+        ask_it->second.delivered = true;
+      }
+    }
+
     const std::int64_t id = event.arg_or("id", -1);
     ContainerState& state = containers_[id];
     if (state.allocated) {
@@ -367,6 +428,7 @@ class Checker {
   TraceCheckOptions options_;
   std::vector<std::string> violations_;
   std::map<std::int64_t, Resources> capacity_;
+  std::map<std::int64_t, AskState> asks_;
   std::map<std::int64_t, Resources> used_;
   std::map<std::int64_t, ContainerState> containers_;
   std::unordered_map<std::string, TaskPhase> maps_;

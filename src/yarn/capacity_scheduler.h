@@ -8,25 +8,22 @@
 // locality-blind, and therefore prone to the container-allocation
 // imbalance the paper describes ("some DataNodes may be squeezed with
 // many containers, but others could be idle").
+//
+// Since the scheduler-zoo refactor this is a PolicyScheduler running
+// CapacityAlgorithm (yarn/policies.h); the class survives so existing
+// construction sites and tests keep working unchanged.
 
-#include <deque>
+#include <memory>
 
-#include "yarn/scheduler.h"
+#include "yarn/policies.h"
+#include "yarn/scheduling_algorithm.h"
 
 namespace mrapid::yarn {
 
-class HadoopCapacityScheduler : public Scheduler {
+class HadoopCapacityScheduler : public PolicyScheduler {
  public:
-  const char* name() const override { return "CapacityScheduler"; }
-  bool allocates_immediately() const override { return false; }
-
-  void on_container_request(std::vector<Ask> asks) override;
-  void on_node_update(cluster::NodeId node) override;
-  void cancel_asks(AppId app) override;
-  std::size_t queued_asks() const override { return queue_.size(); }
-
- private:
-  std::deque<Ask> queue_;
+  explicit HadoopCapacityScheduler(PolicySchedulerOptions options = {})
+      : PolicyScheduler(std::make_unique<CapacityAlgorithm>(), options) {}
 };
 
 }  // namespace mrapid::yarn

@@ -1,0 +1,81 @@
+#pragma once
+
+// The yarn-layer policy catalogue (docs/SCHEDULERS.md):
+//
+//   * CapacityAlgorithm — the baseline Hadoop CapacityScheduler of the
+//     paper's Figure 2: FIFO asks, allocation only at NM heartbeats,
+//     greedy packing onto the reporting node.
+//   * FcfsAlgorithm — strict first-come-first-served over the whole
+//     cluster snapshot with head-of-line blocking: nothing behind a
+//     blocked head is served, however idle the cluster is.
+//   * EasyBackfillAlgorithm — EASY (aggressive) backfilling: the head
+//     of the queue gets a reservation from a shadow schedule of the
+//     running containers' estimated completions; any later ask may
+//     jump the queue iff it cannot delay that reservation.
+//   * ConservativeBackfillAlgorithm — every queued ask gets a
+//     reservation in FIFO order against per-node availability
+//     profiles; an ask runs early only in gaps that delay *no* earlier
+//     reservation.
+//
+// The backfillers' shadow schedules replay PolicyScheduler::running()
+// with per-container runtime estimates (profiler hints via
+// set_app_runtime_hint, else observed service means) — estimates, not
+// oracles, so "never delays" is guaranteed against the estimated
+// schedule, exactly as in batch systems running EASY since EASY.
+//
+// MRapid's D+ policy lives in mrapid/dplus_scheduler.h.
+
+#include <vector>
+
+#include "yarn/scheduling_algorithm.h"
+
+namespace mrapid::yarn {
+
+class CapacityAlgorithm : public ISchedulingAlgorithm {
+ public:
+  const char* name() const override { return "CapacityScheduler"; }
+  void schedule(PolicyScheduler& scheduler, const SchedulingEvent& event) override;
+};
+
+class FcfsAlgorithm : public ISchedulingAlgorithm {
+ public:
+  const char* name() const override { return "FcfsScheduler"; }
+  void schedule(PolicyScheduler& scheduler, const SchedulingEvent& event) override;
+};
+
+// A shadow-schedule reservation: the earliest instant (by the current
+// estimates) the ask fits, and where.
+struct Reservation {
+  bool valid = false;
+  double start_s = 0.0;
+  cluster::NodeId node = cluster::kInvalidNode;
+};
+
+class EasyBackfillAlgorithm : public ISchedulingAlgorithm {
+ public:
+  const char* name() const override { return "EasyBackfillScheduler"; }
+  void schedule(PolicyScheduler& scheduler, const SchedulingEvent& event) override;
+};
+
+class ConservativeBackfillAlgorithm : public ISchedulingAlgorithm {
+ public:
+  const char* name() const override { return "ConservativeBackfillScheduler"; }
+  void schedule(PolicyScheduler& scheduler, const SchedulingEvent& event) override;
+};
+
+// The shadow schedules, exposed as pure functions of the adapter's
+// snapshot so the property tests assert the no-delay guarantees
+// against exactly what the policies compute.
+//
+// EASY: the head-of-queue reservation — earliest (time, node) at which
+// the head fits, replaying running-container completions in
+// (estimated_end, container id) order. Invalid when the queue is empty
+// or the head fits nowhere even on an empty node.
+Reservation easy_head_reservation(PolicyScheduler& scheduler);
+
+// Conservative: one reservation per queued ask, FIFO, each carved into
+// per-node availability profiles that include all earlier
+// reservations. reservations[i] belongs to queue()[i].
+std::vector<Reservation> conservative_reservations(PolicyScheduler& scheduler);
+
+}  // namespace mrapid::yarn

@@ -59,6 +59,9 @@ struct Ask {
   Resource capability;
   std::vector<cluster::NodeId> preferred_nodes;
   bool relax_locality = true;
+  // AM containers live for their whole application; backfilling
+  // policies must not treat them as task-sized shadow-schedule gaps.
+  bool long_lived = false;
 };
 
 // A satisfied ask, handed back to the AM.

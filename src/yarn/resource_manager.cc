@@ -134,6 +134,7 @@ void ResourceManager::submit_am_ask(AppId id, const char* label) {
     ask.id = record->am_ask;
     ask.app = id;
     ask.capability = config_.am_container;
+    ask.long_lived = true;  // the AM runs for the app's whole lifetime
     std::vector<Ask> asks{ask};
     trace_asks(sim_, asks);
     scheduler_->on_container_request(std::move(asks));
@@ -193,7 +194,7 @@ std::vector<Allocation> ResourceManager::am_allocate(AppId id, std::vector<Ask> 
 }
 
 void ResourceManager::release_container(const Container& container) {
-  if (!mark_container_terminal(container.id)) return;
+  if (!mark_terminal_and_notify(container)) return;
   NodeState* state = node_state(container.node);
   assert(state != nullptr);
   MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.released",
@@ -274,7 +275,7 @@ void ResourceManager::expire_node(cluster::NodeId node) {
     }
   }
   for (const Container& container : lost_ams) {
-    if (!mark_container_terminal(container.id)) continue;
+    if (!mark_terminal_and_notify(container)) continue;
     MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.lost",
                  {"id", container.id}, {"app", container.app}, {"node", container.node});
     handle_am_loss(container);
@@ -282,7 +283,7 @@ void ResourceManager::expire_node(cluster::NodeId node) {
 }
 
 void ResourceManager::notify_container_lost(const Container& container) {
-  if (!mark_container_terminal(container.id)) return;
+  if (!mark_terminal_and_notify(container)) return;
   MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.lost",
                {"id", container.id}, {"app", container.app}, {"node", container.node});
   AppRecord* record = app(container.app);
@@ -333,7 +334,7 @@ void ResourceManager::report_launch_failure(const Container& container) {
   }
   AppRecord* record = app(container.app);
   if (record != nullptr && !record->finished && record->am_container.id == container.id) {
-    mark_container_terminal(container.id);
+    mark_terminal_and_notify(container);
     MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.lost",
                  {"id", container.id}, {"app", container.app}, {"node", container.node});
     handle_am_loss(container);
@@ -374,7 +375,7 @@ void ResourceManager::kill_container(const Container& container) {
   const bool is_am = record != nullptr && !record->finished &&
                      record->am_container.id == container.id;
   if (is_am) {
-    if (mark_container_terminal(container.id)) {
+    if (mark_terminal_and_notify(container)) {
       MRAPID_TRACE(sim_, sim::TraceCategory::kContainer, "container.lost",
                    {"id", container.id}, {"app", container.app}, {"node", container.node});
       handle_am_loss(container);

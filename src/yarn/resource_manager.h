@@ -91,6 +91,7 @@ class ResourceManager : public SchedulerContext {
   const cluster::Topology& topology() const override { return cluster_.topology(); }
   ContainerId next_container_id() override { return next_container_id_++; }
   void deliver_allocation(const Allocation& allocation) override;
+  sim::Simulation& simulation() override { return sim_; }
 
  private:
   struct AppRecord {
@@ -120,6 +121,14 @@ class ResourceManager : public SchedulerContext {
   // must neither re-emit the event nor re-credit the resources.
   bool mark_container_terminal(ContainerId id) { return terminal_containers_.insert(id).second; }
   bool container_terminal(ContainerId id) const { return terminal_containers_.count(id) != 0; }
+  // As mark_container_terminal, but also tells the scheduler (its
+  // running-container table and service-time samples feed the
+  // backfilling shadow schedules and the waiting-time estimator).
+  bool mark_terminal_and_notify(const Container& container) {
+    if (!mark_container_terminal(container.id)) return false;
+    scheduler_->on_container_finished(container);
+    return true;
+  }
 
   cluster::Cluster& cluster_;
   sim::Simulation& sim_;

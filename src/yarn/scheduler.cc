@@ -5,10 +5,25 @@
 namespace mrapid::yarn {
 
 cluster::Locality Scheduler::judge_locality(const Ask& ask, cluster::NodeId node) const {
+  // No preferred replicas (generated input, AM containers): any node
+  // is as good as any other.
   if (ask.preferred_nodes.empty()) return cluster::Locality::kAny;
   cluster::Locality best = cluster::Locality::kAny;
   for (cluster::NodeId preferred : ask.preferred_nodes) {
-    const cluster::Locality l = context_->topology().locality(node, preferred);
+    const NodeState* state = context_->node_state(preferred);
+    if (state != nullptr && !state->alive) {
+      // The replica died with its node: neither the node nor its rack
+      // offers a local read any more. An ask whose only replicas are
+      // on expired nodes degrades deterministically to kAny.
+      continue;
+    }
+    cluster::Locality l = context_->topology().locality(node, preferred);
+    if (state != nullptr && state->blacklisted && l == cluster::Locality::kNodeLocal) {
+      // A blacklisted node still serves HDFS reads but never hosts
+      // containers, so the best a task can do against that replica is
+      // read it over the rack: NODE_LOCAL degrades to RACK_LOCAL.
+      l = cluster::Locality::kRackLocal;
+    }
     if (static_cast<int>(l) < static_cast<int>(best)) best = l;
   }
   return best;

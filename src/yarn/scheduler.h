@@ -10,14 +10,24 @@
 // the >= 2-heartbeat latency and greedy packing MRapid's D+ scheduler
 // removes by allocating inside on_container_request from the RM's own
 // cluster-resource snapshot.
+//
+// Concrete schedulers are PolicyScheduler adapters wrapping a pure
+// ISchedulingAlgorithm (yarn/scheduling_algorithm.h); this header only
+// defines the event seam the RM drives and the services it provides.
 
-#include <deque>
+#include <cstddef>
 #include <vector>
 
 #include "cluster/topology.h"
 #include "yarn/records.h"
 
+namespace mrapid::sim {
+class Simulation;
+}
+
 namespace mrapid::yarn {
+
+class WaitingTimeEstimator;
 
 // The RM-side view of one NodeManager's resources.
 struct NodeState {
@@ -52,6 +62,8 @@ class SchedulerContext {
   // Hands a satisfied ask to the RM, which buffers it for (or, for an
   // immediate scheduler, returns it to) the owning AM.
   virtual void deliver_allocation(const Allocation& allocation) = 0;
+  // The clock and trace sink the scheduler lives in.
+  virtual sim::Simulation& simulation() = 0;
 };
 
 class Scheduler {
@@ -76,6 +88,24 @@ class Scheduler {
   virtual void cancel_asks(AppId app) = 0;
 
   virtual std::size_t queued_asks() const = 0;
+
+  // A container this scheduler allocated reached a terminal state
+  // (released, lost or killed): the service-time sample behind the
+  // backfilling shadow schedules and the waiting-time estimator.
+  virtual void on_container_finished(const Container& container) { (void)container; }
+
+  // The per-queue waiting-time predictor, when this scheduler keeps
+  // one (PolicyScheduler does); null otherwise. MRapid's DecisionMaker
+  // reads it for Eq. 3's queue-delay term.
+  virtual const WaitingTimeEstimator* wait_estimator() const { return nullptr; }
+
+  // Expected per-container runtime for `app`'s future asks, from the
+  // framework's history/profiler — the backfilling policies' shadow
+  // schedules are only as good as these estimates.
+  virtual void set_app_runtime_hint(AppId app, double seconds) {
+    (void)app;
+    (void)seconds;
+  }
 
  protected:
   // Locality of serving `ask` on `node`, judged against the ask's

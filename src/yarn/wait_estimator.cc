@@ -1,0 +1,73 @@
+#include "yarn/wait_estimator.h"
+
+#include <algorithm>
+
+namespace mrapid::yarn {
+
+WaitingTimeEstimator::WaitingTimeEstimator(WaitEstimatorOptions options)
+    : options_(options) {}
+
+void WaitingTimeEstimator::set_servers(int servers) {
+  servers_ = std::max(1, servers);
+}
+
+void WaitingTimeEstimator::observe_arrival(double now_s) {
+  if (arrivals_ == 0) first_arrival_s_ = now_s;
+  last_arrival_s_ = now_s;
+  ++arrivals_;
+}
+
+void WaitingTimeEstimator::observe_wait(double wait_s) {
+  wait_s = std::max(0.0, wait_s);
+  if (waits_ == 0) {
+    wait_ewma_s_ = wait_s;
+  } else {
+    wait_ewma_s_ += options_.ewma_alpha * (wait_s - wait_ewma_s_);
+  }
+  ++waits_;
+}
+
+void WaitingTimeEstimator::observe_service(double service_s) {
+  service_s = std::max(0.0, service_s);
+  ++services_;
+  service_sum_s_ += service_s;
+  service_sq_sum_s_ += service_s * service_s;
+}
+
+double WaitingTimeEstimator::mean_service_s() const {
+  return services_ > 0 ? service_sum_s_ / static_cast<double>(services_) : 0.0;
+}
+
+double WaitingTimeEstimator::arrival_rate_per_s() const {
+  if (arrivals_ < 2) return 0.0;
+  const double span = last_arrival_s_ - first_arrival_s_;
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(arrivals_ - 1) / span;
+}
+
+double WaitingTimeEstimator::utilization() const {
+  const double lambda = arrival_rate_per_s();
+  if (lambda <= 0.0 || services_ == 0) return 0.0;
+  return lambda * mean_service_s() / static_cast<double>(servers_);
+}
+
+double WaitingTimeEstimator::model_wait_s() const {
+  const double lambda = arrival_rate_per_s();
+  if (lambda <= 0.0 || services_ == 0) return 0.0;
+  const double second_moment = service_sq_sum_s_ / static_cast<double>(services_);
+  const double rho = std::min(utilization(), options_.max_utilization);
+  // Pollaczek–Khinchine mean wait with the standard c-server scaling:
+  // each of the c servers drains its share of the arrival stream.
+  return lambda * second_moment / (2.0 * static_cast<double>(servers_) * (1.0 - rho));
+}
+
+double WaitingTimeEstimator::predicted_wait_s() const {
+  const bool model_ready = arrivals_ >= 2 && services_ > 0;
+  if (!model_ready && waits_ == 0) return options_.cold_wait_s;
+  if (!model_ready) return wait_ewma_s_;
+  if (waits_ == 0) return model_wait_s();
+  return options_.model_weight * model_wait_s() +
+         (1.0 - options_.model_weight) * wait_ewma_s_;
+}
+
+}  // namespace mrapid::yarn

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <string>
 
 #include "check/fuzzer.h"
@@ -16,6 +17,7 @@
 #include "check/shrink.h"
 #include "common/rng.h"
 #include "harness/fault.h"
+#include "mrapid/scheduler_registry.h"
 
 namespace mrapid {
 namespace {
@@ -106,6 +108,46 @@ TEST(ScenarioGenerator, StreamDrawsDoNotDisturbLegacyFields) {
   }
 }
 
+TEST(ScenarioGenerator, PolicyAxisDrawsRegisteredPoliciesFromItsOwnStream) {
+  // ~30% of seeds swap in a zoo policy; the draw must come from its own
+  // named stream (legacy fields untouched — covered by the goldens and
+  // the round-trip test above) and only ever name registered policies.
+  int with_policy = 0;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const check::FuzzScenario s = check::generate_scenario(seed);
+    if (s.policy.empty()) continue;
+    ++with_policy;
+    EXPECT_TRUE(core::SchedulerRegistry::instance().contains(s.policy))
+        << "seed " << seed << " drew unknown policy '" << s.policy << "'";
+    // The default schedulers are reachable by leaving the field empty;
+    // the axis only ever draws the three new policies.
+    EXPECT_TRUE(s.policy == "fcfs" || s.policy == "easy-backfill" ||
+                s.policy == "conservative-backfill")
+        << "seed " << seed;
+  }
+  EXPECT_GE(with_policy, 10);
+  EXPECT_LE(with_policy, 32);
+}
+
+TEST(Oracle, CleanBuildPassesOnPolicySeeds) {
+  // One seed per zoo policy: the full differential oracle (4 modes,
+  // reference digest, trace invariants, determinism re-run) must stay
+  // green when a backfilling or FIFO policy replaces the default
+  // scheduler.
+  std::map<std::string, std::uint64_t> picks;
+  for (std::uint64_t seed = 0; seed < 64 && picks.size() < 3; ++seed) {
+    const check::FuzzScenario s = check::generate_scenario(seed);
+    if (!s.policy.empty()) picks.emplace(s.policy, seed);
+  }
+  ASSERT_EQ(picks.size(), 3u) << "first 64 seeds never drew all three policies";
+  for (const auto& [policy, seed] : picks) {
+    const check::FuzzScenario s = check::generate_scenario(seed);
+    const check::OracleReport report = check::run_oracle(s, {});
+    EXPECT_TRUE(report.ok()) << "seed " << seed << " policy " << policy << ":\n"
+                             << report.violations_text();
+  }
+}
+
 TEST(ScenarioGenerator, MakeTenantSpecsRequiresStream) {
   const check::FuzzScenario s = check::generate_scenario(0);  // seed 0 is single-job
   ASSERT_FALSE(check::is_stream(s));
@@ -121,6 +163,7 @@ TEST(ScenarioGenerator, ParseRejectsGarbage) {
                std::invalid_argument);
   EXPECT_THROW(check::parse_scenario("tenant poisson nope 100 0\nend\n"),
                std::invalid_argument);
+  EXPECT_THROW(check::parse_scenario("policy warp-speed\nend\n"), std::invalid_argument);
 }
 
 TEST(FaultPlanExpansion, IsDeterministic) {

@@ -163,12 +163,61 @@ TEST(GoldenTrace, WordCountNodeCrashRecovery) {
                     golden_path("wordcount_crash_hadoop"));
 }
 
+// Backfilling golden: the same wordcount under the EASY backfilling
+// policy from the scheduler zoo (docs/SCHEDULERS.md). Pins the shadow
+// schedule's allocation order byte for byte, so a drift in the
+// reservation or backfill logic — or in the runtime estimates feeding
+// it — shows up as a trace diff, not a quietly shifted latency.
+TEST(GoldenTrace, WordCountEasyBackfillPolicy) {
+  auto workload = make_workload("wordcount");
+  harness::WorldConfig config;
+  config.scheduler = "easy-backfill";
+
+  harness::World world(config, RunMode::kHadoop);
+  sim::Tracer tracer(sim::kTraceGolden);
+  world.attach_tracer(tracer);
+  auto result = world.run(*workload);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->succeeded);
+
+  const auto violations = sim::check_trace(tracer.events());
+  ASSERT_TRUE(violations.empty()) << sim::violations_to_string(violations);
+
+  compare_or_update(sim::canonical_text(tracer.events()),
+                    golden_path("wordcount_easybackfill"));
+}
+
 // Same seed, two fresh worlds: the recorded traces must be
 // byte-identical — the foundation the golden files stand on.
 TEST(GoldenTrace, SameSeedGivesByteIdenticalTrace) {
   auto workload = make_workload("wordcount");
   harness::WorldConfig config;
   config.seed = 0xC0FFEE;
+
+  std::string first;
+  for (int run = 0; run < 2; ++run) {
+    harness::World world(config, RunMode::kDPlus);
+    sim::Tracer tracer;  // full mask: heartbeats and flows included
+    world.attach_tracer(tracer);
+    ASSERT_TRUE(world.run(*workload).has_value());
+    const std::string text = sim::canonical_text(tracer.events());
+    if (run == 0) {
+      first = text;
+    } else {
+      ASSERT_EQ(first, text);
+    }
+  }
+}
+
+// The byte-determinism gate extended to a reservation-holding policy:
+// the backfillers' shadow schedules are pure functions of the
+// deterministic snapshot, so the same seed must replay bit for bit
+// under them too.
+TEST(GoldenTrace, SameSeedByteIdenticalUnderBackfillPolicy) {
+  auto workload = make_workload("wordcount");
+  harness::WorldConfig config;
+  config.seed = 0xC0FFEE;
+  config.scheduler = "easy-backfill";
 
   std::string first;
   for (int run = 0; run < 2; ++run) {

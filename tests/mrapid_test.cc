@@ -16,6 +16,7 @@
 #include "mrapid/history.h"
 #include "mrapid/profiler.h"
 #include "workloads/pi.h"
+#include "yarn/wait_estimator.h"
 #include "workloads/terasort.h"
 #include "workloads/wordcount.h"
 
@@ -354,6 +355,48 @@ TEST(DecisionMakerTest, JudgeLiveRespectsConfidenceMargin) {
   u.mode = mr::ExecutionMode::kUPlus;
   // With a 99% margin nothing short of a finished run decides.
   EXPECT_FALSE(dm.judge_live(d, u, DecisionContext{4, 8, 4}).has_value());
+}
+
+TEST(DecisionMakerTest, WaitEstimatorShiftsEq3ByTheRatioBand) {
+  // The Eq. 3 wait term: a DecisionMaker wired to a busy queue's
+  // WaitingTimeEstimator must charge D+ the predicted wait, so
+  // t_d(with) / t_d(without) lands in the band 1 + W/t_d(without) —
+  // strictly above the structural constant's ratio of exactly 1 —
+  // and a close race flips from D+ to U+.
+  yarn::WaitingTimeEstimator estimator;
+  estimator.set_servers(2);
+  for (int i = 0; i < 20; ++i) {
+    estimator.observe_arrival(static_cast<double>(i));  // lambda ~ 1/s
+    estimator.observe_service(1.5);                     // rho ~ 0.79
+    estimator.observe_wait(4.0);
+  }
+  const double predicted = estimator.predicted_wait_s();
+  ASSERT_GT(predicted, 1.0);  // a genuinely loaded queue
+
+  HistoryStore history;
+  DecisionMaker structural(history, EstimatorDefaults{});
+  DecisionMaker informed(history, EstimatorDefaults{});
+  informed.set_wait_estimator(&estimator);
+  EXPECT_DOUBLE_EQ(structural.predicted_wait_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(informed.predicted_wait_seconds(), predicted);
+
+  // 8 one-second maps, tiny output: U+ needs 4 waves (4 s); D+ does
+  // one wave in ~2.5 s on an idle cluster and wins structurally.
+  const DecisionContext context{8, 8, 2};
+  const Decision without = structural.decide(1.0, 10.0 * 1024 * 1024, 1024, context);
+  const Decision with = informed.decide(1.0, 10.0 * 1024 * 1024, 1024, context);
+  EXPECT_EQ(without.winner, mr::ExecutionMode::kDPlus);
+  EXPECT_LT(without.t_d, without.t_u);
+
+  const double ratio = with.t_d / without.t_d;
+  const double band = predicted / without.t_d;
+  EXPECT_GT(ratio, 1.0 + 0.9 * band);
+  EXPECT_LT(ratio, 1.0 + 1.1 * band);
+
+  // The predicted queue delay outweighs D+'s head start: U+ wins.
+  EXPECT_EQ(with.winner, mr::ExecutionMode::kUPlus);
+  EXPECT_GT(with.t_d, with.t_u);
+  EXPECT_DOUBLE_EQ(with.t_u, without.t_u);  // Eq. 2 never pays the wait
 }
 
 // ---- AM pool --------------------------------------------------------------

@@ -253,6 +253,83 @@ TEST(TraceCheck, StrictModeFlagsUnreleasedContainers) {
   EXPECT_NE(violations[0].find("never released"), std::string::npos);
 }
 
+// ---- ask conservation -------------------------------------------------------
+
+TEST(TraceCheck, AskLedgerAcceptsDeliveryAndCancellation) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(0, TraceCategory::kContainer, "container.requested",
+                      {{"ask", 1}, {"app", 1}, {"vcores", 1}, {"mem", 1024}}));
+  events.push_back(ev(1, TraceCategory::kContainer, "container.requested",
+                      {{"ask", 2}, {"app", 1}, {"vcores", 1}, {"mem", 1024}}));
+  events.push_back(ev(2, TraceCategory::kContainer, "container.allocated",
+                      {{"id", 1}, {"ask", 1}, {"app", 1}, {"node", 0}, {"vcores", 1},
+                       {"mem", 1024}}));
+  events.push_back(ev(3, TraceCategory::kContainer, "ask.cancelled",
+                      {{"ask", 2}, {"app", 1}}));
+  events.push_back(ev(4, TraceCategory::kContainer, "container.released",
+                      {{"id", 1}, {"app", 1}, {"node", 0}, {"vcores", 1}, {"mem", 1024}}));
+  events.push_back(ev(5, TraceCategory::kApp, "app.finished", {{"app", 1}}));
+  const auto violations = check_trace(events);
+  EXPECT_TRUE(violations.empty()) << sim::violations_to_string(violations);
+}
+
+TEST(TraceCheck, DetectsAskPendingAtAppFinish) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(0, TraceCategory::kContainer, "container.requested",
+                      {{"ask", 7}, {"app", 3}, {"vcores", 1}, {"mem", 1024}}));
+  events.push_back(ev(1, TraceCategory::kApp, "app.finished", {{"app", 3}}));
+  const auto violations = check_trace(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("still pending at app finish"), std::string::npos);
+}
+
+TEST(TraceCheck, DetectsAskSatisfiedTwice) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(0, TraceCategory::kContainer, "container.requested",
+                      {{"ask", 1}, {"app", 1}, {"vcores", 1}, {"mem", 1024}}));
+  for (int i = 0; i < 2; ++i) {
+    events.push_back(ev(i + 1, TraceCategory::kContainer, "container.allocated",
+                        {{"id", i + 1}, {"ask", 1}, {"app", 1}, {"node", 0}, {"vcores", 1},
+                         {"mem", 1024}}));
+  }
+  const auto violations = check_trace(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("satisfied twice"), std::string::npos);
+}
+
+TEST(TraceCheck, DetectsAskSatisfiedAfterCancel) {
+  // The leak a reservation-holding backfill scheduler is most likely to
+  // produce: an allocation for an ask whose app already cancelled it.
+  std::vector<TraceEvent> events;
+  events.push_back(ev(0, TraceCategory::kContainer, "container.requested",
+                      {{"ask", 1}, {"app", 1}, {"vcores", 1}, {"mem", 1024}}));
+  events.push_back(ev(1, TraceCategory::kContainer, "ask.cancelled",
+                      {{"ask", 1}, {"app", 1}}));
+  events.push_back(ev(2, TraceCategory::kContainer, "container.allocated",
+                      {{"id", 1}, {"ask", 1}, {"app", 1}, {"node", 0}, {"vcores", 1},
+                       {"mem", 1024}}));
+  const auto violations = check_trace(events);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("satisfied after cancel"), std::string::npos);
+}
+
+TEST(TraceCheck, DetectsCancelAfterDeliveryAndUnknownCancel) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(0, TraceCategory::kContainer, "container.requested",
+                      {{"ask", 1}, {"app", 1}, {"vcores", 1}, {"mem", 1024}}));
+  events.push_back(ev(1, TraceCategory::kContainer, "container.allocated",
+                      {{"id", 1}, {"ask", 1}, {"app", 1}, {"node", 0}, {"vcores", 1},
+                       {"mem", 1024}}));
+  events.push_back(ev(2, TraceCategory::kContainer, "ask.cancelled",
+                      {{"ask", 1}, {"app", 1}}));
+  events.push_back(ev(3, TraceCategory::kContainer, "ask.cancelled",
+                      {{"ask", 99}, {"app", 1}}));
+  const auto violations = check_trace(events);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_NE(violations[0].find("cancelled after delivery"), std::string::npos);
+  EXPECT_NE(violations[1].find("unknown ask"), std::string::npos);
+}
+
 // ---- Chrome export ----------------------------------------------------------
 
 TEST(ChromeTrace, PairsLifecycleEventsIntoSlices) {
