@@ -1,9 +1,12 @@
 // The simulation-core throughput baseline (docs/PERF.md): events/sec
-// for the slab event queue across three variants — steady-state
-// event-churn, the cancel-heavy heartbeat/replan pattern, and an
-// end-to-end wordcount sweep — with the churn/cancel variants also
-// measured against the pre-slab shared_ptr reference queue so the
-// speedup is recorded, not remembered.
+// for the slab event queue across four variants — steady-state
+// event-churn, the cancel-heavy heartbeat/replan pattern, an
+// end-to-end wordcount sweep, and the cluster-scale tenant stream
+// (10k nodes) that exercises the timer wheel and the incremental
+// scheduler. The churn/cancel variants measure against the pre-slab
+// shared_ptr reference queue, cluster-scale against the same world
+// with both YarnConfig hot-path toggles off, so each recorded speedup
+// is measured, not remembered.
 //
 // Wall-clock output can never be byte-reproducible, so this experiment
 // only runs when --filter names it (like `micro`). CI refreshes the
@@ -21,7 +24,8 @@ namespace {
 exp::ScenarioSpec make(const exp::SweepOptions& opt) {
   exp::ScenarioSpec spec;
   spec.title = "Simulation core — event throughput (wall clock)";
-  spec.axes = {exp::label_axis("variant", {"event-churn", "cancel-heavy", "wordcount-sweep"})};
+  spec.axes = {exp::label_axis(
+      "variant", {"event-churn", "cancel-heavy", "wordcount-sweep", "cluster-scale"})};
   const bool smoke = opt.smoke;
   const std::uint64_t churn_events = smoke ? 400'000 : 4'000'000;
   const std::size_t churn_window = 1024;
@@ -39,6 +43,10 @@ exp::ScenarioSpec make(const exp::SweepOptions& opt) {
         legacy = pair.legacy;
       } else if (variant == "cancel-heavy") {
         const exp::SimCorePair pair = exp::sim_core_cancel_heavy(cancel_steps);
+        modern = pair.modern;
+        legacy = pair.legacy;
+      } else if (variant == "cluster-scale") {
+        const exp::SimCorePair pair = exp::sim_core_cluster_scale(smoke);
         modern = pair.modern;
         legacy = pair.legacy;
       } else {

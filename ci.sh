@@ -56,6 +56,12 @@ run_config() {
   # fuzzer's policy seeds.
   "$dir/bench/mrapid_bench" --filter scheduler_shootout --smoke --jobs 2 \
     --json /tmp/smoke_shootout.json > /dev/null
+  # The sim-core throughput experiment, smoke-sized, in BOTH configs:
+  # under sanitizers its cluster-scale variant is the only CI exercise
+  # of the timer wheel + incremental scheduler on a large (256-node)
+  # cluster with the legacy toggles also run for the differential.
+  "$dir/bench/mrapid_bench" --filter sim_core --smoke \
+    --json /tmp/smoke_simcore.json > /dev/null
   echo "=== [$name] fuzz smoke ==="
   # A bounded differential-fuzz campaign (docs/FUZZING.md): every
   # scenario runs all four modes against the reference executor with
@@ -79,7 +85,11 @@ echo "=== [release] determinism gate ==="
 # Golden traces and fuzzer reproducers live in the source tree and are
 # only ever rewritten under GOLDEN_UPDATE=1 / --shrink, which CI never
 # sets. After the full suite + benches + fuzz have run, any byte of
-# drift under these trees means determinism regressed.
+# drift under these trees means determinism regressed. The golden runs
+# execute with heartbeat batching + incremental scheduling at their
+# default (on); the HeartbeatEquivalence suite (already part of ctest
+# above) holds the same traces byte-identical across all four toggle
+# corners, so this gate covers the legacy paths too.
 git diff --exit-code -- tests/golden tests/regressions
 
 run_config sanitize build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMRAPID_SANITIZE=ON

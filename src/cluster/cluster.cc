@@ -45,8 +45,7 @@ Cluster::Cluster(sim::Simulation& sim, const ClusterConfig& config)
   NodeId id = 0;
   for (RackId r = 0; r < static_cast<RackId>(config.racks.size()); ++r) {
     for (const NodeSpec& spec : config.racks[static_cast<std::size_t>(r)]) {
-      nodes_.push_back(
-          std::make_unique<Node>(sim, id, r, "node" + std::to_string(id), spec));
+      nodes_.emplace_back(sim, id, r, "node" + std::to_string(id), spec);
       nic_rates.push_back(spec.nic);
       ++id;
     }

@@ -7,6 +7,7 @@
 // matching the paper's "1 NameNode + N DataNodes" clusters); nodes
 // 1..N are workers (DataNode + NodeManager).
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -39,8 +40,8 @@ class Cluster {
   Cluster& operator=(const Cluster&) = delete;
 
   std::size_t size() const { return nodes_.size(); }
-  Node& node(NodeId id) { return *nodes_.at(static_cast<std::size_t>(id)); }
-  const Node& node(NodeId id) const { return *nodes_.at(static_cast<std::size_t>(id)); }
+  Node& node(NodeId id) { return nodes_.at(static_cast<std::size_t>(id)); }
+  const Node& node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
 
   NodeId master() const { return 0; }
   // All nodes except the master.
@@ -52,7 +53,10 @@ class Cluster {
 
  private:
   sim::Simulation& sim_;
-  std::vector<std::unique_ptr<Node>> nodes_;
+  // In-place node storage: a deque gives stable addresses (components
+  // hold Node&/Node* across the run) without one heap allocation and
+  // pointer hop per node — at 10k nodes that indirection was real.
+  std::deque<Node> nodes_;
   Topology topology_;
   std::unique_ptr<Network> network_;
   std::vector<NodeId> workers_;

@@ -4,7 +4,7 @@
 //
 // Every sweep, fault matrix and fuzz campaign is ultimately a stream of
 // events through sim::EventQueue, so events/sec is the repo's
-// highest-leverage performance number. Three variants:
+// highest-leverage performance number. Four variants:
 //
 //   event-churn      steady-state push/fire with a bounded window of
 //                    outstanding events — the shape of a long
@@ -13,7 +13,12 @@
 //                    completion, cancel it, reschedule) that bandwidth
 //                    resources and liveness timers produce,
 //   wordcount-sweep  end to end: full worlds across the figure modes,
-//                    events/sec read from Simulation::queue_stats().
+//                    events/sec read from Simulation::queue_stats(),
+//   cluster-scale    a Poisson tenant stream over a 10k-node uniform
+//                    cluster, run twice: with the hot-path toggles
+//                    (heartbeat batching + incremental scheduling) on
+//                    and off — the recorded speedup for PR 8's
+//                    cluster-scale overhaul.
 //
 // The churn and cancel variants also run against LegacyEventQueue — a
 // faithful reimplementation of the pre-slab shared_ptr/weak_ptr queue —
@@ -56,5 +61,15 @@ SimCorePair sim_core_cancel_heavy(std::uint64_t steps);
 // End to end: WordCount through full worlds across the figure modes;
 // `events` is the total fired across all runs.
 SimCoreResult sim_core_wordcount_sweep(bool smoke);
+
+// Cluster scale: a Poisson tenant stream over a large uniform cluster
+// (10k nodes full, 256 smoke), baseline Hadoop mode. `modern` runs
+// with heartbeat batching + incremental scheduling (the defaults);
+// `legacy` re-runs with both YarnConfig toggles off — the historical
+// per-event O(nodes) costs — over a reduced horizon (events/sec is a
+// rate, and the legacy side is too slow to run the full horizon at
+// 10k nodes). Traces are byte-identical either way (the equivalence
+// suite proves it); only the wall clock differs.
+SimCorePair sim_core_cluster_scale(bool smoke);
 
 }  // namespace mrapid::exp

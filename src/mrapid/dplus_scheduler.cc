@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "yarn/node_table.h"
+
 namespace mrapid::core {
 
 using cluster::Locality;
@@ -21,29 +23,29 @@ void DPlusAlgorithm::schedule(PolicyScheduler& scheduler, const SchedulingEvent&
 }
 
 DPlusAlgorithm::Dominant DPlusAlgorithm::dominant_resource(PolicyScheduler& scheduler) const {
-  std::int64_t total_vcores = 0;
-  std::int64_t used_vcores = 0;
-  std::int64_t total_mem = 0;
-  std::int64_t used_mem = 0;
-  for (const auto& node : scheduler.context().nodes()) {
-    if (!node.schedulable()) continue;  // degraded capacity excluded
-    total_vcores += node.capacity.vcores;
-    used_vcores += node.used.vcores;
-    total_mem += node.capacity.memory_mb;
-    used_mem += node.used.memory_mb;
+  yarn::NodeTable::Aggregates agg;
+  if (yarn::NodeTable* table = scheduler.context().node_table()) {
+    agg = table->aggregates();  // O(1) when incremental
+  } else {
+    for (const auto& node : scheduler.context().nodes()) {
+      if (!node.schedulable()) continue;  // degraded capacity excluded
+      agg.total_vcores += node.capacity.vcores;
+      agg.used_vcores += node.used.vcores;
+      agg.total_mem += node.capacity.memory_mb;
+      agg.used_mem += node.used.memory_mb;
+    }
   }
   const double vcore_ratio =
-      total_vcores > 0 ? static_cast<double>(used_vcores) / total_vcores : 0.0;
-  const double mem_ratio = total_mem > 0 ? static_cast<double>(used_mem) / total_mem : 0.0;
+      agg.total_vcores > 0 ? static_cast<double>(agg.used_vcores) / agg.total_vcores : 0.0;
+  const double mem_ratio =
+      agg.total_mem > 0 ? static_cast<double>(agg.used_mem) / agg.total_mem : 0.0;
   return vcore_ratio >= mem_ratio ? Dominant::kVcores : Dominant::kMemory;
 }
 
 std::vector<NodeState*> DPlusAlgorithm::sorted_nodes(PolicyScheduler& scheduler) const {
-  std::vector<NodeState*> nodes;
-  for (auto& node : scheduler.context().nodes()) {
-    if (!node.schedulable()) continue;  // dead or blacklisted
-    nodes.push_back(&node);
-  }
+  // schedulable_nodes() is already ascending-id schedulable — the same
+  // set and order the historical full scan produced.
+  std::vector<NodeState*> nodes = scheduler.schedulable_nodes();
   if (!options_.balanced_spread) {
     // Packing behaviour: fixed node order, first fit.
     return nodes;

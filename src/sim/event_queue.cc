@@ -166,6 +166,12 @@ SimTime EventQueue::next_time() const {
   return heap_.empty() ? SimTime::max() : heap_.front().time;
 }
 
+EventQueue::NextKey EventQueue::next_key() const {
+  drop_cancelled_head();
+  if (heap_.empty()) return NextKey{};
+  return NextKey{heap_.front().time, heap_.front().seq};
+}
+
 EventQueue::Fired EventQueue::pop() {
   drop_cancelled_head();
   assert(!heap_.empty());

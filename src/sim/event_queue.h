@@ -93,6 +93,20 @@ class EventQueue {
   // Time of the next live event; SimTime::max() if none.
   SimTime next_time() const;
 
+  // (time, seq) of the next live event; (max, UINT64_MAX) if none.
+  // The merge key Simulation::run_until uses against the timer wheel.
+  struct NextKey {
+    SimTime time = SimTime::max();
+    std::uint64_t seq = UINT64_MAX;
+  };
+  NextKey next_key() const;
+
+  // Hands out the next global sequence number without pushing. The
+  // timer wheel stamps its entries from this same counter (at the
+  // call sites where a non-batched run would have pushed here), which
+  // is what makes merged dispatch byte-identical to the pure heap.
+  std::uint64_t take_seq() { return next_seq_++; }
+
   struct Fired {
     SimTime time;
     EventCallback callback;

@@ -1,5 +1,6 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/log.h"
@@ -28,14 +29,38 @@ EventId Simulation::schedule_now(EventCallback callback, EventLabel label) {
   return schedule_at(now_, std::move(callback), label);
 }
 
+EventId Simulation::schedule_timer(SimDuration delay, EventCallback callback, EventLabel label) {
+  assert(delay >= SimDuration::zero());
+  const SimTime at = now_ + delay;
+  if (!timer_batching_) return queue_.push(at, std::move(callback), label);
+  // The wheel entry takes the sequence number this push would have
+  // taken, so the merged dispatch order matches the non-batched run
+  // byte for byte.
+  return wheel_.schedule(at, queue_.take_seq(), std::move(callback), label);
+}
+
 std::uint64_t Simulation::run() { return run_until(SimTime::max()); }
 
 std::uint64_t Simulation::run_until(SimTime deadline) {
   stop_requested_ = false;
   std::uint64_t fired = 0;
-  while (!queue_.empty() && !stop_requested_) {
-    if (queue_.next_time() > deadline) break;
-    auto event = queue_.pop();
+  while (!stop_requested_) {
+    EventQueue::Fired event;
+    if (wheel_.empty()) {
+      // Hot path: no timers outstanding, identical to the pre-wheel loop.
+      if (queue_.empty() || queue_.next_time() > deadline) break;
+      event = queue_.pop();
+    } else {
+      // Merge the queue head and the wheel head on the shared global
+      // (time, seq) key — exactly the order one combined heap would
+      // dispatch in.
+      const EventQueue::NextKey qk = queue_.next_key();
+      const TimerWheel::Key wk = wheel_.next_key();
+      const bool wheel_first = wk.time != qk.time ? wk.time < qk.time : wk.seq < qk.seq;
+      const SimTime head = wheel_first ? wk.time : qk.time;
+      if (head > deadline || head == SimTime::max()) break;
+      event = wheel_first ? wheel_.pop() : queue_.pop();
+    }
     now_ = event.time;
     // Tracer-gated: the label string only ever exists under a tracer.
     if (tracer_ != nullptr) current_label_ = event.label.str();
@@ -44,11 +69,12 @@ std::uint64_t Simulation::run_until(SimTime deadline) {
     if (event.callback) event.callback();
   }
   // Advance the clock to the deadline when nothing fires before it
-  // (whether the queue is empty or its head lies beyond the deadline),
-  // so repeated bounded runs make progress.
-  if (!stop_requested_ && deadline != SimTime::max() && now_ < deadline &&
-      (queue_.empty() || queue_.next_time() > deadline)) {
-    now_ = deadline;
+  // (whether the queues are empty or their heads lie beyond the
+  // deadline), so repeated bounded runs make progress.
+  if (!stop_requested_ && deadline != SimTime::max() && now_ < deadline) {
+    const SimTime queue_head = queue_.next_time();
+    const SimTime wheel_head = wheel_.empty() ? SimTime::max() : wheel_.next_key().time;
+    if (std::min(queue_head, wheel_head) > deadline) now_ = deadline;
   }
   return fired;
 }

@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
+#include "sim/timer_wheel.h"
 
 namespace mrapid::sim {
 
@@ -40,7 +41,23 @@ class Simulation {
   // the same simulated instant.
   EventId schedule_now(EventCallback callback, EventLabel label = {});
 
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  // For periodic, batch-friendly events (heartbeats, liveness polls):
+  // lands in the hierarchical timer wheel when batching is on, in the
+  // ordinary queue otherwise. Dispatch order is byte-identical either
+  // way — the wheel entry is stamped with the sequence number the
+  // queue push would have consumed, and run_until merges on (time,
+  // seq) — so the toggle is purely a performance/testability knob.
+  EventId schedule_timer(SimDuration delay, EventCallback callback, EventLabel label = {});
+
+  bool cancel(EventId id) {
+    if (TimerWheel::is_wheel_id(id)) return wheel_.cancel(id);
+    return queue_.cancel(id);
+  }
+
+  // Routing for schedule_timer; flip before the first timer is
+  // scheduled (harness::World sets it from YarnConfig::heartbeat_batching).
+  void set_timer_batching(bool on) { timer_batching_ = on; }
+  bool timer_batching() const { return timer_batching_; }
 
   // Runs until the event queue drains or stop() is called. Returns the
   // number of events processed by this call.
@@ -54,13 +71,14 @@ class Simulation {
   // event finishes.
   void stop() { stop_requested_ = true; }
 
-  bool idle() const { return queue_.empty(); }
+  bool idle() const { return queue_.empty() && wheel_.empty(); }
   std::uint64_t processed_events() const { return processed_; }
 
   // Event-core counters (pushed/fired/cancelled, heap peak, slab
   // capacity) — the exp layer's sim_core benchmark reports these.
   const EventQueue::Stats& queue_stats() const { return queue_.stats(); }
-  std::size_t pending_events() const { return queue_.size(); }
+  const TimerWheel::Stats& wheel_stats() const { return wheel_.stats(); }
+  std::size_t pending_events() const { return queue_.size() + wheel_.size(); }
 
   // Label of the event currently being dispatched, materialised only
   // while a tracer is attached (empty otherwise). Debug/trace aid.
@@ -87,6 +105,8 @@ class Simulation {
   };
 
   EventQueue queue_;
+  TimerWheel wheel_;
+  bool timer_batching_ = true;
   SimTime now_ = SimTime::zero();
   bool stop_requested_ = false;
   std::uint64_t processed_ = 0;

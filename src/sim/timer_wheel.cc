@@ -1,0 +1,308 @@
+#include "sim/timer_wheel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mrapid::sim {
+
+namespace {
+
+constexpr std::uint64_t kGenMask = 0x7FFFFFFFull;  // 31 bits; bit 63 is the wheel tag
+
+constexpr std::uint64_t pack_id(std::uint32_t slot, std::uint32_t gen) {
+  return TimerWheel::kIdTag | ((static_cast<std::uint64_t>(gen) & kGenMask) << 32) |
+         (static_cast<std::uint64_t>(slot) + 1);
+}
+
+}  // namespace
+
+std::uint32_t TimerWheel::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slab_.size());
+  slab_.emplace_back();
+  stats_.slab_capacity = slab_.size();
+  return slot;
+}
+
+void TimerWheel::release_slot(std::uint32_t slot) {
+  Record& record = slab_[slot];
+  record.live = false;
+  record.callback = nullptr;  // release captured state promptly
+  free_slots_.push_back(slot);
+}
+
+void TimerWheel::mark_occupied(int level, std::size_t index) {
+  levels_[static_cast<std::size_t>(level)].occupied[index / 64] |= 1ull << (index % 64);
+}
+
+void TimerWheel::clear_occupied(int level, std::size_t index) {
+  levels_[static_cast<std::size_t>(level)].occupied[index / 64] &= ~(1ull << (index % 64));
+}
+
+std::size_t TimerWheel::next_occupied(int level, std::size_t from) const {
+  const auto& occupied = levels_[static_cast<std::size_t>(level)].occupied;
+  if (from >= kSlots) return kSlots;
+  std::size_t word = from / 64;
+  std::uint64_t bits = occupied[word] & (~0ull << (from % 64));
+  for (;;) {
+    if (bits != 0) return word * 64 + static_cast<std::size_t>(__builtin_ctzll(bits));
+    if (++word >= kSlots / 64) return kSlots;
+    bits = occupied[word];
+  }
+}
+
+EventId TimerWheel::schedule(SimTime at, std::uint64_t seq, EventCallback callback,
+                             EventLabel label) {
+  const std::uint32_t slot = acquire_slot();
+  Record& record = slab_[slot];
+  ++record.gen;
+  record.live = true;
+  record.callback = std::move(callback);
+  record.label = label;
+  record.time = at;
+  record.seq = seq;
+  ++live_;
+  ++stats_.scheduled;
+  place(slot);
+  return EventId{pack_id(slot, record.gen)};
+}
+
+void TimerWheel::place(std::uint32_t slot) {
+  Record& record = slab_[slot];
+  const std::uint64_t tick = tick_of(record.time);
+  if (tick < cursor_) {
+    // The cursor already drained this tick (it hunts ahead to the next
+    // non-empty slot, so simulated "now" can trail it). The entry
+    // joins the due buffer at its sorted (time, seq) position, which
+    // keeps the merged dispatch order exact.
+    const Key key{record.time, record.seq};
+    auto it = std::upper_bound(
+        due_.begin() + static_cast<std::ptrdiff_t>(due_head_), due_.end(), key,
+        [this](const Key& k, std::uint32_t s) {
+          const Record& r = slab_[s];
+          if (k.time != r.time) return k.time < r.time;
+          return k.seq < r.seq;
+        });
+    due_.insert(it, slot);
+    record.in_due = true;
+    ++due_live_;
+    return;
+  }
+  record.in_due = false;
+  for (int level = 0; level < kLevels; ++level) {
+    const int window_shift = kSlotBits * (level + 1);
+    if ((tick >> window_shift) == (cursor_ >> window_shift)) {
+      const auto index =
+          static_cast<std::size_t>((tick >> (kSlotBits * level)) & kSlotMask);
+      levels_[static_cast<std::size_t>(level)].buckets[index].push_back(slot);
+      mark_occupied(level, index);
+      return;
+    }
+  }
+  overflow_.push_back(slot);
+}
+
+bool TimerWheel::cancel(EventId id) {
+  if (!is_wheel_id(id)) return false;
+  const std::uint64_t slot_plus_1 = id.value & 0xFFFFFFFFull;
+  const auto gen = static_cast<std::uint32_t>((id.value >> 32) & kGenMask);
+  if (slot_plus_1 == 0 || slot_plus_1 > slab_.size()) return false;
+  Record& record = slab_[static_cast<std::size_t>(slot_plus_1 - 1)];
+  if (!record.live || (record.gen & kGenMask) != gen) return false;
+  record.live = false;
+  record.callback = nullptr;  // release captured state promptly
+  record.label = EventLabel{};
+  assert(live_ > 0);
+  --live_;
+  if (record.in_due) {
+    assert(due_live_ > 0);
+    --due_live_;
+  }
+  ++stats_.cancelled;
+  // The record keeps its bucket slot until the cursor drains it —
+  // lazy, like the slab queue, but self-limiting: a wheel bucket is
+  // always visited by the entry's own deadline.
+  return true;
+}
+
+void TimerWheel::drain_bucket(Level& level, std::size_t index, bool to_due) {
+  std::vector<std::uint32_t>& bucket = level.buckets[index];
+  for (const std::uint32_t slot : bucket) {
+    Record& record = slab_[slot];
+    if (!record.live) {
+      release_slot(slot);
+      continue;
+    }
+    if (to_due) {
+      due_.push_back(slot);
+      record.in_due = true;
+      ++due_live_;
+    } else {
+      ++stats_.cascaded;
+      place(slot);  // re-bucket against the advanced cursor
+    }
+  }
+  bucket.clear();  // keeps capacity: heartbeat slots are reused every lap
+  // The occupancy bit is cleared by the caller, which knows the level index.
+}
+
+void TimerWheel::enter_window() {
+  // cursor_ sits on an exact window start for one or more levels. At
+  // most ONE entered bucket can hold entries: level h, the lowest
+  // level whose slot index is nonzero. Entered windows below h have
+  // index 0, and an entry could only have been placed there while the
+  // cursor was still in the previous higher-level window — place()
+  // would have bucketed it at a level >= h instead. Everything in the
+  // level-h bucket has tick >= cursor_, so cascading via place() keeps
+  // every invariant.
+  constexpr std::uint64_t kSpanMask = (1ull << (kSlotBits * kLevels)) - 1;
+  if ((cursor_ & kSpanMask) == 0 && !overflow_.empty()) {
+    // Crossed the whole wheel span: this span's entries live in the
+    // overflow list and must come into the buckets before any of them
+    // could be bypassed. Later spans fall back into overflow_.
+    std::vector<std::uint32_t> pending;
+    pending.swap(overflow_);
+    for (const std::uint32_t slot : pending) {
+      Record& record = slab_[slot];
+      if (!record.live) {
+        release_slot(slot);
+        continue;
+      }
+      ++stats_.cascaded;
+      place(slot);
+    }
+  }
+  for (int level = 1; level < kLevels; ++level) {
+    const auto index =
+        static_cast<std::size_t>((cursor_ >> (kSlotBits * level)) & kSlotMask);
+    if (index == 0) continue;  // crossed this level's boundary too; climb
+    drain_bucket(levels_[static_cast<std::size_t>(level)], index, /*to_due=*/false);
+    clear_occupied(level, index);
+    break;
+  }
+}
+
+void TimerWheel::advance() {
+  // Precondition: due_ is empty. Hunt the next non-empty bucket,
+  // cascading across level boundaries, and drain it into due_.
+  assert(due_.empty() && due_head_ == 0);
+  while (live_ > 0) {
+    // Level 0: every resident entry satisfies tick >= cursor_ within
+    // the cursor's L1 window, so a forward bitmap scan is exhaustive.
+    std::size_t index = next_occupied(0, static_cast<std::size_t>(cursor_ & kSlotMask));
+    if (index < kSlots) {
+      cursor_ = (cursor_ & ~kSlotMask) + index;
+      drain_bucket(levels_[0], index, /*to_due=*/true);
+      clear_occupied(0, index);
+      ++cursor_;  // this tick is fully drained
+      ++stats_.slots_drained;
+      // Draining slot 255 steps the cursor into the next window, whose
+      // higher-level bucket has not been cascaded. It must come down
+      // NOW: advance() returns to the caller next, and a schedule()
+      // arriving before the next advance would place into L0 of the
+      // new window and unfairly jump ahead of the bucket's entries.
+      if ((cursor_ & kSlotMask) == 0) enter_window();
+      if (!due_.empty()) {
+        std::sort(due_.begin(), due_.end(), [this](std::uint32_t a, std::uint32_t b) {
+          const Record& ra = slab_[a];
+          const Record& rb = slab_[b];
+          if (ra.time != rb.time) return ra.time < rb.time;
+          return ra.seq < rb.seq;
+        });
+        stats_.max_batch = std::max(stats_.max_batch, due_.size());
+        return;
+      }
+      continue;  // the bucket held only cancelled entries
+    }
+    // L0 exhausted: jump to the next occupied slot of the lowest level
+    // that still has one inside its current window, cascade it down,
+    // and retry. Jumps land on window starts, so place() re-buckets
+    // cascade entries purely by their tick.
+    bool cascaded = false;
+    for (int level = 1; level < kLevels; ++level) {
+      const int shift = kSlotBits * level;
+      const auto current = static_cast<std::size_t>((cursor_ >> shift) & kSlotMask);
+      // Inclusive of `current`: a mid-window cursor's own slot is
+      // provably empty (it was cascaded on entry, and place() sends
+      // same-window ticks below this level), but right after the ++ in
+      // the L0 drain crossed a window boundary the entered slot has
+      // not been cascaded yet and must not be skipped.
+      const std::size_t next = next_occupied(level, current);
+      if (next >= kSlots) continue;
+      const int window_shift = kSlotBits * (level + 1);
+      const std::uint64_t jumped = ((cursor_ >> window_shift) << window_shift) |
+                                   (static_cast<std::uint64_t>(next) << shift);
+      assert(jumped >= cursor_);
+      cursor_ = jumped;
+      drain_bucket(levels_[static_cast<std::size_t>(level)], next, /*to_due=*/false);
+      clear_occupied(level, next);
+      cascaded = true;
+      break;
+    }
+    if (cascaded) continue;
+    // Every level is empty ahead of the cursor: the survivors live in
+    // the overflow list. Jump to the earliest entry's L3 window and
+    // re-place everything; stragglers fall back into overflow.
+    assert(!overflow_.empty());
+    std::vector<std::uint32_t> pending;
+    pending.swap(overflow_);
+    std::uint64_t min_tick = UINT64_MAX;
+    for (const std::uint32_t slot : pending) {
+      const Record& record = slab_[slot];
+      if (record.live) min_tick = std::min(min_tick, tick_of(record.time));
+    }
+    if (min_tick == UINT64_MAX) {
+      // Only cancelled entries were left; recycle and re-check live_.
+      for (const std::uint32_t slot : pending) release_slot(slot);
+      continue;
+    }
+    const int top_shift = kSlotBits * kLevels;
+    cursor_ = (min_tick >> top_shift) << top_shift;
+    for (const std::uint32_t slot : pending) {
+      Record& record = slab_[slot];
+      if (!record.live) {
+        release_slot(slot);
+        continue;
+      }
+      ++stats_.cascaded;
+      place(slot);
+    }
+  }
+}
+
+TimerWheel::Key TimerWheel::next_key() {
+  for (;;) {
+    while (due_head_ < due_.size()) {
+      const std::uint32_t slot = due_[due_head_];
+      const Record& record = slab_[slot];
+      if (record.live) return Key{record.time, record.seq};
+      release_slot(slot);  // cancelled while waiting in the due buffer
+      ++due_head_;
+    }
+    due_.clear();
+    due_head_ = 0;
+    if (live_ == 0) return Key{};
+    advance();
+  }
+}
+
+EventQueue::Fired TimerWheel::pop() {
+  const Key key = next_key();  // primes due_ onto a live head
+  (void)key;
+  assert(live_ > 0 && due_head_ < due_.size());
+  const std::uint32_t slot = due_[due_head_++];
+  Record& record = slab_[slot];
+  assert(record.live);
+  EventQueue::Fired fired{record.time, std::move(record.callback), record.label};
+  release_slot(slot);
+  --live_;
+  --due_live_;
+  ++stats_.fired;
+  return fired;
+}
+
+}  // namespace mrapid::sim

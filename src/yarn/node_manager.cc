@@ -27,7 +27,7 @@ Resource NodeManager::capacity() const {
 void NodeManager::start(sim::SimDuration initial_offset) {
   assert(!started_);
   started_ = true;
-  heartbeat_event_ = sim_.schedule_after(initial_offset, [this] { heartbeat(); }, "nm:heartbeat");
+  heartbeat_event_ = sim_.schedule_timer(initial_offset, [this] { heartbeat(); }, "nm:heartbeat");
 }
 
 void NodeManager::stop() {
@@ -41,7 +41,7 @@ void NodeManager::stop() {
 void NodeManager::heartbeat() {
   rm_.on_nm_heartbeat(node_);
   heartbeat_event_ =
-      sim_.schedule_after(config_.nm_heartbeat, [this] { heartbeat(); }, "nm:heartbeat");
+      sim_.schedule_timer(config_.nm_heartbeat, [this] { heartbeat(); }, "nm:heartbeat");
 }
 
 void NodeManager::crash() {
@@ -55,7 +55,7 @@ void NodeManager::crash() {
 void NodeManager::pause_heartbeats(sim::SimDuration duration) {
   if (crashed_ || !started_) return;
   if (heartbeat_event_.valid()) sim_.cancel(heartbeat_event_);
-  heartbeat_event_ = sim_.schedule_after(duration, [this] { heartbeat(); }, "nm:heartbeat");
+  heartbeat_event_ = sim_.schedule_timer(duration, [this] { heartbeat(); }, "nm:heartbeat");
 }
 
 std::vector<Container> NodeManager::take_running() {

@@ -18,14 +18,7 @@ constexpr double kEps = 1e-9;
 // share.
 void serve_fifo_prefix(PolicyScheduler& s) {
   while (!s.queue().empty()) {
-    const QueuedAsk& head = s.queue().front();
-    NodeState* chosen = nullptr;
-    for (NodeState* node : s.schedulable_nodes()) {
-      if (head.ask.capability.fits_in(node->available())) {
-        chosen = node;
-        break;
-      }
-    }
+    NodeState* chosen = s.first_fit(s.queue().front().ask.capability);
     if (chosen == nullptr) return;
     s.allocate(0, *chosen);
   }
@@ -113,11 +106,8 @@ Reservation easy_head_reservation(PolicyScheduler& scheduler) {
   if (scheduler.queue().empty()) return res;
   const QueuedAsk& head = scheduler.queue().front();
   const double now_s = scheduler.now().as_seconds();
-  const auto nodes = scheduler.schedulable_nodes();
-  for (NodeState* node : nodes) {
-    if (head.ask.capability.fits_in(node->available())) {
-      return Reservation{true, now_s, node->id};
-    }
+  if (NodeState* node = scheduler.first_fit(head.ask.capability)) {
+    return Reservation{true, now_s, node->id};
   }
   // Shadow schedule: replay estimated completions in (end, container)
   // order; availability only grows, so the first completion after
@@ -139,7 +129,7 @@ Reservation easy_head_reservation(PolicyScheduler& scheduler) {
     return a.id < b.id;
   });
   std::map<cluster::NodeId, Resource> avail;
-  for (NodeState* node : nodes) avail[node->id] = node->available();
+  for (NodeState* node : scheduler.schedulable_nodes()) avail[node->id] = node->available();
   for (const Free& f : frees) {
     Resource& a = avail[f.node];
     a = a + f.resource;
@@ -159,19 +149,16 @@ void EasyBackfillAlgorithm::schedule(PolicyScheduler& scheduler,
   // reservation's start.
   const Reservation res = easy_head_reservation(scheduler);
   const double now_s = scheduler.now().as_seconds();
-  const auto nodes = scheduler.schedulable_nodes();
   std::size_t i = 1;
   while (i < scheduler.queue().size()) {
     const QueuedAsk& entry = scheduler.queue()[i];
-    NodeState* chosen = nullptr;
-    for (NodeState* node : nodes) {
-      if (!entry.ask.capability.fits_in(node->available())) continue;
-      if (res.valid && node->id == res.node &&
-          now_s + entry.runtime_estimate_s > res.start_s + kEps) {
-        continue;
-      }
-      chosen = node;
-      break;
+    // Lowest-id fit, except that the reserved node is off limits to a
+    // backfill whose estimated runtime would overrun the reservation's
+    // start — retry once with it excluded.
+    NodeState* chosen = scheduler.first_fit(entry.ask.capability);
+    if (chosen != nullptr && res.valid && chosen->id == res.node &&
+        now_s + entry.runtime_estimate_s > res.start_s + kEps) {
+      chosen = scheduler.first_fit(entry.ask.capability, res.node);
     }
     if (chosen != nullptr) {
       scheduler.allocate(i, *chosen, /*backfilled=*/true);

@@ -71,4 +71,36 @@ struct Allocation {
   cluster::Locality locality = cluster::Locality::kAny;
 };
 
+// A flat array keyed by NodeId. Node ids are small dense integers
+// (0 = master, 1..N = workers), so per-node hot state wants a vector
+// indexed by id, not a hash map: the RM's heartbeat recency table and
+// the NodeTable's id->index map at 10k nodes are exactly the
+// structures where unordered_map probing shows up in profiles.
+template <typename T>
+class DenseNodeMap {
+ public:
+  T& operator[](cluster::NodeId id) {
+    const auto index = static_cast<std::size_t>(id);
+    if (index >= values_.size()) values_.resize(index + 1, missing_);
+    return values_[index];
+  }
+  // Read-only probe: `missing` when the id was never written.
+  const T& get(cluster::NodeId id) const {
+    const auto index = static_cast<std::size_t>(id);
+    return index < values_.size() ? values_[index] : missing_;
+  }
+  bool contains(cluster::NodeId id) const {
+    const auto index = static_cast<std::size_t>(id);
+    return index < values_.size() && !(values_[index] == missing_);
+  }
+  void clear() { values_.clear(); }
+
+  // `missing` is the sentinel resize fills with (default: T{}).
+  explicit DenseNodeMap(T missing = T{}) : missing_(std::move(missing)) {}
+
+ private:
+  std::vector<T> values_;
+  T missing_;
+};
+
 }  // namespace mrapid::yarn

@@ -25,7 +25,8 @@ ResourceManager::ResourceManager(cluster::Cluster& cluster, std::unique_ptr<Sche
     : cluster_(cluster),
       sim_(cluster.simulation()),
       scheduler_(std::move(scheduler)),
-      config_(config) {
+      config_(config),
+      table_(config_.incremental_scheduling) {
   scheduler_->bind(this);
 }
 
@@ -41,7 +42,7 @@ void ResourceManager::start() {
     NodeState state;
     state.id = node;
     state.capacity = nm->capacity();
-    node_states_.push_back(state);
+    table_.add_node(state);
     MRAPID_TRACE(sim_, sim::TraceCategory::kNode, "node.capacity", {"node", node},
                  {"vcores", state.capacity.vcores}, {"mem", state.capacity.memory_mb});
     // Stagger heartbeats deterministically across the period so the
@@ -59,7 +60,7 @@ void ResourceManager::start() {
     // The liveness monitor polls at a quarter of the expiry interval,
     // so a silent node is expired within [nm_expiry, 1.25 * nm_expiry)
     // of its last beat.
-    liveness_event_ = sim_.schedule_after(
+    liveness_event_ = sim_.schedule_timer(
         sim::SimDuration::micros(config_.nm_expiry.as_micros() / 4),
         [this] { liveness_check(); }, "rm:liveness");
   }
@@ -75,13 +76,13 @@ void ResourceManager::stop() {
 }
 
 void ResourceManager::liveness_check() {
-  for (auto& state : node_states_) {
+  for (auto& state : table_.states()) {
     if (!state.alive) continue;
     if (sim_.now() - last_heartbeat_[state.id] >= config_.nm_expiry) {
       expire_node(state.id);
     }
   }
-  liveness_event_ = sim_.schedule_after(
+  liveness_event_ = sim_.schedule_timer(
       sim::SimDuration::micros(config_.nm_expiry.as_micros() / 4),
       [this] { liveness_check(); }, "rm:liveness");
 }
@@ -100,13 +101,6 @@ NodeManager& ResourceManager::node_manager(cluster::NodeId node) {
   auto it = node_managers_.find(node);
   assert(it != node_managers_.end());
   return *it->second;
-}
-
-NodeState* ResourceManager::node_state(cluster::NodeId id) {
-  for (auto& state : node_states_) {
-    if (state.id == id) return &state;
-  }
-  return nullptr;
 }
 
 AppId ResourceManager::submit_application(std::string name, AmReadyCallback on_am_ready) {
@@ -201,7 +195,7 @@ void ResourceManager::release_container(const Container& container) {
                {"id", container.id}, {"app", container.app}, {"node", container.node},
                {"vcores", container.resource.vcores}, {"mem", container.resource.memory_mb});
   // The RM's schedulable view only shrinks when the NM next reports.
-  state->pending_release = state->pending_release + container.resource;
+  table_.add_pending_release(*state, container.resource);
   node_manager(container.node).stop_container(container.id);
 }
 
@@ -230,18 +224,13 @@ void ResourceManager::on_nm_heartbeat(cluster::NodeId node) {
       // requeued at expiry, so the resync tells the NM to discard
       // everything and the node rejoins empty (real YARN kills
       // unknown containers on RM resync).
-      state->alive = true;
-      state->used = Resource{};
-      state->pending_release = Resource{};
+      table_.void_resources(*state);
+      table_.set_alive(*state, true);
       node_manager(node).take_running();
       MRAPID_TRACE(sim_, sim::TraceCategory::kFault, "node.rejoined", {"node", node});
     }
   }
-  if (!state->pending_release.is_zero()) {
-    state->used = state->used - state->pending_release;
-    state->pending_release = Resource{};
-    assert(state->used.vcores >= 0 && state->used.memory_mb >= 0);
-  }
+  table_.apply_pending_release(*state);
   scheduler_->on_node_update(node);
 }
 
@@ -249,18 +238,17 @@ void ResourceManager::expire_node(cluster::NodeId node) {
   NodeState* state = node_state(node);
   assert(state != nullptr);
   if (!state->alive) return;
-  state->alive = false;
-  ++state->failures;
+  table_.set_alive(*state, false);
+  table_.record_failure(*state);
   LOG_INFO("rm", "node %d expired (failure #%d)", node, state->failures);
   MRAPID_TRACE(sim_, sim::TraceCategory::kFault, "node.expired", {"node", node},
                {"failures", state->failures});
   if (!state->blacklisted && state->failures >= config_.node_blacklist_threshold) {
-    state->blacklisted = true;
+    table_.set_blacklisted(*state, true);
     MRAPID_TRACE(sim_, sim::TraceCategory::kFault, "node.blacklisted", {"node", node});
   }
   // The RM's resource view of a dead node is void.
-  state->used = Resource{};
-  state->pending_release = Resource{};
+  table_.void_resources(*state);
   // Requeue what the node was running: task containers first, AM
   // containers after — an AM-loss handler resubmits the AM ask, and
   // that ask must not race its own app's dead task containers.
@@ -329,8 +317,7 @@ void ResourceManager::report_launch_failure(const Container& container) {
   if (state != nullptr && state->alive) {
     // The node has not expired yet; un-account the container the
     // scheduler charged at allocation (the NM never started it).
-    state->used = state->used - container.resource;
-    assert(state->used.vcores >= 0 && state->used.memory_mb >= 0);
+    table_.uncharge(*state, container.resource);
   }
   AppRecord* record = app(container.app);
   if (record != nullptr && !record->finished && record->am_container.id == container.id) {
@@ -369,7 +356,7 @@ void ResourceManager::kill_container(const Container& container) {
   node_manager(container.node).stop_container(container.id);
   NodeState* state = node_state(container.node);
   if (state != nullptr && state->alive) {
-    state->pending_release = state->pending_release + container.resource;
+    table_.add_pending_release(*state, container.resource);
   }
   AppRecord* record = app(container.app);
   const bool is_am = record != nullptr && !record->finished &&

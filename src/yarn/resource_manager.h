@@ -23,6 +23,7 @@
 #include "cluster/cluster.h"
 #include "yarn/config.h"
 #include "yarn/node_manager.h"
+#include "yarn/node_table.h"
 #include "yarn/scheduler.h"
 
 namespace mrapid::yarn {
@@ -86,8 +87,9 @@ class ResourceManager : public SchedulerContext {
   bool app_finished(AppId app) const;
 
   // ---- SchedulerContext -------------------------------------------
-  std::vector<NodeState>& nodes() override { return node_states_; }
-  NodeState* node_state(cluster::NodeId id) override;
+  std::vector<NodeState>& nodes() override { return table_.states(); }
+  NodeState* node_state(cluster::NodeId id) override { return table_.find(id); }
+  NodeTable* node_table() override { return &table_; }
   const cluster::Topology& topology() const override { return cluster_.topology(); }
   ContainerId next_container_id() override { return next_container_id_++; }
   void deliver_allocation(const Allocation& allocation) override;
@@ -134,7 +136,7 @@ class ResourceManager : public SchedulerContext {
   sim::Simulation& sim_;
   std::unique_ptr<Scheduler> scheduler_;
   YarnConfig config_;
-  std::vector<NodeState> node_states_;
+  NodeTable table_;
   std::unordered_map<cluster::NodeId, std::unique_ptr<NodeManager>> node_managers_;
   std::unordered_map<AppId, AppRecord> apps_;
   AppId next_app_id_ = 1;
@@ -142,7 +144,7 @@ class ResourceManager : public SchedulerContext {
   std::unordered_set<ContainerId> terminal_containers_;
   AskId next_ask_id_ = 1;
   bool started_ = false;
-  std::unordered_map<cluster::NodeId, sim::SimTime> last_heartbeat_;
+  DenseNodeMap<sim::SimTime> last_heartbeat_;
   sim::EventId liveness_event_{};
 };
 

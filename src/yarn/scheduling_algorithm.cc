@@ -5,6 +5,7 @@
 
 #include "sim/simulation.h"
 #include "sim/trace.h"
+#include "yarn/node_table.h"
 
 namespace mrapid::yarn {
 
@@ -26,16 +27,30 @@ sim::SimTime PolicyScheduler::now() const {
   return context_->simulation().now();
 }
 
-std::vector<NodeState*> PolicyScheduler::schedulable_nodes() {
-  std::vector<NodeState*> out;
+NodeTable* PolicyScheduler::table() {
+  return context_ != nullptr ? context_->node_table() : nullptr;
+}
+
+const std::vector<NodeState*>& PolicyScheduler::schedulable_nodes() {
+  if (NodeTable* t = table()) return t->schedulable();
+  scratch_nodes_.clear();
   for (auto& node : context().nodes()) {
-    if (node.schedulable()) out.push_back(&node);
+    if (node.schedulable()) scratch_nodes_.push_back(&node);
   }
-  // node_states_ is built in worker order, which is ascending node id;
-  // keep the contract explicit anyway.
-  std::sort(out.begin(), out.end(),
+  // Context node storage is built in worker order, which is ascending
+  // node id; keep the contract explicit anyway.
+  std::sort(scratch_nodes_.begin(), scratch_nodes_.end(),
             [](const NodeState* a, const NodeState* b) { return a->id < b->id; });
-  return out;
+  return scratch_nodes_;
+}
+
+NodeState* PolicyScheduler::first_fit(Resource need, cluster::NodeId skip) {
+  if (NodeTable* t = table()) return t->first_fit(need, skip);
+  for (NodeState* node : schedulable_nodes()) {
+    if (node->id == skip) continue;
+    if (need.fits_in(node->available())) return node;
+  }
+  return nullptr;
 }
 
 double PolicyScheduler::resolve_runtime_estimate(const Ask& ask) const {
@@ -49,6 +64,10 @@ double PolicyScheduler::resolve_runtime_estimate(const Ask& ask) const {
 }
 
 void PolicyScheduler::refresh_servers() {
+  if (NodeTable* t = table()) {
+    wait_estimator_.set_servers(t->schedulable_capacity_vcores());
+    return;
+  }
   int vcores = 0;
   for (const auto& node : context().nodes()) {
     if (node.schedulable()) vcores += node.capacity.vcores;
@@ -118,7 +137,11 @@ void PolicyScheduler::allocate(std::size_t index, NodeState& node, bool backfill
   assert(index < queue_.size());
   QueuedAsk entry = std::move(queue_[index]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
-  node.used = node.used + entry.ask.capability;
+  if (NodeTable* t = table()) {
+    t->charge(node, entry.ask.capability);
+  } else {
+    node.used = node.used + entry.ask.capability;
+  }
   Allocation allocation;
   allocation.ask = entry.ask.id;
   allocation.container =

@@ -127,9 +127,15 @@ class PolicyScheduler : public Scheduler {
   SchedulerContext& context();
   sim::SimTime now() const;
   // Schedulable nodes in ascending id order (the deterministic
-  // iteration order every policy shares). Pointers stay valid for the
-  // duration of one schedule() pass.
-  std::vector<NodeState*> schedulable_nodes();
+  // iteration order every policy shares). Served from the NodeTable's
+  // cached list when the context has one (rebuilt only on membership
+  // flips); re-scanned into a scratch vector otherwise. Pointers stay
+  // valid for the duration of one schedule() pass.
+  const std::vector<NodeState*>& schedulable_nodes();
+  // Lowest-id schedulable node fitting `need`, skipping at most one
+  // node — exactly the front-to-back scan every FIFO-prefix policy
+  // historically did, O(log N) via the NodeTable when available.
+  NodeState* first_fit(Resource need, cluster::NodeId skip = cluster::kInvalidNode);
   cluster::Locality locality_of(const Ask& ask, cluster::NodeId node) const {
     return judge_locality(ask, node);
   }
@@ -155,9 +161,11 @@ class PolicyScheduler : public Scheduler {
  private:
   double resolve_runtime_estimate(const Ask& ask) const;
   void refresh_servers();
+  NodeTable* table();  // context's table, or null for bare test contexts
 
   std::unique_ptr<ISchedulingAlgorithm> algorithm_;
   PolicySchedulerOptions options_;
+  std::vector<NodeState*> scratch_nodes_;  // tableless fallback storage
   std::deque<QueuedAsk> queue_;
   std::vector<RunningContainer> running_;
   std::unordered_map<AppId, double> runtime_hints_;

@@ -1,0 +1,242 @@
+// Equivalence wall for the cluster-scale toggles (yarn/config.h):
+//
+//   heartbeat_batching      — NM heartbeats + RM liveness through the
+//                             hierarchical timer wheel vs. per-node
+//                             slab-queue entries
+//   incremental_scheduling  — schedulers served from the RM's
+//                             incremental node bookkeeping vs. legacy
+//                             full rescans
+//
+// Both are pure data-structure swaps: the contract is that every
+// full-mask trace (heartbeats and flows included) is BYTE-identical
+// whichever way the toggles point. That is what lets the golden files
+// stay frozen while the hot paths underneath them change, and what
+// makes the legacy paths a trustworthy "before" side for the
+// cluster-scale bench. The scenarios here deliberately hit the nasty
+// corners: fault plans (wheel cancels via NM pause/crash, liveness
+// expiry timing), a reservation-holding backfill policy, generated
+// fuzz scenarios with fault schedules, and a multi-tenant stream.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/scenario.h"
+#include "harness/stream_pump.h"
+#include "harness/world.h"
+#include "sim/simulation.h"
+#include "sim/trace.h"
+#include "workloads/pi.h"
+#include "workloads/terasort.h"
+#include "workloads/wordcount.h"
+
+namespace mrapid {
+namespace {
+
+using harness::RunMode;
+
+struct Toggles {
+  bool heartbeat_batching;
+  bool incremental_scheduling;
+};
+
+// The four corners; [0] is the shipping default, the rest must match it.
+constexpr Toggles kCorners[] = {
+    {true, true},
+    {false, true},
+    {true, false},
+    {false, false},
+};
+
+std::string run_world(const harness::WorldConfig& base, RunMode mode, wl::Workload& workload,
+                      const Toggles& toggles, bool* succeeded = nullptr) {
+  harness::WorldConfig config = base;
+  config.yarn.heartbeat_batching = toggles.heartbeat_batching;
+  config.yarn.incremental_scheduling = toggles.incremental_scheduling;
+  harness::World world(config, mode);
+  sim::Tracer tracer;  // full mask: equivalence is checked on everything
+  world.attach_tracer(tracer);
+  const auto result = world.run(workload);
+  if (succeeded != nullptr) *succeeded = result.has_value() && result->succeeded;
+  return sim::canonical_text(tracer.events());
+}
+
+void expect_all_corners_identical(const harness::WorldConfig& base, RunMode mode,
+                                  const std::function<std::unique_ptr<wl::Workload>()>& make,
+                                  const std::string& what) {
+  std::string reference;
+  for (std::size_t i = 0; i < std::size(kCorners); ++i) {
+    auto workload = make();  // fresh workload per run: they carry RNG state
+    bool ok = false;
+    const std::string text = run_world(base, mode, *workload, kCorners[i], &ok);
+    ASSERT_FALSE(text.empty()) << what;
+    if (i == 0) {
+      reference = text;
+    } else {
+      ASSERT_EQ(reference, text)
+          << what << ": trace diverged at corner (batching="
+          << kCorners[i].heartbeat_batching
+          << ", incremental=" << kCorners[i].incremental_scheduling << ")";
+    }
+  }
+}
+
+TEST(HeartbeatEquivalence, GoldenCellsAreByteIdenticalAcrossToggles) {
+  harness::WorldConfig config;
+  expect_all_corners_identical(config, RunMode::kHadoop, [] {
+    wl::WordCountParams params;
+    params.num_files = 2;
+    params.bytes_per_file = 256_KB;
+    return std::make_unique<wl::WordCount>(params);
+  }, "wordcount/hadoop");
+  expect_all_corners_identical(config, RunMode::kDPlus, [] {
+    wl::TeraSortParams params;
+    params.rows = 5000;
+    return std::make_unique<wl::TeraSort>(params);
+  }, "terasort/dplus");
+  expect_all_corners_identical(config, RunMode::kUPlus, [] {
+    wl::PiParams params;
+    params.total_samples = 200000;
+    return std::make_unique<wl::Pi>(params);
+  }, "pi/uplus");
+}
+
+TEST(HeartbeatEquivalence, NodeCrashRecoveryIsByteIdenticalAcrossToggles) {
+  // Liveness active, a mid-map crash: NM heartbeat cancellation, the
+  // expiry poll, blacklisting and re-execution all run through the
+  // wheel on the batched side.
+  harness::WorldConfig config;
+  config.yarn.nm_expiry = sim::SimDuration::seconds(3.0);
+  harness::FaultSpec crash;
+  crash.kind = harness::FaultKind::kNodeCrash;
+  crash.node = 3;
+  crash.at = sim::SimDuration::micros(5'800'000);
+  config.faults.events.push_back(crash);
+
+  expect_all_corners_identical(config, RunMode::kHadoop, [] {
+    wl::WordCountParams params;
+    params.num_files = 2;
+    params.bytes_per_file = 256_KB;
+    return std::make_unique<wl::WordCount>(params);
+  }, "wordcount/crash");
+}
+
+TEST(HeartbeatEquivalence, BackfillPolicyIsByteIdenticalAcrossToggles) {
+  harness::WorldConfig config;
+  config.scheduler = "easy-backfill";
+  expect_all_corners_identical(config, RunMode::kHadoop, [] {
+    wl::WordCountParams params;
+    params.num_files = 2;
+    params.bytes_per_file = 256_KB;
+    return std::make_unique<wl::WordCount>(params);
+  }, "wordcount/easy-backfill");
+}
+
+// Generated fuzz scenarios: the same seeds the CI fuzz stage replays,
+// including their fault schedules and policy draws. Stream scenarios
+// go through the StreamPump like the oracle does; single-job ones
+// through World::run.
+TEST(HeartbeatEquivalence, FuzzScenarioTracesAreByteIdenticalAcrossToggles) {
+  int single = 0, stream = 0;
+  for (std::uint64_t seed = 0; seed < 12 && (single < 3 || stream < 1); ++seed) {
+    const check::FuzzScenario scenario = check::generate_scenario(seed);
+    if (check::is_stream(scenario)) {
+      if (stream >= 1) continue;
+      ++stream;
+      std::string reference;
+      for (std::size_t i = 0; i < std::size(kCorners); ++i) {
+        harness::WorldConfig config = check::world_config(scenario);
+        config.yarn.heartbeat_batching = kCorners[i].heartbeat_batching;
+        config.yarn.incremental_scheduling = kCorners[i].incremental_scheduling;
+        harness::World world(config, RunMode::kHadoop);
+        sim::Tracer tracer;
+        world.attach_tracer(tracer);
+        harness::StreamPumpOptions options;
+        options.horizon_seconds =
+            static_cast<double>(scenario.stream_horizon_ms) / 1000.0;
+        harness::StreamPump pump(world, check::make_tenant_specs(scenario), options);
+        ASSERT_TRUE(pump.run()) << "seed " << seed;
+        const std::string text = sim::canonical_text(tracer.events());
+        if (i == 0) {
+          reference = text;
+        } else {
+          ASSERT_EQ(reference, text) << "stream seed " << seed << " corner " << i;
+        }
+      }
+    } else {
+      if (single >= 3) continue;
+      ++single;
+      std::string reference;
+      for (std::size_t i = 0; i < std::size(kCorners); ++i) {
+        harness::WorldConfig config = check::world_config(scenario);
+        config.yarn.heartbeat_batching = kCorners[i].heartbeat_batching;
+        config.yarn.incremental_scheduling = kCorners[i].incremental_scheduling;
+        auto workload = check::make_workload(scenario);
+        harness::World world(config, RunMode::kHadoop);
+        sim::Tracer tracer;
+        world.attach_tracer(tracer);
+        world.run(*workload, [&scenario](mr::JobSpec& spec) {
+          spec.num_reducers = scenario.reducers;
+        });
+        const std::string text = sim::canonical_text(tracer.events());
+        ASSERT_FALSE(text.empty());
+        if (i == 0) {
+          reference = text;
+        } else {
+          ASSERT_EQ(reference, text) << "fuzz seed " << seed << " corner " << i;
+        }
+      }
+    }
+  }
+  EXPECT_GE(single, 3);
+}
+
+// Micro-level: the simulator's merged dispatch of wheel + queue heads
+// must interleave schedule_timer and schedule_after events exactly as
+// the queue alone would, including same-microsecond (time, seq) ties
+// and cancels of not-yet-fired timers.
+TEST(HeartbeatEquivalence, MergedDispatchOrderMatchesQueueOnlyPath) {
+  std::vector<std::pair<std::int64_t, int>> reference;
+  for (const bool batching : {false, true}) {
+    sim::Simulation sim(0xBEEF);
+    sim.set_timer_batching(batching);
+    std::vector<std::pair<std::int64_t, int>> fired;
+    int tag = 0;
+    std::function<void(int)> beat = [&](int id) {
+      fired.push_back({sim.now().as_micros(), id});
+      if (sim.now() < sim::SimTime::from_micros(50'000)) {
+        // Same-instant tie on purpose: a timer and a plain event both
+        // land `period` from now, distinguished only by seq.
+        sim.schedule_timer(sim::SimDuration::micros(1000), [&beat, id] { beat(id); });
+        sim.schedule_after(sim::SimDuration::micros(1000),
+                           [&fired, &sim, t = 1000 + tag++] {
+                             fired.push_back({sim.now().as_micros(), t});
+                           });
+      }
+    };
+    for (int n = 0; n < 5; ++n) {
+      sim.schedule_timer(sim::SimDuration::micros(100 * n), [&beat, n] { beat(n); });
+    }
+    // A timer cancelled before it fires must vanish identically.
+    const sim::EventId doomed =
+        sim.schedule_timer(sim::SimDuration::micros(777), [&fired] {
+          fired.push_back({-1, -1});
+        });
+    sim.schedule_after(sim::SimDuration::micros(500), [&sim, doomed] { sim.cancel(doomed); });
+    sim.run_until(sim::SimTime::from_micros(60'000));
+    if (!batching) {
+      reference = fired;
+    } else {
+      ASSERT_EQ(reference, fired);
+    }
+    ASSERT_FALSE(fired.empty());
+  }
+}
+
+}  // namespace
+}  // namespace mrapid

@@ -1,0 +1,306 @@
+// Randomized differential test: sim::TimerWheel (4-level hierarchical
+// wheel + overflow list + due buffer) against a naive sorted-scan
+// reference model, over long schedule/cancel/pop interleavings. The
+// reference keeps every event ever scheduled and min-scans on
+// (time, seq), so it is obviously correct; any divergence in pop order
+// (including same-tick FIFO ties), next_key() or size() fails the
+// test. The interesting wheel-specific cases each get a deterministic
+// scenario too: window-boundary crossings after an L0 drain (the
+// cursor++ path), far-future entries promoted out of the overflow
+// list, and cancels that land while the entry sits in the due buffer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+#include "sim/time.h"
+#include "sim/timer_wheel.h"
+
+namespace mrapid::sim {
+namespace {
+
+// The reference model: an append-only list popped by linear min-scan
+// on (time, seq).
+class ReferenceWheel {
+ public:
+  std::size_t schedule(SimTime at, std::uint64_t seq, int payload) {
+    events_.push_back({at, seq, payload, false, false});
+    return events_.size() - 1;
+  }
+
+  bool cancel(std::size_t id) {
+    if (id >= events_.size() || events_[id].cancelled || events_[id].fired) return false;
+    events_[id].cancelled = true;
+    return true;
+  }
+
+  std::size_t size() const {
+    std::size_t live = 0;
+    for (const auto& e : events_) {
+      if (!e.cancelled && !e.fired) ++live;
+    }
+    return live;
+  }
+
+  TimerWheel::Key next_key() const {
+    const auto* e = find_min();
+    return e == nullptr ? TimerWheel::Key{} : TimerWheel::Key{e->time, e->seq};
+  }
+
+  // (time, payload) of the earliest live event.
+  std::pair<SimTime, int> pop() {
+    Event* e = find_min();
+    EXPECT_NE(e, nullptr);
+    e->fired = true;
+    return {e->time, e->payload};
+  }
+
+  bool empty() const { return find_min() == nullptr; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    int payload;
+    bool cancelled;
+    bool fired;
+  };
+
+  Event* find_min() {
+    Event* best = nullptr;
+    for (auto& e : events_) {
+      if (e.cancelled || e.fired) continue;
+      if (best == nullptr || e.time < best->time ||
+          (e.time == best->time && e.seq < best->seq)) {
+        best = &e;
+      }
+    }
+    return best;
+  }
+  const Event* find_min() const { return const_cast<ReferenceWheel*>(this)->find_min(); }
+
+  std::vector<Event> events_;
+};
+
+struct Harness {
+  TimerWheel wheel;
+  ReferenceWheel reference;
+  // Parallel id lists for cancel targeting (index-aligned).
+  std::vector<EventId> ids;
+  std::vector<std::size_t> ref_ids;
+  std::uint64_t next_seq = 0;  // stands in for EventQueue::take_seq()
+  int next_payload = 0;
+  int last_fired = -1;
+
+  void schedule(SimTime at) {
+    const int payload = next_payload++;
+    const std::uint64_t seq = next_seq++;
+    ids.push_back(wheel.schedule(at, seq, [this, payload] { last_fired = payload; }));
+    ASSERT_TRUE(TimerWheel::is_wheel_id(ids.back()));
+    ref_ids.push_back(reference.schedule(at, seq, payload));
+  }
+
+  // Cancels the same historical event in both; asserts agreement.
+  void cancel(std::size_t index) {
+    ASSERT_EQ(wheel.cancel(ids[index]), reference.cancel(ref_ids[index])) << "index " << index;
+  }
+
+  void check_head() {
+    ASSERT_EQ(wheel.size(), reference.size());
+    ASSERT_EQ(wheel.empty(), reference.empty());
+    const TimerWheel::Key got = wheel.next_key();
+    const TimerWheel::Key want = reference.next_key();
+    ASSERT_EQ(got.time, want.time);
+    ASSERT_EQ(got.seq, want.seq);
+  }
+
+  void pop() {
+    ASSERT_FALSE(wheel.empty());
+    auto fired = wheel.pop();
+    const auto [ref_time, ref_payload] = reference.pop();
+    ASSERT_EQ(fired.time, ref_time);
+    ASSERT_TRUE(fired.callback != nullptr);
+    fired.callback();
+    ASSERT_EQ(last_fired, ref_payload) << "pop order diverged";
+  }
+};
+
+constexpr std::int64_t kTickUs = 1024;  // TimerWheel tick (kTickShift = 10)
+
+TEST(TimerWheelDiffTest, RandomInterleavingsMatchReferenceModel) {
+  // Three time scales per seed: sub-tick (same-tick FIFO ties), multi
+  // L1-window (cascades + boundary crossings), and rare far-future
+  // jumps past the L3 span (overflow + promotion).
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    RngStream rng(0xD1FF, "timer-wheel-diff/" + std::to_string(seed));
+    Harness h;
+    // Wheel pops must never go backwards in real use; keep a floor so
+    // schedules after pops stay plausible yet still occasionally land
+    // behind the hunting cursor (the due-buffer insert path).
+    std::int64_t floor_us = 0;
+    for (int op = 0; op < 3000; ++op) {
+      const std::int64_t roll = rng.next_int(0, 99);
+      if (roll < 45 || h.wheel.empty()) {
+        std::int64_t at;
+        const std::int64_t scale = rng.next_int(0, 9);
+        if (scale < 5) {
+          at = floor_us + rng.next_int(0, 4 * kTickUs);  // same-tick ties
+        } else if (scale < 9) {
+          at = floor_us + rng.next_int(0, 600 * kTickUs);  // spans >2 L1 windows
+        } else {
+          // Beyond the L3 span (2^32 ticks): lands in the overflow list.
+          at = floor_us + (1ll << 43) + rng.next_int(0, 600 * kTickUs);
+        }
+        h.schedule(SimTime::from_micros(at));
+      } else if (roll < 75) {
+        h.pop();
+      } else {
+        // Any historical event: live, already fired, or already
+        // cancelled — cancel() must agree in every case, including
+        // stale ids whose slot has since been recycled.
+        h.cancel(static_cast<std::size_t>(
+            rng.next_int(0, static_cast<std::int64_t>(h.ids.size()) - 1)));
+      }
+      h.check_head();
+      if (!h.wheel.empty()) {
+        // Keep the floor at the current head so future schedules mimic
+        // "now <= at" without ever outlawing the tick < cursor path.
+        floor_us = std::max<std::int64_t>(0, h.wheel.next_key().time.as_micros() - 2 * kTickUs);
+      }
+    }
+    while (!h.wheel.empty()) {
+      h.pop();
+      h.check_head();
+    }
+    const auto& stats = h.wheel.stats();
+    EXPECT_EQ(stats.scheduled, stats.fired + stats.cancelled);
+  }
+}
+
+TEST(TimerWheelDiffTest, SameTickKeepsSeqFifoOrder) {
+  // Entries in one tick batch must come back in seq order even when
+  // scheduled out of time order within the tick.
+  Harness h;
+  h.schedule(SimTime::from_micros(500));
+  h.schedule(SimTime::from_micros(100));
+  h.schedule(SimTime::from_micros(100));
+  h.schedule(SimTime::from_micros(900));
+  h.schedule(SimTime::from_micros(100));
+  while (!h.wheel.empty()) {
+    h.pop();
+    h.check_head();
+  }
+  EXPECT_EQ(h.wheel.stats().max_batch, 5u);  // one slot drained as one batch
+}
+
+TEST(TimerWheelDiffTest, WindowBoundaryCrossingFiresOnTime) {
+  // Regression: after an L0 drain ends exactly on the last slot of an
+  // L1 window, the cursor increments into the next window whose L1
+  // bucket was never cascaded. Entries there must not slip a lap.
+  // Periodic 1-tick spacing walks the cursor across many boundaries.
+  Harness h;
+  constexpr int kEvents = 1200;  // > 4 L1 windows of 256 ticks
+  for (int k = 0; k < kEvents; ++k) {
+    h.schedule(SimTime::from_micros(k * kTickUs));
+  }
+  for (int k = 0; k < kEvents; ++k) {
+    ASSERT_FALSE(h.wheel.empty());
+    auto fired = h.wheel.pop();
+    ASSERT_EQ(fired.time.as_micros(), k * kTickUs) << "event " << k << " fired off-schedule";
+    const auto [ref_time, ref_payload] = h.reference.pop();
+    ASSERT_EQ(fired.time, ref_time);
+  }
+  EXPECT_TRUE(h.wheel.empty());
+}
+
+TEST(TimerWheelDiffTest, SelfReschedulingHeartbeatsCrossWindows) {
+  // The production pattern: each pop schedules its successor one
+  // period ahead (NM heartbeats). Exercises cursor movement driven by
+  // interleaved schedule/pop rather than bulk preloads.
+  Harness h;
+  constexpr std::int64_t kPeriodUs = 1'000'000;  // ~976 ticks, straddles windows
+  for (int n = 0; n < 8; ++n) {
+    h.schedule(SimTime::from_micros(n * 125));  // staggered starts
+  }
+  for (int beat = 0; beat < 4000; ++beat) {
+    ASSERT_FALSE(h.wheel.empty());
+    const SimTime now = h.wheel.next_key().time;
+    h.pop();
+    h.schedule(now + SimDuration::micros(kPeriodUs));
+    h.check_head();
+  }
+}
+
+TEST(TimerWheelDiffTest, FarFutureEntriesPromoteFromOverflow) {
+  Harness h;
+  const std::int64_t far = (1ll << 43) + 5 * kTickUs;  // past the L3 span
+  h.schedule(SimTime::from_micros(far));
+  h.schedule(SimTime::from_micros(far + 3));      // same far tick: FIFO pair
+  h.schedule(SimTime::from_micros(10 * kTickUs));  // near event drains first
+  h.pop();
+  h.check_head();
+  // Advancing past every wheel level forces the overflow promotion.
+  while (!h.wheel.empty()) {
+    h.pop();
+    h.check_head();
+  }
+  EXPECT_GE(h.wheel.stats().cascaded, 2u);  // both far entries re-placed
+}
+
+TEST(TimerWheelDiffTest, CancelWhileInDueBufferIsSkipped) {
+  Harness h;
+  h.schedule(SimTime::from_micros(100));
+  h.schedule(SimTime::from_micros(200));
+  h.schedule(SimTime::from_micros(300));
+  // next_key() drains the tick-0 batch into the due buffer.
+  ASSERT_EQ(h.wheel.next_key().time, SimTime::from_micros(100));
+  h.cancel(0);  // head of the due buffer
+  h.cancel(2);  // tail of the due buffer
+  h.check_head();
+  h.pop();  // must surface payload 1, skipping both cancelled entries
+  EXPECT_EQ(h.last_fired, 1);
+  EXPECT_TRUE(h.wheel.empty());
+}
+
+TEST(TimerWheelDiffTest, StaleGenerationIdFromRecycledSlotIsRejected) {
+  TimerWheel w;
+  const EventId first = w.schedule(SimTime::from_micros(1), 0, [] {});
+  w.pop().callback();
+  EXPECT_FALSE(w.cancel(first));  // already fired
+
+  // The next schedule recycles the same slot under a new generation.
+  const EventId second = w.schedule(SimTime::from_micros(2), 1, [] {});
+  EXPECT_NE(first.value, second.value);
+  EXPECT_FALSE(w.cancel(first));  // stale id must not hit the new event
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_TRUE(w.cancel(second));
+  EXPECT_FALSE(w.cancel(second));  // cancel-after-cancel
+  EXPECT_TRUE(w.empty());
+  // Queue-style (untagged) ids are never the wheel's to cancel.
+  EXPECT_FALSE(w.cancel(EventId{second.value & ~TimerWheel::kIdTag}));
+}
+
+TEST(TimerWheelDiffTest, HeartbeatChurnKeepsSlabBounded) {
+  // 10k-node shape: N self-rescheduling timers over many laps must
+  // recycle slots, not accrete them.
+  TimerWheel w;
+  constexpr int kNodes = 512;
+  std::uint64_t seq = 0;
+  for (int n = 0; n < kNodes; ++n) {
+    w.schedule(SimTime::from_micros(n), seq++, [] {});
+  }
+  for (int beat = 0; beat < 20 * kNodes; ++beat) {
+    auto fired = w.pop();
+    w.schedule(fired.time + SimDuration::seconds(1.0), seq++, [] {});
+  }
+  EXPECT_LE(w.stats().slab_capacity, 2u * kNodes);
+  EXPECT_EQ(w.size(), kNodes);
+}
+
+}  // namespace
+}  // namespace mrapid::sim
