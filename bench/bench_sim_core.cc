@@ -1,12 +1,14 @@
 // The simulation-core throughput baseline (docs/PERF.md): events/sec
-// for the slab event queue across four variants — steady-state
+// for the slab event queue across five variants — steady-state
 // event-churn, the cancel-heavy heartbeat/replan pattern, an
-// end-to-end wordcount sweep, and the cluster-scale tenant stream
+// end-to-end wordcount sweep, the cluster-scale tenant stream
 // (10k nodes) that exercises the timer wheel and the incremental
-// scheduler. The churn/cancel variants measure against the pre-slab
-// shared_ptr reference queue, cluster-scale against the same world
-// with both YarnConfig hot-path toggles off, so each recorded speedup
-// is measured, not remembered.
+// scheduler, and the placement-shuffle stream (10k nodes, small HDFS
+// blocks, sort-heavy) that exercises the indexed placement engine and
+// the incremental waterfill. The churn/cancel variants measure against
+// the pre-slab shared_ptr reference queue, the cluster-scale variants
+// against the same world with the respective hot-path toggles off, so
+// each recorded speedup is measured, not remembered.
 //
 // Wall-clock output can never be byte-reproducible, so this experiment
 // only runs when --filter names it (like `micro`). CI refreshes the
@@ -25,7 +27,8 @@ exp::ScenarioSpec make(const exp::SweepOptions& opt) {
   exp::ScenarioSpec spec;
   spec.title = "Simulation core — event throughput (wall clock)";
   spec.axes = {exp::label_axis(
-      "variant", {"event-churn", "cancel-heavy", "wordcount-sweep", "cluster-scale"})};
+      "variant",
+      {"event-churn", "cancel-heavy", "wordcount-sweep", "cluster-scale", "placement-shuffle"})};
   const bool smoke = opt.smoke;
   const std::uint64_t churn_events = smoke ? 400'000 : 4'000'000;
   const std::size_t churn_window = 1024;
@@ -47,6 +50,10 @@ exp::ScenarioSpec make(const exp::SweepOptions& opt) {
         legacy = pair.legacy;
       } else if (variant == "cluster-scale") {
         const exp::SimCorePair pair = exp::sim_core_cluster_scale(smoke);
+        modern = pair.modern;
+        legacy = pair.legacy;
+      } else if (variant == "placement-shuffle") {
+        const exp::SimCorePair pair = exp::sim_core_placement_shuffle(smoke);
         modern = pair.modern;
         legacy = pair.legacy;
       } else {

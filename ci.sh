@@ -59,7 +59,11 @@ run_config() {
   # The sim-core throughput experiment, smoke-sized, in BOTH configs:
   # under sanitizers its cluster-scale variant is the only CI exercise
   # of the timer wheel + incremental scheduler on a large (256-node)
-  # cluster with the legacy toggles also run for the differential.
+  # cluster with the legacy toggles also run for the differential, and
+  # its placement-shuffle variant does the same for the indexed
+  # placement engine + incremental waterfill (both sides of both new
+  # toggles, scripted replica-draw/shuffle-flow mix driven straight at
+  # BlockPlacementPolicy + Network).
   "$dir/bench/mrapid_bench" --filter sim_core --smoke \
     --json /tmp/smoke_simcore.json > /dev/null
   echo "=== [$name] fuzz smoke ==="
@@ -86,10 +90,13 @@ echo "=== [release] determinism gate ==="
 # only ever rewritten under GOLDEN_UPDATE=1 / --shrink, which CI never
 # sets. After the full suite + benches + fuzz have run, any byte of
 # drift under these trees means determinism regressed. The golden runs
-# execute with heartbeat batching + incremental scheduling at their
-# default (on); the HeartbeatEquivalence suite (already part of ctest
-# above) holds the same traces byte-identical across all four toggle
-# corners, so this gate covers the legacy paths too.
+# execute with all four hot-path toggle families at their defaults
+# (heartbeat batching, incremental scheduling, indexed placement,
+# incremental rates — all on); the HeartbeatEquivalence and
+# HotPathEquivalence suites (already part of ctest above, backed by
+# the PlacementEquivalence draw-level and NetworkRatesDiff 0-ULP
+# differentials) hold the same traces byte-identical across every
+# toggle corner, so this gate covers the legacy paths too.
 git diff --exit-code -- tests/golden tests/regressions
 
 run_config sanitize build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMRAPID_SANITIZE=ON

@@ -167,6 +167,17 @@ FuzzScenario generate_scenario(std::uint64_t seed) {
     const char* policies[] = {"fcfs", "easy-backfill", "conservative-backfill"};
     s.policy = policies[policy_rng.next_int(0, 2)];
   }
+
+  // Hot-path implementation axis. The indexed placement and
+  // incremental rate engines are byte-identical to the legacy scans by
+  // contract, so flipping either must never change a trace — a quarter
+  // of the seeds run each legacy engine (independently drawn) to keep
+  // that contract under the full differential oracle, not just the
+  // dedicated equivalence suites. Fresh named stream so every field
+  // above keeps its historical per-seed value.
+  RngStream hotpath_rng(seed, "fuzz.hotpaths");
+  s.indexed_placement = hotpath_rng.next_double() < 0.25 ? 0 : 1;
+  s.incremental_rates = hotpath_rng.next_double() < 0.25 ? 0 : 1;
   return s;
 }
 
@@ -250,6 +261,8 @@ harness::WorldConfig world_config(const FuzzScenario& scenario) {
   config.faults.events = scenario.faults;
   config.faults.enable = true;
   config.scheduler = scenario.policy;  // empty = mode default
+  config.hdfs.indexed_placement = scenario.indexed_placement != 0;
+  config.cluster.network.incremental_rates = scenario.incremental_rates != 0;
   config.seed = scenario.seed;
   config.log_level = LogLevel::kError;
   return config;
@@ -277,6 +290,12 @@ std::string serialize_scenario(const FuzzScenario& scenario) {
   // reproducer files keep round-tripping byte-identically.
   if (!scenario.policy.empty()) {
     out << "policy " << scenario.policy << "\n";
+  }
+  if (scenario.indexed_placement != 1) {
+    out << "indexed_placement " << scenario.indexed_placement << "\n";
+  }
+  if (scenario.incremental_rates != 1) {
+    out << "incremental_rates " << scenario.incremental_rates << "\n";
   }
   if (is_stream(scenario)) {
     out << "stream_horizon_ms " << scenario.stream_horizon_ms << "\n";
@@ -345,6 +364,10 @@ FuzzScenario parse_scenario(const std::string& text) {
       if (ok && !core::SchedulerRegistry::instance().contains(s.policy)) {
         throw std::invalid_argument("unknown scheduler policy '" + s.policy + "'");
       }
+    } else if (key == "indexed_placement") {
+      ok = static_cast<bool>(fields >> s.indexed_placement);
+    } else if (key == "incremental_rates") {
+      ok = static_cast<bool>(fields >> s.incremental_rates);
     } else if (key == "stream_horizon_ms") {
       ok = static_cast<bool>(fields >> s.stream_horizon_ms);
     } else if (key == "tenant") {

@@ -30,14 +30,74 @@ Network::Network(sim::Simulation& sim, const Topology& topology, std::vector<Rat
     link_capacity_bps_[rack_up_link(static_cast<RackId>(r))] = config_.rack_uplink.bytes_per_sec;
     link_capacity_bps_[rack_down_link(static_cast<RackId>(r))] = config_.rack_uplink.bytes_per_sec;
   }
+  if (config_.incremental_rates) {
+    link_flows_.resize(link_capacity_bps_.size());
+    residual_.assign(link_capacity_bps_.size(), 0.0);
+    unassigned_on_link_.assign(link_capacity_bps_.size(), 0);
+  }
 }
 
-std::vector<Network::LinkIndex> Network::path_for(NodeId src, NodeId dst) const {
-  if (src == dst) return {loopback_link(src)};
+void Network::set_path(Flow& flow, NodeId src, NodeId dst) const {
+  if (src == dst) {
+    flow.path[0] = loopback_link(src);
+    flow.path_len = 1;
+    return;
+  }
   const RackId src_rack = topology_.rack_of(src);
   const RackId dst_rack = topology_.rack_of(dst);
-  if (src_rack == dst_rack) return {up_link(src), down_link(dst)};
-  return {up_link(src), rack_up_link(src_rack), rack_down_link(dst_rack), down_link(dst)};
+  if (src_rack == dst_rack) {
+    flow.path[0] = up_link(src);
+    flow.path[1] = down_link(dst);
+    flow.path_len = 2;
+    return;
+  }
+  flow.path[0] = up_link(src);
+  flow.path[1] = rack_up_link(src_rack);
+  flow.path[2] = rack_down_link(dst_rack);
+  flow.path[3] = down_link(dst);
+  flow.path_len = 4;
+}
+
+std::uint32_t Network::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void Network::push_back_slot(std::uint32_t slot) {
+  Flow& flow = slab_[slot];
+  flow.prev = tail_;
+  flow.next = kNoSlot;
+  if (tail_ != kNoSlot) {
+    slab_[tail_].next = slot;
+  } else {
+    head_ = slot;
+  }
+  tail_ = slot;
+}
+
+void Network::remove_flow(std::uint32_t slot) {
+  Flow& flow = slab_[slot];
+  assert(flow.active);
+  if (flow.prev != kNoSlot) slab_[flow.prev].next = flow.next;
+  if (flow.next != kNoSlot) slab_[flow.next].prev = flow.prev;
+  if (head_ == slot) head_ = flow.next;
+  if (tail_ == slot) tail_ = flow.prev;
+  if (config_.incremental_rates) {
+    for (std::uint8_t i = 0; i < flow.path_len; ++i) {
+      auto& on_link = link_flows_[flow.path[i]];
+      on_link.erase(std::find(on_link.begin(), on_link.end(), slot));
+    }
+  }
+  slot_of_.erase(flow.id);
+  flow.active = false;
+  flow.on_complete = nullptr;
+  --active_count_;
+  free_slots_.push_back(slot);
 }
 
 Network::FlowId Network::start_flow(NodeId src, NodeId dst, Bytes bytes,
@@ -54,16 +114,26 @@ Network::FlowId Network::start_flow(NodeId src, NodeId dst, Bytes bytes,
     return id;
   }
   advance_progress();
-  Flow flow;
+  const std::uint32_t slot = alloc_slot();
+  Flow& flow = slab_[slot];
   flow.id = id;
   flow.src = src;
   flow.dst = dst;
   flow.remaining_bytes = static_cast<double>(bytes);
   flow.total_bytes = bytes;
+  flow.rate_bps = 0.0;
   flow.started = sim_.now();
   flow.on_complete = std::move(on_complete);
-  flow.path = path_for(src, dst);
-  flows_.push_back(std::move(flow));
+  flow.active = true;
+  flow.assigned_round = 0;
+  set_path(flow, src, dst);
+  push_back_slot(slot);
+  slot_of_.emplace(id, slot);
+  ++active_count_;
+  ++stats_.flows_started;
+  if (config_.incremental_rates) {
+    for (std::uint8_t i = 0; i < flow.path_len; ++i) link_flows_[flow.path[i]].push_back(slot);
+  }
   assign_rates();
   replan();
   return id;
@@ -71,27 +141,27 @@ Network::FlowId Network::start_flow(NodeId src, NodeId dst, Bytes bytes,
 
 bool Network::cancel(FlowId id) {
   advance_progress();
-  auto it =
-      std::find_if(flows_.begin(), flows_.end(), [id](const Flow& f) { return f.id == id; });
-  if (it == flows_.end()) return false;
-  flows_.erase(it);
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return false;
+  remove_flow(it->second);
   assign_rates();
   replan();
   return true;
 }
 
 Rate Network::flow_rate(FlowId id) const {
-  for (const auto& f : flows_) {
-    if (f.id == id) return Rate{f.rate_bps};
-  }
-  return Rate{0.0};
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return Rate{0.0};
+  return Rate{slab_[it->second].rate_bps};
 }
 
 void Network::advance_progress() {
   const sim::SimTime now = sim_.now();
-  if (now > last_update_) {
+  // Zero active flows: nothing to integrate, just move the clock.
+  if (now > last_update_ && active_count_ > 0) {
     const double elapsed = (now - last_update_).as_seconds();
-    for (auto& f : flows_) {
+    for (std::uint32_t slot = head_; slot != kNoSlot; slot = slab_[slot].next) {
+      Flow& f = slab_[slot];
       f.remaining_bytes = std::max(0.0, f.remaining_bytes - f.rate_bps * elapsed);
     }
   }
@@ -99,21 +169,32 @@ void Network::advance_progress() {
 }
 
 void Network::assign_rates() {
+  ++stats_.replans;
+  if (config_.incremental_rates) {
+    assign_rates_incremental();
+  } else {
+    assign_rates_full();
+  }
+}
+
+void Network::assign_rates_full() {
   // Progressive filling: repeatedly find the most constrained link,
   // freeze its unassigned flows at the link's fair share, subtract,
   // and continue with the remaining flows and residual capacities.
   const std::size_t links = link_capacity_bps_.size();
   std::vector<double> residual = link_capacity_bps_;
   std::vector<int> unassigned_on_link(links, 0);
-  std::vector<bool> assigned(flows_.size(), false);
-  for (const auto& f : flows_) {
-    for (LinkIndex l : f.path) ++unassigned_on_link[l];
+  const std::uint64_t round = ++round_;
+  for (std::uint32_t slot = head_; slot != kNoSlot; slot = slab_[slot].next) {
+    const Flow& f = slab_[slot];
+    for (std::uint8_t i = 0; i < f.path_len; ++i) ++unassigned_on_link[f.path[i]];
   }
-  std::size_t remaining = flows_.size();
+  std::size_t remaining = active_count_;
   while (remaining > 0) {
     double best_share = std::numeric_limits<double>::infinity();
     LinkIndex bottleneck = links;
     for (LinkIndex l = 0; l < links; ++l) {
+      ++stats_.links_scanned;
       if (unassigned_on_link[l] == 0) continue;
       const double share = residual[l] / unassigned_on_link[l];
       if (share < best_share) {
@@ -122,14 +203,17 @@ void Network::assign_rates() {
       }
     }
     assert(bottleneck != links);
-    for (std::size_t i = 0; i < flows_.size(); ++i) {
-      if (assigned[i]) continue;
-      Flow& f = flows_[i];
-      if (std::find(f.path.begin(), f.path.end(), bottleneck) == f.path.end()) continue;
+    for (std::uint32_t slot = head_; slot != kNoSlot; slot = slab_[slot].next) {
+      Flow& f = slab_[slot];
+      if (f.assigned_round == round) continue;
+      bool crosses = false;
+      for (std::uint8_t i = 0; i < f.path_len; ++i) crosses |= f.path[i] == bottleneck;
+      if (!crosses) continue;
       f.rate_bps = best_share;
-      assigned[i] = true;
+      f.assigned_round = round;
       --remaining;
-      for (LinkIndex l : f.path) {
+      for (std::uint8_t i = 0; i < f.path_len; ++i) {
+        const LinkIndex l = f.path[i];
         residual[l] = std::max(0.0, residual[l] - best_share);
         --unassigned_on_link[l];
       }
@@ -137,14 +221,71 @@ void Network::assign_rates() {
   }
 }
 
+void Network::assign_rates_incremental() {
+  // Same progressive filling, same floating-point operations in the
+  // same order — but only the links active flows actually cross
+  // participate, and a lazy min-heap over (share, link) replaces the
+  // full-fabric bottleneck sweep. Stale heap entries are skipped by
+  // recomputing the link's current share and comparing exactly: a
+  // popped entry that matches the current share is, by the heap
+  // property, the minimum current share with the lowest link index —
+  // precisely the link the full scan would have chosen.
+  const std::uint64_t round = ++round_;
+  touched_.clear();
+  for (std::uint32_t slot = head_; slot != kNoSlot; slot = slab_[slot].next) {
+    const Flow& f = slab_[slot];
+    for (std::uint8_t i = 0; i < f.path_len; ++i) {
+      const LinkIndex l = f.path[i];
+      if (unassigned_on_link_[l]++ == 0) {
+        touched_.push_back(l);
+        residual_[l] = link_capacity_bps_[l];
+      }
+    }
+  }
+  share_heap_.clear();
+  const auto cmp = std::greater<std::pair<double, LinkIndex>>{};
+  for (const LinkIndex l : touched_) {
+    share_heap_.emplace_back(residual_[l] / unassigned_on_link_[l], l);
+  }
+  std::make_heap(share_heap_.begin(), share_heap_.end(), cmp);
+
+  std::size_t remaining = active_count_;
+  while (remaining > 0) {
+    assert(!share_heap_.empty());
+    std::pop_heap(share_heap_.begin(), share_heap_.end(), cmp);
+    const auto [share, bottleneck] = share_heap_.back();
+    share_heap_.pop_back();
+    ++stats_.links_scanned;
+    if (unassigned_on_link_[bottleneck] == 0) continue;
+    if (residual_[bottleneck] / unassigned_on_link_[bottleneck] != share) continue;  // stale
+    for (const std::uint32_t slot : link_flows_[bottleneck]) {
+      Flow& f = slab_[slot];
+      if (f.assigned_round == round) continue;
+      f.rate_bps = share;
+      f.assigned_round = round;
+      --remaining;
+      for (std::uint8_t i = 0; i < f.path_len; ++i) {
+        const LinkIndex l = f.path[i];
+        residual_[l] = std::max(0.0, residual_[l] - share);
+        if (--unassigned_on_link_[l] > 0) {
+          share_heap_.emplace_back(residual_[l] / unassigned_on_link_[l], l);
+          std::push_heap(share_heap_.begin(), share_heap_.end(), cmp);
+        }
+      }
+    }
+  }
+  for (const LinkIndex l : touched_) unassigned_on_link_[l] = 0;
+}
+
 void Network::replan() {
   if (completion_event_.valid()) {
     sim_.cancel(completion_event_);
     completion_event_ = sim::EventId{};
   }
-  if (flows_.empty()) return;
+  if (active_count_ == 0) return;
   double eta = std::numeric_limits<double>::infinity();
-  for (const auto& f : flows_) {
+  for (std::uint32_t slot = head_; slot != kNoSlot; slot = slab_[slot].next) {
+    const Flow& f = slab_[slot];
     if (f.rate_bps > 0) eta = std::min(eta, f.remaining_bytes / f.rate_bps);
   }
   assert(eta != std::numeric_limits<double>::infinity());
@@ -155,18 +296,25 @@ void Network::replan() {
 void Network::on_completion_event() {
   completion_event_ = sim::EventId{};
   advance_progress();
-  std::vector<Flow> done;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->remaining_bytes <= kEpsilonBytes) {
-      done.push_back(std::move(*it));
-      it = flows_.erase(it);
-    } else {
-      ++it;
+  struct Done {
+    FlowId id;
+    Bytes total_bytes;
+    sim::SimTime started;
+    CompletionCallback on_complete;
+  };
+  std::vector<Done> done;
+  for (std::uint32_t slot = head_; slot != kNoSlot;) {
+    const std::uint32_t next = slab_[slot].next;
+    Flow& f = slab_[slot];
+    if (f.remaining_bytes <= kEpsilonBytes) {
+      done.push_back(Done{f.id, f.total_bytes, f.started, std::move(f.on_complete)});
+      remove_flow(slot);
     }
+    slot = next;
   }
   assign_rates();
   replan();
-  for (auto& f : done) {
+  for (Done& f : done) {
     bytes_delivered_ += f.total_bytes;
     MRAPID_TRACE(sim_, sim::TraceCategory::kNet, "net.flow.done", {"flow", f.id},
                  {"bytes", f.total_bytes});

@@ -9,10 +9,36 @@
 // waterfill), and — as in sim::BandwidthResource — every membership
 // change advances fluid progress and re-plans the single "next
 // completion" event.
+//
+// Flows live in a slab with an intrusive insertion-order list and an
+// id -> slot map, so cancel/flow_rate are O(1) instead of linear scans
+// and iteration order (which fixes both the waterfill freeze order and
+// completion-callback order, i.e. the traces) is the same stable
+// insertion order the old erase-preserving vector had.
+//
+// Two interchangeable waterfill engines sit behind assign_rates:
+//
+//   full (incremental_rates = false)  — the legacy scan: copy every
+//     link capacity, then per round scan ALL links for the bottleneck
+//     and ALL flows to freeze: O(rounds * (links + flows)) per replan,
+//     O(links) even for one flow on a 10k-node fabric.
+//   incremental (incremental_rates = true) — only the links touched by
+//     active flows participate: per-link flow lists pick the freeze
+//     set without a global scan, and a lazy min-heap over link shares
+//     replaces the per-round bottleneck sweep:
+//     O(touched links * log) per replan, independent of fabric size.
+//
+// Both engines perform the identical floating-point operations in the
+// identical order, so every assigned rate matches to 0 ULP — the
+// network_rates_diff_test holds them to exact equality on every replan
+// and checks the result against a brute-force max-min oracle.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/topology.h"
@@ -26,6 +52,13 @@ struct NetworkConfig {
   // shared fabric parameters.
   Rate rack_uplink = Rate::gbit_per_sec(10);
   Rate loopback = Rate::gbit_per_sec(20);  // same-node "transfer"
+
+  // ---- cluster-scale hot path (docs/PERF.md, "Cluster scale") -------
+  // Incremental progressive filling (see the header comment). Rates
+  // are bit-identical either way; the toggle selects an
+  // implementation, never an answer, and keeps the legacy full scan
+  // testable as the bench "before" side.
+  bool incremental_rates = true;
 };
 
 class Network {
@@ -41,29 +74,51 @@ class Network {
   FlowId start_flow(NodeId src, NodeId dst, Bytes bytes, CompletionCallback on_complete);
   bool cancel(FlowId id);
 
-  std::size_t active_flows() const { return flows_.size(); }
+  std::size_t active_flows() const { return active_count_; }
   // Rate currently assigned to a flow (0 if unknown/finished).
   Rate flow_rate(FlowId id) const;
   Bytes bytes_delivered() const { return bytes_delivered_; }
 
+  // Lifetime counters for the placement/shuffle bench and the
+  // bounded-work assertions in the differential suite.
+  struct Stats {
+    std::uint64_t flows_started = 0;
+    std::uint64_t replans = 0;        // assign_rates invocations
+    std::uint64_t links_scanned = 0;  // bottleneck-search link visits (full)
+                                      // or heap pops (incremental)
+  };
+  const Stats& stats() const { return stats_; }
+
  private:
   using LinkIndex = std::size_t;
 
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
   struct Flow {
-    FlowId id;
-    NodeId src;
-    NodeId dst;
-    double remaining_bytes;
-    Bytes total_bytes;
+    FlowId id = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    double remaining_bytes = 0.0;
+    Bytes total_bytes = 0;
     double rate_bps = 0.0;  // bytes per second, assigned by waterfill
     sim::SimTime started;
     CompletionCallback on_complete;
-    std::vector<LinkIndex> path;
+    std::array<LinkIndex, 4> path{};  // up to [up, rack-up, rack-down, down]
+    std::uint8_t path_len = 0;
+    bool active = false;
+    std::uint32_t prev = kNoSlot;  // insertion-order list over slots
+    std::uint32_t next = kNoSlot;
+    std::uint64_t assigned_round = 0;  // waterfill freeze stamp
   };
 
-  std::vector<LinkIndex> path_for(NodeId src, NodeId dst) const;
+  void set_path(Flow& flow, NodeId src, NodeId dst) const;
+  std::uint32_t alloc_slot();
+  void push_back_slot(std::uint32_t slot);
+  void remove_flow(std::uint32_t slot);  // unlink + per-link lists + map + free
   void advance_progress();
-  void assign_rates();  // progressive filling
+  void assign_rates();  // progressive filling (dispatches on the toggle)
+  void assign_rates_full();
+  void assign_rates_incremental();
   void replan();
   void on_completion_event();
 
@@ -85,11 +140,33 @@ class Network {
 
   std::size_t node_count_;
   std::size_t rack_count_;
-  std::vector<Flow> flows_;
+
+  // Flow storage: slab + free list + intrusive insertion-order list.
+  std::vector<Flow> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint32_t head_ = kNoSlot;
+  std::uint32_t tail_ = kNoSlot;
+  std::size_t active_count_ = 0;
+  std::unordered_map<FlowId, std::uint32_t> slot_of_;
+
+  // Incremental-waterfill state (maintained only when the toggle is
+  // on). link_flows_[l] holds the active slots crossing l in insertion
+  // order — the same relative order the global list gives, so the
+  // freeze order (and thus every FP operation) matches the full scan.
+  std::vector<std::vector<std::uint32_t>> link_flows_;
+  // Scratch, sized by link count but touched only on active links;
+  // entries are reset via touched_ after every replan.
+  std::vector<double> residual_;
+  std::vector<int> unassigned_on_link_;
+  std::vector<LinkIndex> touched_;
+  std::vector<std::pair<double, LinkIndex>> share_heap_;
+
+  std::uint64_t round_ = 0;
   sim::SimTime last_update_ = sim::SimTime::zero();
   sim::EventId completion_event_{};
   FlowId next_id_ = 1;
   Bytes bytes_delivered_ = 0;
+  Stats stats_;
 };
 
 }  // namespace mrapid::cluster

@@ -8,7 +8,11 @@
 #include <vector>
 
 #include "cluster/azure.h"
+#include "cluster/network.h"
+#include "cluster/topology.h"
+#include "common/rng.h"
 #include "exp/runner.h"
+#include "hdfs/placement.h"
 #include "harness/stream_pump.h"
 #include "harness/world.h"
 #include "sim/event_queue.h"
@@ -289,7 +293,99 @@ SimCoreResult run_cluster_scale(bool incremental, std::size_t nodes, double hori
   return result;
 }
 
+// One placement/shuffle run: `fast_paths` flips BOTH new toggles
+// (indexed placement + incremental waterfill). Like event-churn and
+// cancel-heavy, this drives the engine pair directly — a scripted mix
+// of replica draws, shuffle-pipeline flow starts, cancels and fluid
+// advances on a datacenter-shaped fabric — because in an end-to-end
+// job stream the draws and replans are a few percent of the event
+// population and the rate ratio measures Amdahl's bystanders, not the
+// engines (both sides run the identical script, so the events/sec
+// ratio is a pure wall-clock ratio of the two engine pairs).
+SimCoreResult run_placement_shuffle(bool fast_paths, std::size_t nodes,
+                                    std::size_t iterations) {
+  const std::size_t racks = std::max<std::size_t>(std::size_t{1}, nodes / 40);
+  std::vector<std::vector<cluster::NodeId>> rack_layout(racks);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    rack_layout[n % racks].push_back(static_cast<cluster::NodeId>(n));
+  }
+  cluster::Topology topology(std::move(rack_layout));
+
+  sim::Simulation sim(2024);
+  cluster::NetworkConfig net_config;
+  net_config.incremental_rates = fast_paths;
+  cluster::Network network(sim, topology,
+                           std::vector<Rate>(nodes, Rate::gbit_per_sec(1)),
+                           net_config);
+
+  std::vector<cluster::NodeId> datanodes(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    datanodes[n] = static_cast<cluster::NodeId>(n);
+  }
+  hdfs::BlockPlacementPolicy policy(topology, std::move(datanodes),
+                                    RngStream(99, "exp.sim_core.placement"),
+                                    fast_paths);
+
+  // Scripted block writes: draw a replica set (external client half the
+  // time, a datanode writer otherwise), push the block down a
+  // writer->r1->r2->r3 pipeline of block-sized flows, retire flows via
+  // random cancels plus periodic fluid advances, and keep the live flow
+  // population bounded so the waterfill depth reaches a steady state.
+  RngStream script(4242, "exp.sim_core.pshuffle");
+  std::vector<cluster::Network::FlowId> live;
+  std::int64_t now_us = 0;
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const cluster::NodeId writer =
+        script.next_double() < 0.5
+            ? cluster::kInvalidNode
+            : static_cast<cluster::NodeId>(script.next_int(0, static_cast<int>(nodes) - 1));
+    const auto replicas = policy.choose(writer, /*replication=*/3);
+    cluster::NodeId prev = writer == cluster::kInvalidNode && !replicas.empty()
+                               ? replicas.front()
+                               : writer;
+    for (cluster::NodeId r : replicas) {
+      const Bytes bytes = static_cast<Bytes>(script.next_int(128, 512)) * 1024;
+      live.push_back(network.start_flow(prev, r, bytes, [](sim::SimDuration) {}));
+      prev = r;
+    }
+    std::size_t cancels = !live.empty() && script.next_double() < 0.25 ? 1 : 0;
+    cancels += live.size() > 256 ? live.size() - 256 : 0;
+    for (; cancels > 0 && !live.empty(); --cancels) {
+      const std::size_t victim =
+          static_cast<std::size_t>(script.next_int(0, static_cast<int>(live.size()) - 1));
+      network.cancel(live[victim]);  // false for already-finished ids: fine
+      live[victim] = live.back();
+      live.pop_back();
+    }
+    if ((i & 15) == 0) {
+      now_us += 50'000;
+      sim.run_until(sim::SimTime::from_micros(now_us));
+    }
+  }
+  SimCoreResult result;
+  result.wall_seconds = seconds_since(start);
+  result.events = policy.draws() + network.stats().replans;
+  result.events_per_sec = static_cast<double>(result.events) / result.wall_seconds;
+  result.cancelled = sim.queue_stats().cancelled;
+  result.heap_peak = sim.queue_stats().heap_peak;
+  result.slab_slots = sim.queue_stats().slab_capacity;
+  return result;
+}
+
 }  // namespace
+
+SimCorePair sim_core_placement_shuffle(bool smoke) {
+  const std::size_t nodes = smoke ? 256 : 10'000;
+  // Both sides run the identical script — same draws, same flows, same
+  // replans — so events are equal and the speedup column is a pure
+  // wall-clock ratio of the engine pairs.
+  const std::size_t iterations = smoke ? 4'000 : 20'000;
+  SimCorePair pair;
+  pair.modern = run_placement_shuffle(/*fast_paths=*/true, nodes, iterations);
+  pair.legacy = run_placement_shuffle(/*fast_paths=*/false, nodes, iterations);
+  return pair;
+}
 
 SimCorePair sim_core_cluster_scale(bool smoke) {
   const std::size_t nodes = smoke ? 256 : 10'000;

@@ -18,7 +18,15 @@
 //                    cluster, run twice: with the hot-path toggles
 //                    (heartbeat batching + incremental scheduling) on
 //                    and off — the recorded speedup for PR 8's
-//                    cluster-scale overhaul.
+//                    cluster-scale overhaul,
+//   placement-shuffle a scripted block-write/shuffle-flow mix driven
+//                    straight at the placement policy + flow network
+//                    on a 10k-node fabric, run twice: with the
+//                    indexed placement engine + incremental waterfill
+//                    on and off — the recorded speedup for the
+//                    placement/network hot-path overhaul. Throughput
+//                    counts replan+placement events (replica draws +
+//                    rate replans), identical work on both sides.
 //
 // The churn and cancel variants also run against LegacyEventQueue — a
 // faithful reimplementation of the pre-slab shared_ptr/weak_ptr queue —
@@ -71,5 +79,21 @@ SimCoreResult sim_core_wordcount_sweep(bool smoke);
 // 10k nodes). Traces are byte-identical either way (the equivalence
 // suite proves it); only the wall clock differs.
 SimCorePair sim_core_cluster_scale(bool smoke);
+
+// Placement/shuffle hot paths, measured the way event-churn measures
+// the queue: a deterministic scripted mix of replica draws (external
+// and datanode writers), block-pipeline shuffle flows, cancels and
+// fluid advances, driven straight at BlockPlacementPolicy + Network on
+// a datacenter-shaped fabric (10k nodes full, 256 smoke; ~40
+// nodes/rack, bounded live-flow population). `modern` runs the indexed
+// placement engine + incremental waterfill (the defaults); `legacy`
+// re-runs the identical script with HdfsConfig::indexed_placement and
+// NetworkConfig::incremental_rates off — the historical O(N) replica
+// scan and O(links) bottleneck sweep. The script (and therefore the
+// event count) is identical on both sides, traces stay byte-identical
+// in the end-to-end system either way (hotpath_equivalence_test proves
+// it); `events` counts replica draws + rate replans, so events/sec is
+// the replan+placement rate the acceptance bar is stated in.
+SimCorePair sim_core_placement_shuffle(bool smoke);
 
 }  // namespace mrapid::exp

@@ -32,6 +32,9 @@ class NameNode {
   std::size_t file_count() const { return files_.size(); }
   std::size_t block_count() const { return blocks_.size(); }
 
+  // Observability for benches/tests (replica-draw counters).
+  const BlockPlacementPolicy& policy() const { return policy_; }
+
  private:
   BlockPlacementPolicy policy_;
   std::map<std::string, FileInfo> files_;

@@ -1,0 +1,299 @@
+// Differential wall for the two waterfill engines (cluster/network.h):
+// an incremental Network and a legacy full-scan Network are driven
+// through the same randomized op script (start / cancel / advance, in
+// lock-step simulations), and every assigned rate must match to 0 ULP
+// after every replan — plus the incremental side's allocation is
+// checked against an independent brute-force max-min fairness oracle
+// (feasibility on every link, and every flow crossing a saturated link
+// on which it has the maximum rate). A final test pins the
+// bounded-work claim: the incremental engine's bottleneck search must
+// not scale with fabric size the way the legacy full scan does.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/network.h"
+#include "cluster/topology.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace mrapid::cluster {
+namespace {
+
+struct Fabric {
+  std::vector<std::vector<NodeId>> racks;
+  std::vector<Rate> nic_rates;
+
+  cluster::Topology topology() const { return cluster::Topology(racks); }
+  std::int64_t nodes() const { return static_cast<std::int64_t>(nic_rates.size()); }
+};
+
+Fabric make_fabric(RngStream& rng, int max_nodes, int max_racks) {
+  const int total = static_cast<int>(rng.next_int(2, max_nodes));
+  const int racks = static_cast<int>(rng.next_int(1, std::min(max_racks, total)));
+  Fabric fabric;
+  fabric.racks.resize(static_cast<std::size_t>(racks));
+  for (int node = 0; node < total; ++node) {
+    const int rack = node < racks ? node : static_cast<int>(rng.next_int(0, racks - 1));
+    fabric.racks[static_cast<std::size_t>(rack)].push_back(static_cast<NodeId>(node));
+  }
+  // Mixed NIC speeds so per-link shares differ, while several nodes
+  // still share each speed so bottleneck ties keep happening.
+  for (int node = 0; node < total; ++node) {
+    fabric.nic_rates.push_back(rng.next_int(0, 1) == 0 ? Rate::gbit_per_sec(1)
+                                                       : Rate::gbit_per_sec(2));
+  }
+  return fabric;
+}
+
+// Independent re-derivation of Network's link layout and flow paths,
+// so the fairness oracle does not trust the code under test for either.
+struct LinkModel {
+  LinkModel(const Fabric& fabric, const cluster::Topology& topology,
+            const NetworkConfig& config)
+      : topology_(topology),
+        nodes_(fabric.racks.empty() ? 0 : static_cast<std::size_t>(fabric.nodes())),
+        racks_(fabric.racks.size()) {
+    capacity.assign(3 * nodes_ + 2 * racks_, 0.0);
+    for (std::size_t n = 0; n < nodes_; ++n) {
+      capacity[n] = fabric.nic_rates[n].bytes_per_sec;           // node up
+      capacity[nodes_ + n] = fabric.nic_rates[n].bytes_per_sec;  // node down
+      capacity[2 * nodes_ + 2 * racks_ + n] = config.loopback.bytes_per_sec;
+    }
+    for (std::size_t r = 0; r < racks_; ++r) {
+      capacity[2 * nodes_ + r] = config.rack_uplink.bytes_per_sec;           // rack up
+      capacity[2 * nodes_ + racks_ + r] = config.rack_uplink.bytes_per_sec;  // rack down
+    }
+  }
+
+  std::vector<std::size_t> path(NodeId src, NodeId dst) const {
+    if (src == dst) return {2 * nodes_ + 2 * racks_ + static_cast<std::size_t>(src)};
+    const RackId sr = topology_.rack_of(src);
+    const RackId dr = topology_.rack_of(dst);
+    if (sr == dr) {
+      return {static_cast<std::size_t>(src), nodes_ + static_cast<std::size_t>(dst)};
+    }
+    return {static_cast<std::size_t>(src), 2 * nodes_ + static_cast<std::size_t>(sr),
+            2 * nodes_ + racks_ + static_cast<std::size_t>(dr),
+            nodes_ + static_cast<std::size_t>(dst)};
+  }
+
+  std::vector<double> capacity;
+
+ private:
+  const cluster::Topology& topology_;
+  std::size_t nodes_;
+  std::size_t racks_;
+};
+
+struct LiveFlow {
+  NodeId src;
+  NodeId dst;
+};
+
+// Max-min fairness characterization (the classic bottleneck condition,
+// Bertsekas & Gallager): the allocation is feasible, and every flow
+// crosses at least one saturated link on which its rate is maximal —
+// so no flow's rate can be raised without lowering an equal-or-smaller
+// one.
+void expect_max_min_fair(const Network& net, const LinkModel& model,
+                         const std::map<Network::FlowId, LiveFlow>& live) {
+  std::vector<double> load(model.capacity.size(), 0.0);
+  std::vector<double> max_rate(model.capacity.size(), 0.0);
+  for (const auto& [id, flow] : live) {
+    const double rate = net.flow_rate(id).bytes_per_sec;
+    ASSERT_GT(rate, 0.0) << "flow " << id << " assigned no rate";
+    for (const std::size_t l : model.path(flow.src, flow.dst)) {
+      load[l] += rate;
+      max_rate[l] = std::max(max_rate[l], rate);
+    }
+  }
+  for (std::size_t l = 0; l < load.size(); ++l) {
+    EXPECT_LE(load[l], model.capacity[l] * (1.0 + 1e-9) + 1e-3)
+        << "link " << l << " oversubscribed";
+  }
+  for (const auto& [id, flow] : live) {
+    const double rate = net.flow_rate(id).bytes_per_sec;
+    bool bottlenecked = false;
+    for (const std::size_t l : model.path(flow.src, flow.dst)) {
+      const bool saturated = load[l] >= model.capacity[l] * (1.0 - 1e-9) - 1e-3;
+      const bool maximal = rate >= max_rate[l] * (1.0 - 1e-9);
+      bottlenecked |= saturated && maximal;
+    }
+    EXPECT_TRUE(bottlenecked) << "flow " << id << " crosses no saturated max-rate link";
+  }
+}
+
+struct Completion {
+  Network::FlowId id = 0;
+  std::int64_t at_micros = 0;
+  bool operator==(const Completion& other) const {
+    return id == other.id && at_micros == other.at_micros;
+  }
+};
+
+// Drives one fuzzed op script through both engines in lock-step.
+// FlowIds are deterministic (sequential from 1 per Network), so both
+// sides hand out the same id for the same script position — asserted,
+// then used to register completion callbacks that know their own id.
+void run_script(std::uint64_t seed, int ops, int max_nodes) {
+  RngStream rng(seed, "test.netdiff");
+  const Fabric fabric = make_fabric(rng, max_nodes, /*max_racks=*/4);
+  const cluster::Topology topo_inc = fabric.topology();
+  const cluster::Topology topo_full = fabric.topology();
+
+  NetworkConfig inc_config;
+  inc_config.incremental_rates = true;
+  NetworkConfig full_config;
+  full_config.incremental_rates = false;
+
+  sim::Simulation sim_inc(seed);
+  sim::Simulation sim_full(seed);
+  Network inc(sim_inc, topo_inc, fabric.nic_rates, inc_config);
+  Network full(sim_full, topo_full, fabric.nic_rates, full_config);
+  const LinkModel model(fabric, topo_inc, inc_config);
+
+  std::map<Network::FlowId, LiveFlow> live;  // bytes > 0, not yet done/cancelled
+  std::vector<Completion> done_inc, done_full;
+  Network::FlowId next_id = 1;
+
+  std::int64_t now_us = 0;
+  for (int op = 0; op < ops; ++op) {
+    now_us += rng.next_int(0, 400'000);
+    sim_inc.run_until(sim::SimTime::from_micros(now_us));
+    sim_full.run_until(sim::SimTime::from_micros(now_us));
+    // Completions that fired during the advance leave the live set;
+    // cross-engine agreement on them is checked via the logs below.
+    for (const Completion& c : done_inc) live.erase(c.id);
+
+    const std::int64_t kind = rng.next_int(0, 9);
+    if (kind <= 5) {  // start (kind 5: a zero-byte flow)
+      const auto src = static_cast<NodeId>(rng.next_int(0, fabric.nodes() - 1));
+      const auto dst = static_cast<NodeId>(rng.next_int(0, fabric.nodes() - 1));
+      const Bytes bytes = kind == 5 ? 0 : 64_KB * rng.next_int(1, 64);
+      const Network::FlowId id = next_id++;
+      const auto id_inc = inc.start_flow(src, dst, bytes, [&done_inc, &sim_inc, id](sim::SimDuration) {
+        done_inc.push_back({id, sim_inc.now().as_micros()});
+      });
+      const auto id_full = full.start_flow(src, dst, bytes, [&done_full, &sim_full, id](sim::SimDuration) {
+        done_full.push_back({id, sim_full.now().as_micros()});
+      });
+      ASSERT_EQ(id_inc, id) << "seed " << seed << " op " << op;
+      ASSERT_EQ(id_full, id) << "seed " << seed << " op " << op;
+      if (bytes > 0) live.emplace(id, LiveFlow{src, dst});
+    } else if (kind <= 7 && next_id > 1) {  // cancel (possibly of a finished id)
+      const auto target = static_cast<Network::FlowId>(rng.next_int(1, static_cast<std::int64_t>(next_id) - 1));
+      const bool cancelled_inc = inc.cancel(target);
+      const bool cancelled_full = full.cancel(target);
+      ASSERT_EQ(cancelled_inc, cancelled_full) << "seed " << seed << " op " << op;
+      ASSERT_EQ(cancelled_inc, live.count(target) == 1) << "seed " << seed << " op " << op;
+      live.erase(target);
+    }
+    // kind 8-9: pure time advance.
+
+    ASSERT_EQ(inc.active_flows(), live.size()) << "seed " << seed << " op " << op;
+    ASSERT_EQ(full.active_flows(), live.size()) << "seed " << seed << " op " << op;
+    for (const auto& [id, flow] : live) {
+      // The 0-ULP contract: identical FP operations in identical
+      // order, so exact equality — not near-equality — on every rate.
+      ASSERT_EQ(inc.flow_rate(id).bytes_per_sec, full.flow_rate(id).bytes_per_sec)
+          << "seed " << seed << " op " << op << " flow " << id;
+    }
+    expect_max_min_fair(inc, model, live);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  // Drain: both sides must finish every remaining flow, at the same
+  // instants, in the same order.
+  sim_inc.run_until(sim::SimTime::from_micros(now_us + 3'600'000'000LL));
+  sim_full.run_until(sim::SimTime::from_micros(now_us + 3'600'000'000LL));
+  EXPECT_EQ(inc.active_flows(), 0u) << "seed " << seed;
+  EXPECT_EQ(full.active_flows(), 0u) << "seed " << seed;
+  EXPECT_EQ(done_inc, done_full) << "seed " << seed << ": completion logs diverged";
+  EXPECT_EQ(inc.bytes_delivered(), full.bytes_delivered()) << "seed " << seed;
+  EXPECT_EQ(inc.stats().flows_started, full.stats().flows_started) << "seed " << seed;
+  EXPECT_EQ(inc.stats().replans, full.stats().replans) << "seed " << seed;
+}
+
+TEST(NetworkRatesDiff, FuzzedScriptsMatchToZeroUlp) {
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    run_script(seed, /*ops=*/60, /*max_nodes=*/24);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(NetworkRatesDiff, DenseContentionMatchesToZeroUlp) {
+  // Few nodes, many flows: every link is shared, rounds cascade, and
+  // the heap sees a stale entry on nearly every pop.
+  for (std::uint64_t seed = 100; seed < 108; ++seed) {
+    run_script(seed, /*ops=*/80, /*max_nodes=*/5);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(NetworkRatesDiff, UnknownFlowLookupsAreCheap) {
+  Fabric fabric;
+  fabric.racks = {{0, 1}};
+  fabric.nic_rates = {Rate::gbit_per_sec(1), Rate::gbit_per_sec(1)};
+  const cluster::Topology topology = fabric.topology();
+  sim::Simulation sim(7);
+  Network net(sim, topology, fabric.nic_rates, NetworkConfig{});
+  EXPECT_EQ(net.flow_rate(123).bytes_per_sec, 0.0);
+  EXPECT_FALSE(net.cancel(123));
+  const auto id = net.start_flow(0, 1, 1_MB, [](sim::SimDuration) {});
+  EXPECT_GT(net.flow_rate(id).bytes_per_sec, 0.0);
+  EXPECT_TRUE(net.cancel(id));
+  EXPECT_FALSE(net.cancel(id));
+}
+
+TEST(NetworkRatesDiff, IncrementalWorkIsIndependentOfFabricSize) {
+  // A 1500-node fabric with a handful of flows: the legacy engine
+  // scans every link per waterfill round, the incremental engine only
+  // pops heap entries for links the flows actually cross.
+  constexpr int kNodes = 1500;
+  Fabric fabric;
+  fabric.racks.resize(6);
+  for (int node = 0; node < kNodes; ++node) {
+    fabric.racks[static_cast<std::size_t>(node % 6)].push_back(static_cast<NodeId>(node));
+    fabric.nic_rates.push_back(Rate::gbit_per_sec(1));
+  }
+  const cluster::Topology topo_inc = fabric.topology();
+  const cluster::Topology topo_full = fabric.topology();
+  NetworkConfig inc_config;
+  inc_config.incremental_rates = true;
+  NetworkConfig full_config;
+  full_config.incremental_rates = false;
+  sim::Simulation sim_inc(1);
+  sim::Simulation sim_full(1);
+  Network inc(sim_inc, topo_inc, fabric.nic_rates, inc_config);
+  Network full(sim_full, topo_full, fabric.nic_rates, full_config);
+
+  std::vector<Network::FlowId> ids;
+  for (int i = 0; i < 8; ++i) {
+    const auto src = static_cast<NodeId>(i);
+    const auto dst = static_cast<NodeId>(kNodes - 1 - i);
+    ids.push_back(inc.start_flow(src, dst, 512_MB, [](sim::SimDuration) {}));
+    full.start_flow(src, dst, 512_MB, [](sim::SimDuration) {});
+  }
+  for (const auto id : ids) {
+    ASSERT_EQ(inc.flow_rate(id).bytes_per_sec, full.flow_rate(id).bytes_per_sec);
+    inc.cancel(id);
+    full.cancel(id);
+  }
+  ASSERT_EQ(inc.stats().replans, full.stats().replans);
+  // 8 flows touch <= 8 * 4 links; even with one stale pop per freeze
+  // the incremental engine stays two orders of magnitude under the
+  // full scan's links * rounds * replans.
+  const std::uint64_t total_links = 3 * kNodes + 2 * 6;
+  EXPECT_GE(full.stats().links_scanned, total_links);  // at least one full sweep
+  EXPECT_LE(inc.stats().links_scanned, inc.stats().replans * 64);
+  EXPECT_LT(inc.stats().links_scanned * 100, full.stats().links_scanned);
+}
+
+}  // namespace
+}  // namespace mrapid::cluster
