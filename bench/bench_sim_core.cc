@@ -1,14 +1,17 @@
 // The simulation-core throughput baseline (docs/PERF.md): events/sec
-// for the slab event queue across five variants — steady-state
+// for the slab event queue across six variants — steady-state
 // event-churn, the cancel-heavy heartbeat/replan pattern, an
 // end-to-end wordcount sweep, the cluster-scale tenant stream
 // (10k nodes) that exercises the timer wheel and the incremental
-// scheduler, and the placement-shuffle stream (10k nodes, small HDFS
+// scheduler, the placement-shuffle stream (10k nodes, small HDFS
 // blocks, sort-heavy) that exercises the indexed placement engine and
-// the incremental waterfill. The churn/cancel variants measure against
-// the pre-slab shared_ptr reference queue, the cluster-scale variants
-// against the same world with the respective hot-path toggles off, so
-// each recorded speedup is measured, not remembered.
+// the incremental waterfill, and the job-scale shuffle drive (2k maps
+// x 512 reducers at 1k nodes) that exercises the partition-once
+// registry and the slab fetch engine. The churn/cancel variants
+// measure against the pre-slab shared_ptr reference queue, the
+// cluster-scale variants against the same world with the respective
+// hot-path toggles off, so each recorded speedup is measured, not
+// remembered.
 //
 // Wall-clock output can never be byte-reproducible, so this experiment
 // only runs when --filter names it (like `micro`). CI refreshes the
@@ -26,9 +29,9 @@ namespace {
 exp::ScenarioSpec make(const exp::SweepOptions& opt) {
   exp::ScenarioSpec spec;
   spec.title = "Simulation core — event throughput (wall clock)";
-  spec.axes = {exp::label_axis(
-      "variant",
-      {"event-churn", "cancel-heavy", "wordcount-sweep", "cluster-scale", "placement-shuffle"})};
+  spec.axes = {exp::label_axis("variant",
+                               {"event-churn", "cancel-heavy", "wordcount-sweep", "cluster-scale",
+                                "placement-shuffle", "job-scale"})};
   const bool smoke = opt.smoke;
   const std::uint64_t churn_events = smoke ? 400'000 : 4'000'000;
   const std::size_t churn_window = 1024;
@@ -56,6 +59,10 @@ exp::ScenarioSpec make(const exp::SweepOptions& opt) {
         const exp::SimCorePair pair = exp::sim_core_placement_shuffle(smoke);
         modern = pair.modern;
         legacy = pair.legacy;
+      } else if (variant == "job-scale") {
+        const exp::SimCorePair pair = exp::sim_core_job_scale(smoke);
+        modern = pair.modern;
+        legacy = pair.legacy;
       } else {
         modern = exp::sim_core_wordcount_sweep(smoke);
       }
@@ -66,6 +73,9 @@ exp::ScenarioSpec make(const exp::SweepOptions& opt) {
       result.set_metric("cancelled", static_cast<double>(modern.cancelled));
       result.set_metric("heap_peak", static_cast<double>(modern.heap_peak));
       result.set_metric("slab_slots", static_cast<double>(modern.slab_slots));
+      result.set_metric("fetches", static_cast<double>(modern.fetches));
+      result.set_metric("coalesced_flows", static_cast<double>(modern.coalesced_flows));
+      result.set_metric("partition_calls", static_cast<double>(modern.partition_calls));
       if (legacy.events > 0) {
         result.set_metric("legacy_events_per_sec", legacy.events_per_sec);
         result.set_metric("speedup_vs_legacy", modern.events_per_sec / legacy.events_per_sec);

@@ -59,11 +59,14 @@ run_config() {
   # The sim-core throughput experiment, smoke-sized, in BOTH configs:
   # under sanitizers its cluster-scale variant is the only CI exercise
   # of the timer wheel + incremental scheduler on a large (256-node)
-  # cluster with the legacy toggles also run for the differential, and
-  # its placement-shuffle variant does the same for the indexed
-  # placement engine + incremental waterfill (both sides of both new
-  # toggles, scripted replica-draw/shuffle-flow mix driven straight at
-  # BlockPlacementPolicy + Network).
+  # cluster with the legacy toggles also run for the differential, its
+  # placement-shuffle variant does the same for the indexed placement
+  # engine + incremental waterfill (both sides of both toggles,
+  # scripted replica-draw/shuffle-flow mix driven straight at
+  # BlockPlacementPolicy + Network), and its job-scale variant does the
+  # same for the fast-shuffle engine (partition-once registry + slab
+  # fetch records + coalesced flows vs. the per-fetch legacy path, a
+  # 256-map x 64-reducer job driven straight at ReduceRunner).
   "$dir/bench/mrapid_bench" --filter sim_core --smoke \
     --json /tmp/smoke_simcore.json > /dev/null
   echo "=== [$name] fuzz smoke ==="
@@ -90,12 +93,13 @@ echo "=== [release] determinism gate ==="
 # only ever rewritten under GOLDEN_UPDATE=1 / --shrink, which CI never
 # sets. After the full suite + benches + fuzz have run, any byte of
 # drift under these trees means determinism regressed. The golden runs
-# execute with all four hot-path toggle families at their defaults
+# execute with all five hot-path toggle families at their defaults
 # (heartbeat batching, incremental scheduling, indexed placement,
-# incremental rates — all on); the HeartbeatEquivalence and
-# HotPathEquivalence suites (already part of ctest above, backed by
-# the PlacementEquivalence draw-level and NetworkRatesDiff 0-ULP
-# differentials) hold the same traces byte-identical across every
+# incremental rates, fast shuffle — all on); the HeartbeatEquivalence
+# and HotPathEquivalence suites (already part of ctest above, backed
+# by the PlacementEquivalence draw-level and NetworkRatesDiff 0-ULP
+# differentials plus the ShuffleEdgeCases/MapOutputRegistry shard
+# equivalences) hold the same traces byte-identical across every
 # toggle corner, so this gate covers the legacy paths too.
 git diff --exit-code -- tests/golden tests/regressions
 

@@ -176,8 +176,11 @@ FuzzScenario generate_scenario(std::uint64_t seed) {
   // dedicated equivalence suites. Fresh named stream so every field
   // above keeps its historical per-seed value.
   RngStream hotpath_rng(seed, "fuzz.hotpaths");
+  // Draw order is append-only: new toggles draw *after* the existing
+  // ones so legacy seeds keep their historical values.
   s.indexed_placement = hotpath_rng.next_double() < 0.25 ? 0 : 1;
   s.incremental_rates = hotpath_rng.next_double() < 0.25 ? 0 : 1;
+  s.fast_shuffle = hotpath_rng.next_double() < 0.25 ? 0 : 1;
   return s;
 }
 
@@ -263,6 +266,7 @@ harness::WorldConfig world_config(const FuzzScenario& scenario) {
   config.scheduler = scenario.policy;  // empty = mode default
   config.hdfs.indexed_placement = scenario.indexed_placement != 0;
   config.cluster.network.incremental_rates = scenario.incremental_rates != 0;
+  config.mr.fast_shuffle = scenario.fast_shuffle != 0;
   config.seed = scenario.seed;
   config.log_level = LogLevel::kError;
   return config;
@@ -296,6 +300,9 @@ std::string serialize_scenario(const FuzzScenario& scenario) {
   }
   if (scenario.incremental_rates != 1) {
     out << "incremental_rates " << scenario.incremental_rates << "\n";
+  }
+  if (scenario.fast_shuffle != 1) {
+    out << "fast_shuffle " << scenario.fast_shuffle << "\n";
   }
   if (is_stream(scenario)) {
     out << "stream_horizon_ms " << scenario.stream_horizon_ms << "\n";
@@ -368,6 +375,8 @@ FuzzScenario parse_scenario(const std::string& text) {
       ok = static_cast<bool>(fields >> s.indexed_placement);
     } else if (key == "incremental_rates") {
       ok = static_cast<bool>(fields >> s.incremental_rates);
+    } else if (key == "fast_shuffle") {
+      ok = static_cast<bool>(fields >> s.fast_shuffle);
     } else if (key == "stream_horizon_ms") {
       ok = static_cast<bool>(fields >> s.stream_horizon_ms);
     } else if (key == "tenant") {

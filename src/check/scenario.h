@@ -62,14 +62,16 @@ struct FuzzScenario {
   // reproducer files and legacy seeds replay byte-identically.
   std::string policy;
 
-  // Cluster-scale hot-path toggles (HdfsConfig::indexed_placement,
-  // NetworkConfig::incremental_rates). Both sides of each toggle are
-  // byte-identical by contract; the fuzzer still flips them on a
-  // fraction of seeds so the legacy engines keep riding through the
-  // full differential oracle. 1 = the shipping default, so pre-toggle
-  // reproducer files parse (and serialize) unchanged.
+  // Hot-path toggles (HdfsConfig::indexed_placement,
+  // NetworkConfig::incremental_rates, MRConfig::fast_shuffle). Both
+  // sides of each toggle are byte-identical by contract; the fuzzer
+  // still flips them on a fraction of seeds so the legacy engines keep
+  // riding through the full differential oracle. 1 = the shipping
+  // default, so pre-toggle reproducer files parse (and serialize)
+  // unchanged.
   int indexed_placement = 1;
   int incremental_rates = 1;
+  int fast_shuffle = 1;
 
   // Explicit, already-expanded fault schedule (plan probabilities are
   // resolved at generation time so the schedule is shrinkable).

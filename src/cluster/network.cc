@@ -83,6 +83,7 @@ void Network::push_back_slot(std::uint32_t slot) {
 void Network::remove_flow(std::uint32_t slot) {
   Flow& flow = slab_[slot];
   assert(flow.active);
+  assert(flow.live_legs == 0);  // legs die individually (kill_leg) first
   if (flow.prev != kNoSlot) slab_[flow.prev].next = flow.next;
   if (flow.next != kNoSlot) slab_[flow.next].prev = flow.prev;
   if (head_ == slot) head_ = flow.next;
@@ -93,19 +94,31 @@ void Network::remove_flow(std::uint32_t slot) {
       on_link.erase(std::find(on_link.begin(), on_link.end(), slot));
     }
   }
-  slot_of_.erase(flow.id);
   flow.active = false;
-  flow.on_complete = nullptr;
   --active_count_;
   free_slots_.push_back(slot);
 }
 
-Network::FlowId Network::start_flow(NodeId src, NodeId dst, Bytes bytes,
-                                    CompletionCallback on_complete) {
+void Network::kill_leg(Flow& flow, Leg& leg) {
+  assert(leg.live);
+  slot_of_.erase(leg.id);
+  leg.live = false;
+  leg.on_complete = nullptr;
+  --flow.live_legs;
+  --active_legs_;
+}
+
+Network::FlowId Network::announce_flow(NodeId src, NodeId dst, Bytes bytes) {
   assert(bytes >= 0);
   const FlowId id = next_id_++;
   MRAPID_TRACE(sim_, sim::TraceCategory::kNet, "net.flow", {"flow", id}, {"src", src},
                {"dst", dst}, {"bytes", bytes});
+  return id;
+}
+
+Network::FlowId Network::start_flow(NodeId src, NodeId dst, Bytes bytes,
+                                    CompletionCallback on_complete) {
+  const FlowId id = announce_flow(src, dst, bytes);
   if (bytes == 0) {
     sim_.schedule_now([this, id, cb = std::move(on_complete)] {
       MRAPID_TRACE(sim_, sim::TraceCategory::kNet, "net.flow.done", {"flow", id}, {"bytes", 0});
@@ -113,37 +126,62 @@ Network::FlowId Network::start_flow(NodeId src, NodeId dst, Bytes bytes,
     }, "net:zero-flow");
     return id;
   }
+  single_leg_.clear();
+  single_leg_.push_back(LegStart{id, bytes, std::move(on_complete)});
+  start_announced(src, dst, single_leg_);
+  return id;
+}
+
+void Network::start_announced(NodeId src, NodeId dst, std::vector<LegStart>& legs) {
+  assert(!legs.empty());
   advance_progress();
   const std::uint32_t slot = alloc_slot();
   Flow& flow = slab_[slot];
-  flow.id = id;
   flow.src = src;
   flow.dst = dst;
-  flow.remaining_bytes = static_cast<double>(bytes);
-  flow.total_bytes = bytes;
   flow.rate_bps = 0.0;
   flow.started = sim_.now();
-  flow.on_complete = std::move(on_complete);
   flow.active = true;
   flow.assigned_round = 0;
+  flow.legs.clear();
+  flow.live_legs = 0;
+  for (LegStart& start : legs) {
+    assert(start.bytes > 0);
+    Leg& leg = flow.legs.emplace_back();
+    leg.id = start.id;
+    leg.remaining_bytes = static_cast<double>(start.bytes);
+    leg.total_bytes = start.bytes;
+    leg.on_complete = std::move(start.on_complete);
+    leg.live = true;
+    slot_of_.emplace(leg.id, slot);
+    ++flow.live_legs;
+    ++stats_.flows_started;
+  }
+  legs.clear();
+  active_legs_ += flow.live_legs;
   set_path(flow, src, dst);
   push_back_slot(slot);
-  slot_of_.emplace(id, slot);
   ++active_count_;
-  ++stats_.flows_started;
   if (config_.incremental_rates) {
     for (std::uint8_t i = 0; i < flow.path_len; ++i) link_flows_[flow.path[i]].push_back(slot);
   }
   assign_rates();
   replan();
-  return id;
 }
 
 bool Network::cancel(FlowId id) {
   advance_progress();
   const auto it = slot_of_.find(id);
   if (it == slot_of_.end()) return false;
-  remove_flow(it->second);
+  const std::uint32_t slot = it->second;
+  Flow& flow = slab_[slot];
+  for (Leg& leg : flow.legs) {
+    if (leg.live && leg.id == id) {
+      kill_leg(flow, leg);
+      break;
+    }
+  }
+  if (flow.live_legs == 0) remove_flow(slot);
   assign_rates();
   replan();
   return true;
@@ -162,7 +200,10 @@ void Network::advance_progress() {
     const double elapsed = (now - last_update_).as_seconds();
     for (std::uint32_t slot = head_; slot != kNoSlot; slot = slab_[slot].next) {
       Flow& f = slab_[slot];
-      f.remaining_bytes = std::max(0.0, f.remaining_bytes - f.rate_bps * elapsed);
+      for (Leg& leg : f.legs) {
+        if (!leg.live) continue;
+        leg.remaining_bytes = std::max(0.0, leg.remaining_bytes - f.rate_bps * elapsed);
+      }
     }
   }
   last_update_ = now;
@@ -181,15 +222,23 @@ void Network::assign_rates_full() {
   // Progressive filling: repeatedly find the most constrained link,
   // freeze its unassigned flows at the link's fair share, subtract,
   // and continue with the remaining flows and residual capacities.
+  //
+  // Capacity is split between *legs*: a k-leg bundle counts k times on
+  // every link it crosses and, when frozen, subtracts the share once
+  // per leg (legs outer, links inner) — the identical FP operations,
+  // in the identical order, that k separate single-leg flows inserted
+  // back-to-back would have performed.
   const std::size_t links = link_capacity_bps_.size();
   std::vector<double> residual = link_capacity_bps_;
   std::vector<int> unassigned_on_link(links, 0);
   const std::uint64_t round = ++round_;
   for (std::uint32_t slot = head_; slot != kNoSlot; slot = slab_[slot].next) {
     const Flow& f = slab_[slot];
-    for (std::uint8_t i = 0; i < f.path_len; ++i) ++unassigned_on_link[f.path[i]];
+    for (std::uint8_t i = 0; i < f.path_len; ++i) {
+      unassigned_on_link[f.path[i]] += static_cast<int>(f.live_legs);
+    }
   }
-  std::size_t remaining = active_count_;
+  std::size_t remaining = active_legs_;
   while (remaining > 0) {
     double best_share = std::numeric_limits<double>::infinity();
     LinkIndex bottleneck = links;
@@ -211,11 +260,14 @@ void Network::assign_rates_full() {
       if (!crosses) continue;
       f.rate_bps = best_share;
       f.assigned_round = round;
-      --remaining;
-      for (std::uint8_t i = 0; i < f.path_len; ++i) {
-        const LinkIndex l = f.path[i];
-        residual[l] = std::max(0.0, residual[l] - best_share);
-        --unassigned_on_link[l];
+      remaining -= f.live_legs;
+      for (const Leg& leg : f.legs) {
+        if (!leg.live) continue;
+        for (std::uint8_t i = 0; i < f.path_len; ++i) {
+          const LinkIndex l = f.path[i];
+          residual[l] = std::max(0.0, residual[l] - best_share);
+          --unassigned_on_link[l];
+        }
       }
     }
   }
@@ -236,10 +288,11 @@ void Network::assign_rates_incremental() {
     const Flow& f = slab_[slot];
     for (std::uint8_t i = 0; i < f.path_len; ++i) {
       const LinkIndex l = f.path[i];
-      if (unassigned_on_link_[l]++ == 0) {
+      if (unassigned_on_link_[l] == 0) {
         touched_.push_back(l);
         residual_[l] = link_capacity_bps_[l];
       }
+      unassigned_on_link_[l] += static_cast<int>(f.live_legs);
     }
   }
   share_heap_.clear();
@@ -249,7 +302,7 @@ void Network::assign_rates_incremental() {
   }
   std::make_heap(share_heap_.begin(), share_heap_.end(), cmp);
 
-  std::size_t remaining = active_count_;
+  std::size_t remaining = active_legs_;
   while (remaining > 0) {
     assert(!share_heap_.empty());
     std::pop_heap(share_heap_.begin(), share_heap_.end(), cmp);
@@ -263,13 +316,19 @@ void Network::assign_rates_incremental() {
       if (f.assigned_round == round) continue;
       f.rate_bps = share;
       f.assigned_round = round;
-      --remaining;
-      for (std::uint8_t i = 0; i < f.path_len; ++i) {
-        const LinkIndex l = f.path[i];
-        residual_[l] = std::max(0.0, residual_[l] - share);
-        if (--unassigned_on_link_[l] > 0) {
-          share_heap_.emplace_back(residual_[l] / unassigned_on_link_[l], l);
-          std::push_heap(share_heap_.begin(), share_heap_.end(), cmp);
+      remaining -= f.live_legs;
+      // Legs outer, links inner — and one heap refresh per (leg, link)
+      // subtraction — so the FP/heap operation sequence is exactly what
+      // freezing k separate single-leg flows in a row performs.
+      for (const Leg& leg : f.legs) {
+        if (!leg.live) continue;
+        for (std::uint8_t i = 0; i < f.path_len; ++i) {
+          const LinkIndex l = f.path[i];
+          residual_[l] = std::max(0.0, residual_[l] - share);
+          if (--unassigned_on_link_[l] > 0) {
+            share_heap_.emplace_back(residual_[l] / unassigned_on_link_[l], l);
+            std::push_heap(share_heap_.begin(), share_heap_.end(), cmp);
+          }
         }
       }
     }
@@ -286,7 +345,10 @@ void Network::replan() {
   double eta = std::numeric_limits<double>::infinity();
   for (std::uint32_t slot = head_; slot != kNoSlot; slot = slab_[slot].next) {
     const Flow& f = slab_[slot];
-    if (f.rate_bps > 0) eta = std::min(eta, f.remaining_bytes / f.rate_bps);
+    if (f.rate_bps <= 0) continue;
+    for (const Leg& leg : f.legs) {
+      if (leg.live) eta = std::min(eta, leg.remaining_bytes / f.rate_bps);
+    }
   }
   assert(eta != std::numeric_limits<double>::infinity());
   completion_event_ = sim_.schedule_after(sim::SimDuration::seconds_ceil(std::max(0.0, eta)),
@@ -306,10 +368,12 @@ void Network::on_completion_event() {
   for (std::uint32_t slot = head_; slot != kNoSlot;) {
     const std::uint32_t next = slab_[slot].next;
     Flow& f = slab_[slot];
-    if (f.remaining_bytes <= kEpsilonBytes) {
-      done.push_back(Done{f.id, f.total_bytes, f.started, std::move(f.on_complete)});
-      remove_flow(slot);
+    for (Leg& leg : f.legs) {
+      if (!leg.live || leg.remaining_bytes > kEpsilonBytes) continue;
+      done.push_back(Done{leg.id, leg.total_bytes, f.started, std::move(leg.on_complete)});
+      kill_leg(f, leg);
     }
+    if (f.live_legs == 0) remove_flow(slot);
     slot = next;
   }
   assign_rates();

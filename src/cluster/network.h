@@ -32,6 +32,17 @@
 // identical order, so every assigned rate matches to 0 ULP — the
 // network_rates_diff_test holds them to exact equality on every replan
 // and checks the result against a brute-force max-min oracle.
+//
+// Every slab entry is a *bundle* of one or more legs sharing a
+// (src, dst) path: start_flow starts a 1-leg bundle (the classic flow,
+// unchanged by construction), and the fast-shuffle engine batches the
+// same-(src,dst) fetch legs of one dispatch into a single bundle via
+// announce_flow/start_announced. Each leg keeps its own id, byte
+// count, fluid progress and completion trace/callback, and the
+// waterfill counts *legs* when splitting link capacity, so a k-leg
+// bundle is observationally identical — rates, completion times and
+// traces — to the k separate flows the legacy path would have opened,
+// while costing one slab slot and one waterfill membership.
 
 #include <array>
 #include <cstdint>
@@ -74,7 +85,29 @@ class Network {
   FlowId start_flow(NodeId src, NodeId dst, Bytes bytes, CompletionCallback on_complete);
   bool cancel(FlowId id);
 
-  std::size_t active_flows() const { return active_count_; }
+  // One leg of a to-be-started bundle (see start_announced).
+  struct LegStart {
+    FlowId id = 0;  // from announce_flow
+    Bytes bytes = 0;
+    CompletionCallback on_complete;
+  };
+
+  // Reserves a flow id and emits its "net.flow" trace *now*, at the
+  // call site, without starting anything — so a caller batching legs
+  // keeps the exact trace interleaving an immediate start_flow would
+  // have produced. The id must be started with start_announced() in
+  // the same dispatch (before simulated time advances).
+  FlowId announce_flow(NodeId src, NodeId dst, Bytes bytes);
+
+  // Starts a batch of announced legs as one src -> dst bundle. Legs
+  // must have bytes > 0 (zero-byte fetches never reach the network).
+  // Consumes the callbacks; the caller may clear() and reuse the
+  // vector's capacity.
+  void start_announced(NodeId src, NodeId dst, std::vector<LegStart>& legs);
+
+  // Flow ids in flight (every leg of a bundle counts: one per
+  // announced id not yet completed or cancelled).
+  std::size_t active_flows() const { return active_legs_; }
   // Rate currently assigned to a flow (0 if unknown/finished).
   Rate flow_rate(FlowId id) const;
   Bytes bytes_delivered() const { return bytes_delivered_; }
@@ -94,15 +127,21 @@ class Network {
 
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
 
-  struct Flow {
+  struct Leg {
     FlowId id = 0;
-    NodeId src = kInvalidNode;
-    NodeId dst = kInvalidNode;
     double remaining_bytes = 0.0;
     Bytes total_bytes = 0;
-    double rate_bps = 0.0;  // bytes per second, assigned by waterfill
-    sim::SimTime started;
     CompletionCallback on_complete;
+    bool live = false;  // false once completed or cancelled
+  };
+
+  struct Flow {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    double rate_bps = 0.0;  // bytes per second *per leg*, assigned by waterfill
+    sim::SimTime started;
+    std::vector<Leg> legs;  // >= 1; capacity reused across slot reuse
+    std::uint32_t live_legs = 0;
     std::array<LinkIndex, 4> path{};  // up to [up, rack-up, rack-down, down]
     std::uint8_t path_len = 0;
     bool active = false;
@@ -114,7 +153,8 @@ class Network {
   void set_path(Flow& flow, NodeId src, NodeId dst) const;
   std::uint32_t alloc_slot();
   void push_back_slot(std::uint32_t slot);
-  void remove_flow(std::uint32_t slot);  // unlink + per-link lists + map + free
+  void remove_flow(std::uint32_t slot);  // unlink + per-link lists + free (legs already dead)
+  void kill_leg(Flow& flow, Leg& leg);   // id map + live counters
   void advance_progress();
   void assign_rates();  // progressive filling (dispatches on the toggle)
   void assign_rates_full();
@@ -146,8 +186,9 @@ class Network {
   std::vector<std::uint32_t> free_slots_;
   std::uint32_t head_ = kNoSlot;
   std::uint32_t tail_ = kNoSlot;
-  std::size_t active_count_ = 0;
-  std::unordered_map<FlowId, std::uint32_t> slot_of_;
+  std::size_t active_count_ = 0;  // active slab entries (bundles)
+  std::size_t active_legs_ = 0;   // live legs across all bundles
+  std::unordered_map<FlowId, std::uint32_t> slot_of_;  // every leg id -> slot
 
   // Incremental-waterfill state (maintained only when the toggle is
   // on). link_flows_[l] holds the active slots crossing l in insertion
@@ -160,6 +201,7 @@ class Network {
   std::vector<int> unassigned_on_link_;
   std::vector<LinkIndex> touched_;
   std::vector<std::pair<double, LinkIndex>> share_heap_;
+  std::vector<LegStart> single_leg_;  // start_flow scratch
 
   std::uint64_t round_ = 0;
   sim::SimTime last_update_ = sim::SimTime::zero();

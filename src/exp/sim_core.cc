@@ -8,13 +8,17 @@
 #include <vector>
 
 #include "cluster/azure.h"
+#include "cluster/cluster.h"
 #include "cluster/network.h"
 #include "cluster/topology.h"
 #include "common/rng.h"
 #include "exp/runner.h"
+#include "hdfs/hdfs.h"
 #include "hdfs/placement.h"
 #include "harness/stream_pump.h"
 #include "harness/world.h"
+#include "mapreduce/shuffle.h"
+#include "mapreduce/task_runner.h"
 #include "sim/event_queue.h"
 #include "sim/simulation.h"
 #include "workloads/jobstream.h"
@@ -290,6 +294,9 @@ SimCoreResult run_cluster_scale(bool incremental, std::size_t nodes, double hori
   result.heap_peak = world.simulation().queue_stats().heap_peak;
   result.slab_slots = std::max(world.simulation().queue_stats().slab_capacity,
                                world.simulation().wheel_stats().slab_capacity);
+  result.fetches = world.shuffle_stats().fetches;
+  result.coalesced_flows = world.shuffle_stats().coalesced_flows;
+  result.partition_calls = world.shuffle_stats().partition_calls;
   return result;
 }
 
@@ -373,7 +380,159 @@ SimCoreResult run_placement_shuffle(bool fast_paths, std::size_t nodes,
   return result;
 }
 
+// The job-scale workload logic: a hash partitioner over a band of 16
+// reducers. Each map's band starts at a stride-37 offset (pairs of
+// maps share a band, mirroring their shared source node below), and
+// every record is hashed into the band — so partition_map_output costs
+// what a real hash partitioner costs (one mix + bucket add per record,
+// plus the R-entry shard vector), which is exactly the per-fetch price
+// the legacy path pays M·R times and the registry pays M times. The
+// map index rides in on outcome.output_records (execute_map is never
+// called; the bench fabricates map results directly).
+class JobScaleLogic final : public mr::JobLogic {
+ public:
+  static constexpr int kBand = 16;
+  static constexpr std::int64_t kRecordsPerMap = 2048;
+  static constexpr Bytes kRecordBytes = 64;
+
+  JobScaleLogic() : payload_(std::make_shared<int>(0)) {}
+
+  std::string name() const override { return "job-scale-shuffle"; }
+  mr::MapOutcome execute_map(const mr::InputSplit&) const override { return {}; }
+
+  mr::ReduceOutcome execute_reduce(std::span<const mr::MapOutcome>) const override {
+    mr::ReduceOutcome out;
+    out.output_bytes = 1_KB;
+    out.core_seconds = 0.0005;
+    return out;
+  }
+
+  std::vector<mr::MapOutcome> partition_map_output(const mr::MapOutcome& outcome,
+                                                   int reducers) const override {
+    std::vector<mr::MapOutcome> shards(static_cast<std::size_t>(reducers));
+    const auto m = static_cast<std::uint64_t>(outcome.output_records);
+    const auto band_start =
+        static_cast<std::size_t>(((m / 2) * 37) % static_cast<std::uint64_t>(reducers));
+    for (std::int64_t rec = 0; rec < kRecordsPerMap; ++rec) {
+      std::uint64_t h =
+          (m * static_cast<std::uint64_t>(kRecordsPerMap) + static_cast<std::uint64_t>(rec)) *
+          0x9E3779B97F4A7C15ull;
+      h ^= h >> 33;
+      h *= 0xFF51AFD7ED558CCDull;
+      h ^= h >> 33;
+      const std::size_t r =
+          (band_start + static_cast<std::size_t>(h % kBand)) % static_cast<std::size_t>(reducers);
+      shards[r].output_bytes += kRecordBytes;
+      shards[r].output_records += 1;
+    }
+    for (auto& shard : shards) {
+      if (shard.output_bytes > 0) shard.data = payload_;
+    }
+    return shards;
+  }
+
+ private:
+  std::shared_ptr<const void> payload_;  // stands in for the in-memory segment
+};
+
+// One job-scale run: `fast` flips MRConfig::fast_shuffle. Both sides
+// feed the identical fabricated map results to the identical reducer
+// set; reducers are driven one at a time with a fluid drain between
+// them so the live flow population stays bounded (the waterfill depth,
+// not the fetch engine, would otherwise dominate).
+SimCoreResult run_job_scale(bool fast, std::size_t nodes, int maps, int reducers) {
+  sim::Simulation sim(2024);
+  cluster::Cluster cluster(
+      sim, cluster::ClusterConfig::uniform(
+               nodes, std::max<std::size_t>(std::size_t{1}, nodes / 40), cluster::azure_a3()));
+  hdfs::Hdfs hdfs(cluster, hdfs::HdfsConfig{});
+
+  JobScaleLogic logic;
+  mr::JobSpec spec;
+  spec.name = "job-scale";
+  spec.logic = &logic;
+  spec.num_reducers = reducers;
+
+  mr::MRConfig config;
+  config.fast_shuffle = fast;
+  mr::ShuffleStats stats;
+  config.shuffle_stats = &stats;
+  auto killed = std::make_shared<bool>(false);
+  mr::TaskEnv env{sim, cluster, hdfs, config, killed};
+
+  // Fabricated map results: map m lives on node (m/2) % nodes — pairs
+  // of maps share a source, so a reducer's batch feed has runs of two
+  // same-source fetches for the coalescer — with spilled (on-disk)
+  // output so every remote fetch joins a disk and a network leg.
+  std::vector<mr::MapTaskResult> results(static_cast<std::size_t>(maps));
+  for (int m = 0; m < maps; ++m) {
+    mr::MapTaskResult& result = results[static_cast<std::size_t>(m)];
+    result.profile.index = m;
+    result.profile.node =
+        static_cast<cluster::NodeId>(static_cast<std::size_t>(m / 2) % nodes);
+    result.profile.output_in_memory = false;
+    result.outcome.output_bytes = JobScaleLogic::kRecordsPerMap * JobScaleLogic::kRecordBytes;
+    result.outcome.output_records = m;  // smuggled map index (see JobScaleLogic)
+  }
+
+  int done = 0;
+  std::vector<std::unique_ptr<mr::ReduceRunner>> runners;
+  runners.reserve(static_cast<std::size_t>(reducers));
+
+  const auto start = Clock::now();
+  // The AM-side half of fast_shuffle: partition each output once, on
+  // announcement — on the measured clock, exactly as an AM would.
+  std::unique_ptr<mr::MapOutputRegistry> registry;
+  if (fast) {
+    registry = std::make_unique<mr::MapOutputRegistry>(spec, maps, &stats);
+    for (const mr::MapTaskResult& result : results) {
+      registry->announce(result.profile.index, result.outcome);
+    }
+  }
+  std::int64_t now_us = 0;
+  for (int r = 0; r < reducers; ++r) {
+    auto runner = std::make_unique<mr::ReduceRunner>(
+        env, spec, r, "/bench/job-scale/part-" + std::to_string(r),
+        static_cast<cluster::NodeId>(static_cast<std::size_t>(r) % nodes), maps,
+        [&done](mr::TaskProfile, mr::ReduceOutcome) { ++done; });
+    runner->set_registry(registry.get());
+    runner->start();
+    runner->on_map_outputs(results);
+    runners.push_back(std::move(runner));
+    // Drain this reducer's fetches (and most of its flows) before the
+    // next one starts: ~60 live legs at a time, not ~30k.
+    now_us += 50'000;
+    sim.run_until(sim::SimTime::from_micros(now_us));
+  }
+  sim.run_until(sim::SimTime::from_micros(now_us) + sim::SimDuration::seconds(3600));
+  if (done != reducers) throw TrialFailure("sim_core job-scale did not finish every reducer");
+
+  SimCoreResult result;
+  result.wall_seconds = seconds_since(start);
+  // Both sides perform the identical M·R fetches, so events/sec is the
+  // shuffle-fetch rate and the speedup column a pure wall-clock ratio.
+  result.events = stats.fetches;
+  result.events_per_sec = static_cast<double>(result.events) / result.wall_seconds;
+  result.cancelled = sim.queue_stats().cancelled;
+  result.heap_peak = sim.queue_stats().heap_peak;
+  result.slab_slots = sim.queue_stats().slab_capacity;
+  result.fetches = stats.fetches;
+  result.coalesced_flows = stats.coalesced_flows;
+  result.partition_calls = stats.partition_calls;
+  return result;
+}
+
 }  // namespace
+
+SimCorePair sim_core_job_scale(bool smoke) {
+  const std::size_t nodes = smoke ? 128 : 1'000;
+  const int maps = smoke ? 256 : 2'000;
+  const int reducers = smoke ? 64 : 512;
+  SimCorePair pair;
+  pair.modern = run_job_scale(/*fast=*/true, nodes, maps, reducers);
+  pair.legacy = run_job_scale(/*fast=*/false, nodes, maps, reducers);
+  return pair;
+}
 
 SimCorePair sim_core_placement_shuffle(bool smoke) {
   const std::size_t nodes = smoke ? 256 : 10'000;
@@ -427,6 +586,9 @@ SimCoreResult sim_core_wordcount_sweep(bool smoke) {
     result.heap_peak = std::max(result.heap_peak, stats.heap_peak);
     result.slab_slots = std::max({result.slab_slots, stats.slab_capacity,
                                   world.simulation().wheel_stats().slab_capacity});
+    result.fetches += world.shuffle_stats().fetches;
+    result.coalesced_flows += world.shuffle_stats().coalesced_flows;
+    result.partition_calls += world.shuffle_stats().partition_calls;
   }
   result.wall_seconds = seconds_since(start);
   result.events_per_sec = static_cast<double>(result.events) / result.wall_seconds;

@@ -26,7 +26,15 @@
 //                    on and off — the recorded speedup for the
 //                    placement/network hot-path overhaul. Throughput
 //                    counts replan+placement events (replica draws +
-//                    rate replans), identical work on both sides.
+//                    rate replans), identical work on both sides,
+//   job-scale        one wide MapReduce job (2k maps x 512 reducers
+//                    at 1k nodes full; 256 x 64 at 128 smoke) driven
+//                    straight at the ReduceRunner fetch engine, run
+//                    twice: with MRConfig::fast_shuffle (partition-
+//                    once registry + slab fetch records + coalesced
+//                    flows) on and off — the recorded speedup for the
+//                    shuffle/job hot-path overhaul. Throughput counts
+//                    shuffle fetches (M·R, identical on both sides).
 //
 // The churn and cancel variants also run against LegacyEventQueue — a
 // faithful reimplementation of the pre-slab shared_ptr/weak_ptr queue —
@@ -49,6 +57,11 @@ struct SimCoreResult {
   std::uint64_t cancelled = 0;
   std::size_t heap_peak = 0;   // modern queue only; 0 for the legacy run
   std::size_t slab_slots = 0;  // modern queue only; 0 for the legacy run
+  // Shuffle counters (mr::ShuffleStats) for the variants that run the
+  // MapReduce fetch engine; zero for the queue-only variants.
+  std::uint64_t fetches = 0;
+  std::uint64_t coalesced_flows = 0;
+  std::uint64_t partition_calls = 0;
 };
 
 // The two sides of one differential measurement, interleaved.
@@ -95,5 +108,21 @@ SimCorePair sim_core_cluster_scale(bool smoke);
 // it); `events` counts replica draws + rate replans, so events/sec is
 // the replan+placement rate the acceptance bar is stated in.
 SimCorePair sim_core_placement_shuffle(bool smoke);
+
+// The shuffle/job hot paths, driven straight at the ReduceRunner fetch
+// engine: one wide job's worth of fabricated map results (a band-of-16
+// hash partitioner, pairs of maps per source node) fed to every
+// reducer of a 2k-map x 512-reducer job on a 1k-node fabric (256 x 64
+// on 128 nodes smoke). `modern` runs MRConfig::fast_shuffle (the
+// default): the partition-once MapOutputRegistry, slab fetch records
+// and same-(src,dst) leg coalescing. `legacy` re-runs the identical
+// feed with fast_shuffle off — the historical per-fetch
+// partition_map_output (O(M·R²) per job) and per-fetch shared_ptr leg
+// joins. Both sides perform the same M·R fetches over the same bytes
+// and the end-to-end traces are byte-identical either way
+// (hotpath_equivalence_test proves it); `events` counts fetches, so
+// events/sec is the shuffle-fetch rate the acceptance bar is stated
+// in.
+SimCorePair sim_core_job_scale(bool smoke);
 
 }  // namespace mrapid::exp

@@ -62,7 +62,10 @@ World::World(const WorldConfig& config, RunMode mode) : config_(config), mode_(m
   yarn::YarnConfig yarn_config = config.yarn;
   if (config.faults.active()) yarn_config.track_liveness = true;
   rm_ = std::make_unique<yarn::ResourceManager>(*cluster_, std::move(scheduler), yarn_config);
-  client_ = std::make_unique<mr::JobClient>(*cluster_, *hdfs_, *rm_, config.mr);
+  // Every job's fetch engine counts into one per-world sink (the
+  // JobClient copies config_.mr, so this must be wired before it).
+  if (config_.mr.shuffle_stats == nullptr) config_.mr.shuffle_stats = &shuffle_stats_;
+  client_ = std::make_unique<mr::JobClient>(*cluster_, *hdfs_, *rm_, config_.mr);
 
   core::FrameworkOptions framework_options = config.framework;
   if (framework_options.estimator.t_l == core::EstimatorDefaults{}.t_l &&

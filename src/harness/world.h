@@ -18,6 +18,7 @@
 #include "harness/fault.h"
 #include "hdfs/hdfs.h"
 #include "mapreduce/job_client.h"
+#include "mapreduce/shuffle.h"
 #include "mrapid/dplus_scheduler.h"
 #include "mrapid/framework.h"
 #include "mrapid/scheduler_registry.h"
@@ -85,6 +86,10 @@ class World {
   FaultInjector* faults() { return injector_.get(); }
   RunMode mode() const { return mode_; }
   const WorldConfig& config() const { return config_; }
+  // Shuffle counters for every job this world ran (the fetch engine's
+  // fetches / coalesced flows / partition calls). Points at this
+  // world's own sink unless the caller provided one in config.mr.
+  const mr::ShuffleStats& shuffle_stats() const { return shuffle_stats_; }
 
   // Attaches a trace sink to this world's simulation. Attach before
   // boot() so node capacities and pool warm-up land in the trace; the
@@ -108,6 +113,7 @@ class World {
 
  private:
   WorldConfig config_;
+  mr::ShuffleStats shuffle_stats_;  // config_.mr.shuffle_stats default sink
   RunMode mode_;
   std::optional<std::optional<LogLevel>> saved_log_threshold_;  // set when config.log_level is
   std::unique_ptr<sim::Simulation> sim_;

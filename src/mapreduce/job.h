@@ -143,6 +143,8 @@ enum class InjectedBug {
 
 const char* injected_bug_name(InjectedBug bug);
 
+struct ShuffleStats;  // mapreduce/shuffle.h
+
 // Hadoop MapReduce runtime constants (2.2-era defaults).
 struct MRConfig {
   Bytes sort_buffer = 100_MB;  // mapreduce.task.io.sort.mb
@@ -160,6 +162,18 @@ struct MRConfig {
 
   FaultConfig faults;
   InjectedBug injected_bug = InjectedBug::kNone;
+
+  // ---- shuffle/job-scale hot path (docs/PERF.md, "Shuffle & job
+  // scale") ------------------------------------------------------------
+  // Partition-once map-output registry + slab fetch engine with
+  // same-(src,dst) leg coalescing. Traces are byte-identical either
+  // way; the toggle selects an implementation, never an answer, and
+  // keeps the legacy per-fetch path testable as the bench "before".
+  bool fast_shuffle = true;
+  // Optional counter sink (fetches / coalesced flows / partition
+  // calls), counted on both sides of the toggle. harness::World points
+  // this at a per-world instance when left null.
+  ShuffleStats* shuffle_stats = nullptr;
 };
 
 // ---- Profiles ------------------------------------------------------

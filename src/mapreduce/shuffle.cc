@@ -1,0 +1,33 @@
+#include "mapreduce/shuffle.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mrapid::mr {
+
+MapOutputRegistry::MapOutputRegistry(const JobSpec& spec, int total_maps, ShuffleStats* stats)
+    : spec_(spec),
+      reducers_(std::max(1, spec.num_reducers)),
+      present_(static_cast<std::size_t>(total_maps), 0),
+      shards_(static_cast<std::size_t>(total_maps)),
+      stats_(stats) {
+  assert(spec_.logic != nullptr);
+}
+
+void MapOutputRegistry::announce(int map_index, const MapOutcome& outcome) {
+  const auto m = static_cast<std::size_t>(map_index);
+  assert(m < shards_.size());
+  if (stats_ != nullptr) ++stats_->partition_calls;
+  shards_[m] = spec_.logic->partition_map_output(outcome, reducers_);
+  present_[m] = 1;
+}
+
+void MapOutputRegistry::invalidate(int map_index) {
+  const auto m = static_cast<std::size_t>(map_index);
+  assert(m < shards_.size());
+  present_[m] = 0;
+  shards_[m].clear();
+  shards_[m].shrink_to_fit();
+}
+
+}  // namespace mrapid::mr

@@ -177,17 +177,13 @@ void ReduceRunner::start() {
   started_ = true;
   if (halted()) return;  // a dead node runs nothing
   profile_.start = env_.sim.now();
-  if (attempt_ > 0) {
-    MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.start", {"app", env_.app},
-                 {"job", env_.job}, {"partition", partition_}, {"node", node_},
-                 {"attempt", attempt_});
-  } else {
-    MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.start", {"app", env_.app},
-                 {"job", env_.job}, {"partition", partition_}, {"node", node_});
-  }
+  MRAPID_TRACE_ATTEMPT(env_.sim, sim::TraceCategory::kTask, "reduce.start", attempt_,
+                       {"app", env_.app}, {"job", env_.job}, {"partition", partition_},
+                       {"node", node_});
   std::vector<MapTaskResult> backlog;
   backlog.swap(pending_);
   for (const auto& result : backlog) fetch(result);
+  flush_net_legs();
   maybe_finish_shuffle();  // handles the zero-map edge case
 }
 
@@ -198,6 +194,19 @@ void ReduceRunner::on_map_output(const MapTaskResult& result) {
     return;
   }
   fetch(result);
+  flush_net_legs();
+}
+
+void ReduceRunner::on_map_outputs(std::span<const MapTaskResult> results) {
+  for (const MapTaskResult& result : results) {
+    if (halted()) break;
+    if (!started_) {
+      pending_.push_back(result);
+      continue;
+    }
+    fetch(result);
+  }
+  flush_net_legs();
 }
 
 void ReduceRunner::fetch(const MapTaskResult& result) {
@@ -217,28 +226,33 @@ void ReduceRunner::fetch(const MapTaskResult& result) {
     return;
   }
   fetch_state_[static_cast<std::size_t>(index)] = FetchState::kInflight;
+  if (ShuffleStats* stats = env_.config.shuffle_stats) ++stats->fetches;
+  if (env_.config.fast_shuffle) {
+    fetch_fast(result, src, index);
+  } else {
+    fetch_legacy(result, src, index);
+  }
+}
+
+// The original per-fetch path, kept verbatim behind the toggle as the
+// bench "before" side: re-partitions the full map outcome for every
+// fetch (O(M·R²) per job) and joins the two transfer legs on a pair of
+// heap-allocated shared handles.
+void ReduceRunner::fetch_legacy(const MapTaskResult& result, const NodeId src, const int index) {
   // This runner only moves its own partition's shard of the output.
+  if (ShuffleStats* stats = env_.config.shuffle_stats) ++stats->partition_calls;
   MapOutcome shard = std::move(
       spec_.logic->partition_map_output(result.outcome, std::max(1, spec_.num_reducers))
           .at(static_cast<std::size_t>(partition_)));
   const Bytes bytes = shard.output_bytes;
   outcomes_[static_cast<std::size_t>(index)] = std::move(shard);
-  if (attempt_ > 0) {
-    MRAPID_TRACE(env_.sim, sim::TraceCategory::kShuffle, "shuffle.fetch", {"app", env_.app},
-                 {"job", env_.job}, {"partition", partition_}, {"map", index}, {"bytes", bytes},
-                 {"src", src}, {"dst", node_}, {"attempt", attempt_});
-  } else {
-    MRAPID_TRACE(env_.sim, sim::TraceCategory::kShuffle, "shuffle.fetch", {"app", env_.app},
-                 {"job", env_.job}, {"partition", partition_}, {"map", index}, {"bytes", bytes},
-                 {"src", src}, {"dst", node_});
-  }
+  MRAPID_TRACE_ATTEMPT(env_.sim, sim::TraceCategory::kShuffle, "shuffle.fetch", attempt_,
+                       {"app", env_.app}, {"job", env_.job}, {"partition", partition_},
+                       {"map", index}, {"bytes", bytes}, {"src", src}, {"dst", node_});
 
   auto complete = [this, bytes, index] {
     if (halted()) return;
-    fetch_state_[static_cast<std::size_t>(index)] = FetchState::kDone;
-    ++fetched_;
-    shuffled_bytes_ += bytes;
-    maybe_finish_shuffle();
+    finish_fetch(index, bytes);
   };
 
   if (bytes == 0 || (src == node_ && result.profile.output_in_memory)) {
@@ -262,18 +276,98 @@ void ReduceRunner::fetch(const MapTaskResult& result) {
   env_.cluster.network().start_flow(src, node_, bytes, leg_done);
 }
 
+// The fast_shuffle path: O(1) shard lookup in the partition-once
+// registry, a slab fetch record instead of two shared_ptr allocations
+// (the 16-byte {this, slot, generation} leg captures fit std::function's
+// small-buffer storage), and network legs batched per consecutive
+// source so one dispatch's same-(src,dst) fetches share one flow.
+void ReduceRunner::fetch_fast(const MapTaskResult& result, const NodeId src, const int index) {
+  if (registry_ == nullptr) {
+    own_registry_ =
+        std::make_unique<MapOutputRegistry>(spec_, total_maps_, env_.config.shuffle_stats);
+    registry_ = own_registry_.get();
+  }
+  const MapOutcome& shard = registry_->shard(index, partition_, result.outcome);
+  const Bytes bytes = shard.output_bytes;
+  outcomes_[static_cast<std::size_t>(index)] = shard;
+  MRAPID_TRACE_ATTEMPT(env_.sim, sim::TraceCategory::kShuffle, "shuffle.fetch", attempt_,
+                       {"app", env_.app}, {"job", env_.job}, {"partition", partition_},
+                       {"map", index}, {"bytes", bytes}, {"src", src}, {"dst", node_});
+
+  if (bytes == 0 || (src == node_ && result.profile.output_in_memory)) {
+    // Nothing to move (see fetch_legacy). Local fetches never touch
+    // the net-leg batcher, so they don't break a same-source run.
+    env_.sim.schedule_now([this, bytes, index] {
+      if (halted()) return;
+      finish_fetch(index, bytes);
+    }, "shuffle:local");
+    return;
+  }
+
+  const std::uint32_t slot = alloc_fetch_record();
+  FetchRecord& rec = fetch_records_[slot];
+  rec.pending = result.profile.output_in_memory ? 1 : 2;
+  rec.map_index = index;
+  rec.bytes = bytes;
+  const std::uint32_t gen = rec.generation;
+  if (!result.profile.output_in_memory) {
+    env_.cluster.node(src).disk_read().start(
+        bytes, [this, slot, gen](sim::SimDuration) { fetch_leg_done(slot, gen); });
+  }
+  if (pending_src_ != src) flush_net_legs();
+  pending_src_ = src;
+  const cluster::Network::FlowId id = env_.cluster.network().announce_flow(src, node_, bytes);
+  pending_legs_.push_back(cluster::Network::LegStart{
+      id, bytes, [this, slot, gen](sim::SimDuration) { fetch_leg_done(slot, gen); }});
+}
+
+void ReduceRunner::flush_net_legs() {
+  if (pending_legs_.empty()) return;
+  if (pending_legs_.size() > 1) {
+    if (ShuffleStats* stats = env_.config.shuffle_stats) {
+      stats->coalesced_flows += pending_legs_.size() - 1;
+    }
+  }
+  env_.cluster.network().start_announced(pending_src_, node_, pending_legs_);
+  pending_src_ = cluster::kInvalidNode;
+}
+
+std::uint32_t ReduceRunner::alloc_fetch_record() {
+  if (!free_fetch_records_.empty()) {
+    const std::uint32_t slot = free_fetch_records_.back();
+    free_fetch_records_.pop_back();
+    return slot;
+  }
+  fetch_records_.emplace_back();
+  return static_cast<std::uint32_t>(fetch_records_.size() - 1);
+}
+
+void ReduceRunner::fetch_leg_done(std::uint32_t slot, std::uint32_t generation) {
+  FetchRecord& rec = fetch_records_[slot];
+  if (rec.generation != generation) return;  // a previous tenant's leg
+  if (--rec.pending > 0) return;
+  const int index = rec.map_index;
+  const Bytes bytes = rec.bytes;
+  ++rec.generation;  // O(1) retire: any outstanding stale leg is inert
+  free_fetch_records_.push_back(slot);
+  if (halted()) return;
+  finish_fetch(index, bytes);
+}
+
+void ReduceRunner::finish_fetch(int index, Bytes bytes) {
+  fetch_state_[static_cast<std::size_t>(index)] = FetchState::kDone;
+  ++fetched_;
+  shuffled_bytes_ += bytes;
+  maybe_finish_shuffle();
+}
+
 void ReduceRunner::maybe_finish_shuffle() {
   if (!started_ || fetched_ < total_maps_ || halted()) return;
   profile_.read_done = env_.sim.now();
   profile_.input_bytes = shuffled_bytes_;
-  if (attempt_ > 0) {
-    MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.shuffle_done", {"app", env_.app},
-                 {"job", env_.job}, {"partition", partition_}, {"bytes", shuffled_bytes_},
-                 {"attempt", attempt_});
-  } else {
-    MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.shuffle_done", {"app", env_.app},
-                 {"job", env_.job}, {"partition", partition_}, {"bytes", shuffled_bytes_});
-  }
+  MRAPID_TRACE_ATTEMPT(env_.sim, sim::TraceCategory::kTask, "reduce.shuffle_done", attempt_,
+                       {"app", env_.app}, {"job", env_.job}, {"partition", partition_},
+                       {"bytes", shuffled_bytes_});
   run_reduce_phase();
 }
 
@@ -308,15 +402,9 @@ void ReduceRunner::run_reduce_phase() {
       env_.sim.schedule_after(env_.config.commit_overhead, [this, outcome] {
         if (halted()) return;
         profile_.end = env_.sim.now();
-        if (attempt_ > 0) {
-          MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.done", {"app", env_.app},
-                       {"job", env_.job}, {"partition", partition_}, {"node", node_},
-                       {"output_bytes", outcome.output_bytes}, {"attempt", attempt_});
-        } else {
-          MRAPID_TRACE(env_.sim, sim::TraceCategory::kTask, "reduce.done", {"app", env_.app},
-                       {"job", env_.job}, {"partition", partition_}, {"node", node_},
-                       {"output_bytes", outcome.output_bytes});
-        }
+        MRAPID_TRACE_ATTEMPT(env_.sim, sim::TraceCategory::kTask, "reduce.done", attempt_,
+                             {"app", env_.app}, {"job", env_.job}, {"partition", partition_},
+                             {"node", node_}, {"output_bytes", outcome.output_bytes});
         done_(profile_, outcome);
       }, "reduce:commit");
     });

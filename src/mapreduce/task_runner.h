@@ -12,10 +12,12 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "cluster/cluster.h"
 #include "hdfs/hdfs.h"
 #include "mapreduce/job.h"
+#include "mapreduce/shuffle.h"
 #include "sim/simulation.h"
 
 namespace mrapid::mr {
@@ -85,6 +87,16 @@ class ReduceRunner {
   // map (after a re-run) are ignored.
   void on_map_output(const MapTaskResult& result);
 
+  // Batch form: fetch every result in one dispatch. This is how the
+  // AMs replay their accumulated map results into a freshly started
+  // runner — under fast_shuffle, consecutive same-source network legs
+  // of the batch coalesce into one aggregated flow.
+  void on_map_outputs(std::span<const MapTaskResult> results);
+
+  // Share the AM's partition-once shard registry (fast_shuffle). When
+  // unset, a fast-shuffle runner lazily builds its own private one.
+  void set_registry(MapOutputRegistry* registry) { registry_ = registry; }
+
   void set_fetch_failed(FetchFailedCallback cb) { fetch_failed_ = std::move(cb); }
 
   // Retire this attempt: no further progress, no further callbacks.
@@ -103,8 +115,25 @@ class ReduceRunner {
     return cancelled_ || env_.is_killed() || env_.cluster.node(node_).is_down();
   }
   void fetch(const MapTaskResult& result);
+  void fetch_fast(const MapTaskResult& result, cluster::NodeId src, int index);
+  void fetch_legacy(const MapTaskResult& result, cluster::NodeId src, int index);
+  void flush_net_legs();
+  void fetch_leg_done(std::uint32_t slot, std::uint32_t generation);
+  void finish_fetch(int index, Bytes bytes);
   void maybe_finish_shuffle();
   void run_reduce_phase();
+
+  // One in-flight remote fetch: the disk and network legs join here
+  // instead of on a heap-allocated shared counter. Slots are recycled
+  // through a free list; the generation stamp retires any callback
+  // from a previous tenant of the slot.
+  struct FetchRecord {
+    int pending = 0;
+    int map_index = 0;
+    Bytes bytes = 0;
+    std::uint32_t generation = 0;
+  };
+  std::uint32_t alloc_fetch_record();
 
   TaskEnv env_;
   const JobSpec& spec_;
@@ -123,6 +152,17 @@ class ReduceRunner {
   std::vector<FetchState> fetch_state_;  // by map index
   FetchFailedCallback fetch_failed_;
   TaskProfile profile_;
+
+  // ---- fast_shuffle state (unused on the legacy path) ---------------
+  MapOutputRegistry* registry_ = nullptr;
+  std::unique_ptr<MapOutputRegistry> own_registry_;  // direct drives without an AM
+  std::vector<FetchRecord> fetch_records_;
+  std::vector<std::uint32_t> free_fetch_records_;
+  // Net-leg batcher: consecutive same-source legs of one dispatch,
+  // flushed into a single aggregated flow on source change and at the
+  // end of the dispatch. Announced ids keep trace order exact.
+  std::vector<cluster::Network::LegStart> pending_legs_;
+  cluster::NodeId pending_src_ = cluster::kInvalidNode;
 };
 
 // Number of spill files a map output of `bytes` produces under the

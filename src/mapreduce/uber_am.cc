@@ -26,6 +26,10 @@ void UberAppMaster::start(const yarn::Container& am_container) {
   profile_.maps.resize(splits_.size());
   attempts_.assign(splits_.size(), 0);
   for (const auto& split : splits_) profile_.total_input += split.length;
+  if (config_.fast_shuffle) {
+    registry_ = std::make_unique<MapOutputRegistry>(spec_, static_cast<int>(splits_.size()),
+                                                    config_.shuffle_stats);
+  }
 
   if (splits_.empty()) {
     start_reduces();
@@ -122,6 +126,8 @@ void UberAppMaster::on_map_done(MapTaskResult result) {
     case cluster::Locality::kRackLocal: ++profile_.rack_local_maps; break;
     case cluster::Locality::kAny: ++profile_.off_rack_maps; break;
   }
+  // Partition once, before the reducers replay the result list.
+  if (registry_) registry_->announce(result.profile.index, result.outcome);
   map_results_.push_back(std::move(result));
 
   if (completed_maps_ == total_maps()) {
@@ -155,8 +161,9 @@ void UberAppMaster::start_reduces() {
         [this, partition](TaskProfile profile, ReduceOutcome outcome) {
           on_reduce_done(partition, profile, outcome);
         });
+    runner->set_registry(registry_.get());
     runner->start();
-    for (auto& result : map_results_) runner->on_map_output(result);
+    runner->on_map_outputs(map_results_);
   }
 }
 

@@ -54,6 +54,18 @@ void Tracer::emit(SimTime at, TraceCategory category, std::string_view name,
   events_.push_back(std::move(event));
 }
 
+void Tracer::emit_attempted(SimTime at, TraceCategory category, std::string_view name, int attempt,
+                            std::initializer_list<TraceArg> args) {
+  if (!enabled(category)) return;
+  TraceEvent event;
+  event.time_us = at.as_micros();
+  event.category = category;
+  event.name = name;
+  event.args.assign(args.begin(), args.end());
+  if (attempt > 0) event.args.emplace_back("attempt", attempt);
+  events_.push_back(std::move(event));
+}
+
 std::string canonical_text(const std::vector<TraceEvent>& events) {
   std::string out;
   out.reserve(events.size() * 64);

@@ -101,6 +101,13 @@ class Tracer {
 
   void emit(SimTime at, TraceCategory category, std::string_view name,
             std::initializer_list<TraceArg> args);
+  // emit() plus a trailing {"attempt", attempt} argument appended only
+  // when attempt > 0 — the convention every retry-capable task event
+  // follows (the argument is omitted at 0 so faultless traces stay
+  // stable). Replaces the copy-pasted `attempt_ > 0` / `else` branches
+  // the task runner used to carry per event site.
+  void emit_attempted(SimTime at, TraceCategory category, std::string_view name, int attempt,
+                      std::initializer_list<TraceArg> args);
 
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
@@ -143,4 +150,15 @@ std::string chrome_trace_json(const std::vector<ChromeProcess>& processes);
     if (mrapid_tracer__ != nullptr && mrapid_tracer__->enabled(category)) {  \
       mrapid_tracer__->emit((sim_ref).now(), category, name, {__VA_ARGS__}); \
     }                                                                        \
+  } while (0)
+
+// Attempt-aware variant: appends {"attempt", attempt} only when
+// attempt > 0. Same lazy-argument / null-tracer gating as MRAPID_TRACE.
+#define MRAPID_TRACE_ATTEMPT(sim_ref, category, name, attempt, ...)              \
+  do {                                                                           \
+    ::mrapid::sim::Tracer* mrapid_tracer__ = (sim_ref).tracer();                 \
+    if (mrapid_tracer__ != nullptr && mrapid_tracer__->enabled(category)) {      \
+      mrapid_tracer__->emit_attempted((sim_ref).now(), category, name, attempt,  \
+                                      {__VA_ARGS__});                            \
+    }                                                                            \
   } while (0)

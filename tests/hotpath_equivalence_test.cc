@@ -7,6 +7,10 @@
 //   incremental_rates  — max-min waterfill over only the links active
 //                        flows touch vs. the legacy full-fabric scan
 //                        (NetworkConfig::incremental_rates)
+//   fast_shuffle       — partition-once map-output registry + slab
+//                        fetch records + same-source leg coalescing
+//                        vs. the legacy per-fetch repartition and
+//                        shared_ptr leg joins (MRConfig::fast_shuffle)
 //
 // Like the heartbeat/scheduling toggles (heartbeat_equivalence_test),
 // these are pure implementation swaps: the contract is that every
@@ -45,19 +49,25 @@ using harness::RunMode;
 struct Toggles {
   bool indexed_placement;
   bool incremental_rates;
+  bool fast_shuffle;
 };
 
-// The four corners; [0] is the shipping default, the rest must match it.
+// The corners: [0] is the shipping default, the rest must match it —
+// each axis off individually, plus everything-legacy (the full 2^3
+// cube adds wall clock without adding coverage: the engines don't
+// interact beyond what these five corners exercise).
 constexpr Toggles kCorners[] = {
-    {true, true},
-    {false, true},
-    {true, false},
-    {false, false},
+    {true, true, true},
+    {false, true, true},
+    {true, false, true},
+    {true, true, false},
+    {false, false, false},
 };
 
 void apply(harness::WorldConfig& config, const Toggles& toggles) {
   config.hdfs.indexed_placement = toggles.indexed_placement;
   config.cluster.network.incremental_rates = toggles.incremental_rates;
+  config.mr.fast_shuffle = toggles.fast_shuffle;
 }
 
 std::string run_world(const harness::WorldConfig& base, RunMode mode, wl::Workload& workload,
@@ -87,7 +97,8 @@ void expect_all_corners_identical(const harness::WorldConfig& base, RunMode mode
       ASSERT_EQ(reference, text)
           << what << ": trace diverged at corner (indexed_placement="
           << kCorners[i].indexed_placement
-          << ", incremental_rates=" << kCorners[i].incremental_rates << ")";
+          << ", incremental_rates=" << kCorners[i].incremental_rates
+          << ", fast_shuffle=" << kCorners[i].fast_shuffle << ")";
     }
   }
 }
@@ -151,7 +162,7 @@ TEST(HotPathEquivalence, ShuffleHeavyCrashRecoveryIsByteIdentical) {
 // including fault schedules, policy draws, and the generator's own
 // hot-path axis (overridden per corner here). Stream scenarios go
 // through the StreamPump like the oracle does; single-job ones through
-// World::run. All 12 seeds run at all four corners.
+// World::run. All 12 seeds run at all five corners.
 TEST(HotPathEquivalence, FuzzScenarioTracesAreByteIdenticalAcrossToggles) {
   int scenarios = 0;
   for (std::uint64_t seed = 0; seed < 12; ++seed) {
